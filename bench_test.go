@@ -1,0 +1,70 @@
+package spampsm
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation. Each benchmark builds a fresh suite and regenerates its
+// experiment; -bench runtimes stay reasonable by running the subsets
+// at a reduced scale (cmd/spambench regenerates everything at the
+// calibrated paper scale).
+
+import (
+	"testing"
+
+	"spampsm/internal/bench"
+)
+
+func benchOptions() bench.Options {
+	opt := bench.DefaultOptions()
+	opt.SubsetScale = 0.5
+	opt.FullScale = 1
+	return opt
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := bench.NewSuite(benchOptions())
+		out, err := suite.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatalf("experiment %s produced no output", name)
+		}
+	}
+}
+
+// BenchmarkTable123 regenerates the full-run phase statistics of
+// Tables 1, 2 and 3 (San Francisco, Washington National, Moffett).
+func BenchmarkTable123(b *testing.B) { runExperiment(b, "tables123") }
+
+// BenchmarkTable4 reprints the task-level-parallelism taxonomy.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTables567 regenerates the decomposition-level measurements
+// (average, standard deviation, coefficient of variance, task counts).
+func BenchmarkTables567(b *testing.B) { runExperiment(b, "tables567") }
+
+// BenchmarkTable8 regenerates the uniprocessor baseline measurements.
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkFig3 regenerates the ParaOPS5 match-parallelism curves for
+// the match-intensive systems (Rubik / Weaver / Tourney).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig6 regenerates the LCC task-level-parallelism speedup
+// curves at Levels 2 and 3.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates the LCC match-parallelism speedup curves
+// with their asymptotic limits.
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable9 regenerates the multiplicative task × match speedup
+// grid for SF Level 2.
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9") }
+
+// BenchmarkFig8 regenerates the RTF-phase speedup curves.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates the shared-virtual-memory experiment.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }

@@ -1,0 +1,78 @@
+// Command spambench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spambench [-experiment NAME] [-full-scale F] [-subset-scale F]
+//	          [-task-procs N] [-match-procs N]
+//
+// NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
+// fig7, table9, fig8, fig9, or "all" (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spampsm/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all, "+strings.Join(bench.Names(), ", "))
+	fullScale := flag.Float64("full-scale", 3,
+		"scene scale factor for the full-dataset runs of Tables 1-3")
+	subsetScale := flag.Float64("subset-scale", 1,
+		"scale factor for the representative subsets (1 = calibrated paper scale)")
+	taskProcs := flag.Int("task-procs", 14, "maximum task processes (paper: 14)")
+	matchProcs := flag.Int("match-procs", 13, "maximum dedicated match processes (paper: 13)")
+	csvDir := flag.String("csv", "", "also write the figure experiments' data series as CSV files into this directory")
+	flag.Parse()
+
+	opt := bench.Options{
+		FullScale:     *fullScale,
+		SubsetScale:   *subsetScale,
+		MaxTaskProcs:  *taskProcs,
+		MaxMatchProcs: *matchProcs,
+	}
+	suite := bench.NewSuite(opt)
+	var out string
+	var err error
+	if *experiment == "all" {
+		out, err = suite.RunAll()
+	} else {
+		out, err = suite.Run(*experiment)
+	}
+	fmt.Print(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spambench:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		names := []string{*experiment}
+		if *experiment == "all" {
+			names = bench.Names()
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "spambench:", err)
+			os.Exit(1)
+		}
+		for _, n := range names {
+			files, err := suite.CSVFor(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spambench:", err)
+				os.Exit(1)
+			}
+			for fname, content := range files {
+				path := filepath.Join(*csvDir, fname)
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "spambench:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command spamrun performs a full four-phase SPAM interpretation of a
+// dataset and prints per-phase statistics in the style of the paper's
+// Tables 1-3.
+//
+// Usage:
+//
+//	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
+//	        [-reentry] [-scale F] [-lisp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spampsm/internal/machine"
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+	"spampsm/internal/stats"
+)
+
+func main() {
+	dataset := flag.String("dataset", "DC", "dataset: SF, DC, MOFF or suburban")
+	workers := flag.Int("workers", 1, "task processes (real goroutine pool)")
+	level := flag.Int("level", 3, "LCC decomposition level (1-4)")
+	reentry := flag.Bool("reentry", false, "enable FA->LCC re-entry")
+	scale := flag.Float64("scale", 1, "scene scale factor")
+	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
+	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
+	flag.Parse()
+
+	var d *spam.Dataset
+	var err error
+	if *dataset == "suburban" {
+		d, err = spam.NewSuburbanDataset(scene.SuburbanParams{
+			Name: "suburban", Seed: 1990, Blocks: int(8 * *scale), HousesPerBlock: 6, Verts: 12,
+		})
+	} else {
+		params := map[string]scene.Params{"SF": scene.SF, "DC": scene.DC, "MOFF": scene.MOFF}
+		p, ok := params[*dataset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spamrun: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		if *scale != 1 {
+			p = p.Scale(*scale)
+		}
+		d, err = spam.NewDataset(p)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(d.Scene.Stats())
+	fmt.Printf("production memory: %d productions\n\n", d.Progs.NumProductions())
+
+	in, err := d.Interpret(spam.InterpretOptions{
+		Workers: *workers,
+		Level:   spam.Level(*level),
+		ReEntry: *reentry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamrun:", err)
+		os.Exit(1)
+	}
+
+	factor := 1.0
+	unit := "sec (simulated, C/ParaOPS5 baseline)"
+	if *lisp {
+		factor = spam.LispFactor
+		unit = "sec (simulated, original Lisp system)"
+	}
+	tb := stats.Table{
+		Title: fmt.Sprintf("Interpretation of %s — times in %s", d.Name, unit),
+		Headers: []string{"Phase", "Tasks", "Firings", "RHS actions",
+			"CPU time", "Prods/sec", "Match %", "Hypotheses"},
+	}
+	for _, ph := range in.Phases {
+		sec := machine.InstrToSec(ph.Instr) * factor
+		pps := 0.0
+		if sec > 0 {
+			pps = float64(ph.Firings) / sec
+		}
+		tb.AddRow(ph.Phase, ph.Tasks, ph.Firings, ph.RHSActions,
+			sec, pps, 100*ph.MatchFraction(), ph.Hypotheses)
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("fragments=%d consistent-pairs=%d functional-areas=%d predictions=%d\n",
+		len(in.Fragments), len(in.Pairs), len(in.FAs), len(in.Predictions))
+	if in.ModelFound {
+		fmt.Printf("scene model: score=%d functional-areas=%d\n", in.Model.Score, in.Model.NFAs)
+	} else {
+		fmt.Println("no scene model produced")
+	}
+
+	if *svgOut != "" {
+		labels := map[int]string{}
+		best := map[int]int{}
+		for _, f := range in.Fragments {
+			if f.Conf > best[f.RegionID] {
+				best[f.RegionID] = f.Conf
+				labels[f.RegionID] = string(f.Type)
+			}
+		}
+		out, err := os.Create(*svgOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamrun:", err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := d.Scene.WriteSVG(out, labels); err != nil {
+			fmt.Fprintln(os.Stderr, "spamrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}

@@ -1,0 +1,19 @@
+// Package spampsm is a from-scratch Go reproduction of
+//
+//	Harvey, Kalp, Tambe, McKeown, Newell.
+//	"The Effectiveness of Task-Level Parallelism for High-Level Vision."
+//	PPoPP 1990.
+//
+// The library contains a complete OPS5 production-system engine on a
+// Rete match network, the SPAM aerial-image interpretation system
+// (RTF/LCC/FA/MODEL phases over synthetic airport and suburban scenes),
+// the SPAM/PSM task-level-parallelism runtime, ParaOPS5-style match
+// parallelism, a virtual-time multiprocessor standing in for the
+// 16-processor Encore Multimax, and a two-node shared-virtual-memory
+// simulator — plus a harness (cmd/spambench, bench_test.go) that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package spampsm

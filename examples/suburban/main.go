@@ -1,0 +1,72 @@
+// Suburban housing scene analysis — SPAM's second task area.
+//
+// Builds a suburban development (streets, houses, driveways, yards),
+// interprets it with the suburban knowledge base, and checks the
+// structural constraints the domain knowledge encodes: houses are
+// adjacent to driveways, driveways connect to streets, yards surround
+// houses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 6, "city blocks")
+	houses := flag.Int("houses", 6, "houses per block")
+	workers := flag.Int("workers", 4, "task processes")
+	flag.Parse()
+
+	d, err := spam.NewSuburbanDataset(scene.SuburbanParams{
+		Name: "elm-heights", Seed: 1990,
+		Blocks: *blocks, HousesPerBlock: *houses, Verts: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Scene.Stats())
+
+	in, err := d.Interpret(spam.InterpretOptions{Workers: *workers, Level: spam.Level3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfragments: %d, consistent pairs: %d\n", len(in.Fragments), len(in.Pairs))
+
+	// How many house hypotheses found their driveway?
+	houseIDs := map[int]bool{}
+	for _, f := range in.Fragments {
+		if f.Type == scene.House {
+			houseIDs[f.ID] = true
+		}
+	}
+	fragByID := map[int]*spam.Fragment{}
+	for _, f := range in.Fragments {
+		fragByID[f.ID] = f
+	}
+	housesWithDriveway := map[int]bool{}
+	for _, p := range in.Pairs {
+		if houseIDs[p.Object] && p.Relation == spam.RelAdjacent {
+			if pf := fragByID[p.Partner]; pf != nil && pf.Type == scene.Driveway {
+				housesWithDriveway[p.Object] = true
+			}
+		}
+	}
+	fmt.Printf("house hypotheses with an adjacent driveway: %d of %d\n",
+		len(housesWithDriveway), len(houseIDs))
+
+	fmt.Println("\nfunctional areas:")
+	for _, fa := range in.FAs {
+		if fa.Status == "closed" && fa.NMembers > 0 {
+			fmt.Printf("  %-14s seed %-5d members %d\n", fa.Type, fa.Seed, fa.NMembers)
+		}
+	}
+	if in.ModelFound {
+		fmt.Printf("\nscene model: score=%d over %d functional areas\n", in.Model.Score, in.Model.NFAs)
+	}
+}

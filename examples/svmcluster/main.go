@@ -1,0 +1,66 @@
+// Two-Encore shared-virtual-memory execution of an LCC phase.
+//
+// Measures the SF LCC Level-3 task queue once, then schedules it on a
+// simulated two-node cluster joined by a network shared-memory server
+// (50 ms page-fault service), sweeping processor placements and
+// showing the translational cost of crossing the node boundary — the
+// paper's Section 7 experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spampsm/internal/core"
+	"spampsm/internal/machine"
+	"spampsm/internal/spam"
+	"spampsm/internal/svm"
+)
+
+func main() {
+	node0 := flag.Int("node0", 13, "task processes on the home Encore")
+	total := flag.Int("total", 22, "total task processes across both Encores")
+	falseSharing := flag.Bool("false-sharing", false,
+		"simulate the system before data-structure layout was fixed")
+	flag.Parse()
+
+	d, err := core.LoadDataset("SF")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measuring SF LCC Level 3 baseline...")
+	m, err := core.NewSystem(d, core.LCC, spam.Level3).Measure(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queue: %d tasks, baseline %.0f simulated seconds\n\n",
+		m.NumTasks(), machine.InstrToSec(m.BaselineInstr()))
+
+	cfg := svm.DefaultConfig()
+	cfg.FalseSharing = *falseSharing
+	durs := machine.Durations(m.Exp.Tasks, 0, m.Exp.Model)
+	base := machine.Run(durs, 1, m.Exp.Overheads).Makespan
+
+	fmt.Printf("%-6s %-8s %-8s %-10s %s\n", "procs", "node0", "remote", "speedup", "pure-TLP")
+	for p := 1; p <= *total; p++ {
+		cl := svm.Cluster{Node0Procs: p}
+		if p > *node0 {
+			cl = svm.Cluster{Node0Procs: *node0, RemoteProcs: p - *node0}
+		}
+		t := svm.Run(durs, cl, cfg, m.Exp.Overheads).Makespan
+		pure := machine.Run(durs, p, m.Exp.Overheads).Makespan
+		marker := ""
+		if cl.RemoteProcs > 0 {
+			marker = "  <- spans both Encores"
+		}
+		fmt.Printf("%-6d %-8d %-8d %-10.2f %.2f%s\n",
+			p, cl.Node0Procs, cl.RemoteProcs, base/t, base/pure, marker)
+	}
+
+	if cl := (svm.Cluster{Node0Procs: *node0, RemoteProcs: *total - *node0}); cl.RemoteProcs > 0 {
+		loss := svm.TranslationLoss(durs, cl, cfg, m.Exp.Overheads)
+		fmt.Printf("\ntranslational effect: the cluster of %d behaves like %.1f pure-TLP processors (loss %.1f)\n",
+			cl.Total(), float64(cl.Total())-loss, loss)
+	}
+}

@@ -1,0 +1,3 @@
+module spampsm
+
+go 1.24

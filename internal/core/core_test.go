@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+	"spampsm/internal/svm"
+	"spampsm/internal/tlp"
+)
+
+// testDataset returns a reduced dataset so core tests stay fast.
+func testDataset(t *testing.T) *spam.Dataset {
+	t.Helper()
+	p := scene.DC.Scale(0.5)
+	p.Name = "DC-half"
+	d, err := spam.NewDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLoadDataset(t *testing.T) {
+	for _, name := range []string{"SF", "DC", "MOFF"} {
+		d, err := LoadDataset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("dataset name = %s", d.Name)
+		}
+	}
+	if _, err := LoadDataset("LAX"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestBuildTasksPhases(t *testing.T) {
+	d := testDataset(t)
+	rtf := NewSystem(d, RTF, 0)
+	rtfTasks, err := rtf.BuildTasks(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtfTasks) < 5 {
+		t.Errorf("RTF tasks = %d", len(rtfTasks))
+	}
+	lcc := NewSystem(d, LCC, spam.Level3)
+	lccTasks, err := lcc.BuildTasks(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lccTasks) < 20 {
+		t.Errorf("LCC tasks = %d", len(lccTasks))
+	}
+	if _, err := NewSystem(d, Phase("FA"), 0).BuildTasks(false); err == nil {
+		t.Error("unsupported phase must fail")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	d := testDataset(t)
+	sys := NewSystem(d, LCC, spam.Level3)
+	serial, err := sys.Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.RunParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlp.FirstError(par); err != nil {
+		t.Fatal(err)
+	}
+	firings := 0
+	for _, r := range par {
+		firings += r.Stats.Firings
+	}
+	if firings != serial.Firings {
+		t.Errorf("parallel firings %d != serial %d", firings, serial.Firings)
+	}
+}
+
+func TestMeasurementSpeedups(t *testing.T) {
+	d := testDataset(t)
+	sys := NewSystem(d, LCC, spam.Level3)
+	m, err := sys.Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTasks() == 0 || m.Firings == 0 || m.BaselineInstr() <= 0 {
+		t.Fatalf("degenerate measurement: %+v", m)
+	}
+	ts := m.TLPSeries("tlp", 14)
+	y1, _ := ts.YAt(1)
+	if math.Abs(y1-1) > 1e-9 {
+		t.Errorf("TLP speedup at 1 = %v", y1)
+	}
+	y14, _ := ts.YAt(14)
+	if y14 < 6 || y14 > 14 {
+		t.Errorf("TLP speedup at 14 = %v, want near linear", y14)
+	}
+	ms := m.MatchSeries("match", 8)
+	limit := m.AmdahlLimit()
+	if ms.MaxY() > limit {
+		t.Errorf("match speedup %v beyond Amdahl limit %v", ms.MaxY(), limit)
+	}
+	if ms.MaxY() <= 1.02 {
+		t.Errorf("match parallelism should help: max %v", ms.MaxY())
+	}
+	if mf := m.MatchFraction(); mf <= 0 || mf >= 1 {
+		t.Errorf("match fraction = %v", mf)
+	}
+}
+
+func TestCombinedMultiplicative(t *testing.T) {
+	d := testDataset(t)
+	m, err := NewSystem(d, LCC, spam.Level3).Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range [][2]int{{2, 1}, {4, 2}, {3, 3}} {
+		achieved, predicted := m.Combined(cfg[0], cfg[1])
+		if predicted <= 0 {
+			t.Fatalf("config %v: predicted %v", cfg, predicted)
+		}
+		rel := math.Abs(achieved-predicted) / predicted
+		if rel > 0.2 {
+			t.Errorf("config %v: achieved %.2f vs predicted %.2f (%.0f%%)",
+				cfg, achieved, predicted, rel*100)
+		}
+	}
+}
+
+func TestSVMSeriesShape(t *testing.T) {
+	d := testDataset(t)
+	m, err := NewSystem(d, LCC, spam.Level3).Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, pure := m.SVMSeries("L3", 8, 14, svm.DefaultConfig())
+	// Identical while on one node.
+	for p := 1.0; p <= 8; p++ {
+		ys, _ := sv.YAt(p)
+		yp, _ := pure.YAt(p)
+		if math.Abs(ys-yp) > 1e-9 {
+			t.Errorf("p=%v: svm %v != pure %v on single node", p, ys, yp)
+		}
+	}
+	// Beyond the node boundary the SVM curve sits below pure TLP but
+	// still rises.
+	y9s, _ := sv.YAt(9)
+	y9p, _ := pure.YAt(9)
+	if y9s >= y9p {
+		t.Errorf("crossing nodes should cost something: svm %v vs pure %v", y9s, y9p)
+	}
+	y14s, _ := sv.YAt(14)
+	y10s, _ := sv.YAt(10)
+	if y14s <= y10s {
+		t.Errorf("remote processors should still help: %v vs %v", y14s, y10s)
+	}
+}
+
+func TestLevelStatistics(t *testing.T) {
+	d := testDataset(t)
+	sums, err := LevelStatistics(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []spam.Level{Level1, Level2, Level3, Level4} {
+		if sums[level].N == 0 {
+			t.Fatalf("level %d: no tasks", level)
+		}
+	}
+	// The paper's Tables 5-7 structure: task counts grow and mean task
+	// time shrinks as the decomposition deepens; Level 4 has ~a task
+	// per class; Level 1 is three orders finer than Level 4.
+	if !(sums[Level4].N < sums[Level3].N && sums[Level3].N < sums[Level2].N && sums[Level2].N < sums[Level1].N) {
+		t.Errorf("task counts: L4=%d L3=%d L2=%d L1=%d", sums[Level4].N, sums[Level3].N, sums[Level2].N, sums[Level1].N)
+	}
+	if !(sums[Level4].Mean > sums[Level3].Mean && sums[Level3].Mean > sums[Level2].Mean && sums[Level2].Mean > sums[Level1].Mean) {
+		t.Errorf("mean times must shrink with level: %v %v %v %v",
+			sums[Level4].Mean, sums[Level3].Mean, sums[Level2].Mean, sums[Level1].Mean)
+	}
+	// Level 1 has a low coefficient of variance (the paper's Tables
+	// 5-7: ~0.13-0.16 at Level 1 vs ~0.4-0.7 above). Compare against
+	// Level 2, whose CoV is inflated by the infield outlier tasks at
+	// any dataset scale.
+	if sums[Level1].CoV >= sums[Level2].CoV {
+		t.Errorf("L1 CoV %v should be below L2 CoV %v", sums[Level1].CoV, sums[Level2].CoV)
+	}
+	// Work is conserved across decompositions (within queue overhead
+	// noise): total time at each level is within 25% of Level 3's.
+	l3Total := sums[Level3].Sum
+	for _, level := range []spam.Level{Level1, Level2, Level4} {
+		if r := sums[level].Sum / l3Total; r < 0.75 || r > 1.35 {
+			t.Errorf("level %d total %v vs L3 %v (ratio %.2f)", level, sums[level].Sum, l3Total, r)
+		}
+	}
+}
+
+func TestRTFMeasurement(t *testing.T) {
+	d := testDataset(t)
+	m, err := NewSystem(d, RTF, 0).Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTF is more match-intensive than LCC (paper: ~60%).
+	lcc, err := NewSystem(d, LCC, spam.Level3).Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MatchFraction() <= lcc.MatchFraction() {
+		t.Errorf("RTF match fraction %.2f should exceed LCC's %.2f",
+			m.MatchFraction(), lcc.MatchFraction())
+	}
+	// And its match-parallelism limit is accordingly higher.
+	if m.AmdahlLimit() <= lcc.AmdahlLimit() {
+		t.Errorf("RTF limit %.2f should exceed LCC's %.2f", m.AmdahlLimit(), lcc.AmdahlLimit())
+	}
+}
+
+func TestTaskSummarySeconds(t *testing.T) {
+	d := testDataset(t)
+	m, err := NewSystem(d, LCC, spam.Level3).Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.TaskSummary()
+	if sum.N != m.NumTasks() {
+		t.Errorf("summary N %d != tasks %d", sum.N, m.NumTasks())
+	}
+	if sum.Mean <= 0 || sum.Max < sum.Mean {
+		t.Errorf("degenerate summary %+v", sum)
+	}
+}
+
+func TestTaskLogsOf(t *testing.T) {
+	d := testDataset(t)
+	m, err := NewSystem(d, LCC, spam.Level3).Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := m.TaskLogsOf()
+	if len(logs) != m.NumTasks() {
+		t.Errorf("logs = %d, tasks = %d", len(logs), m.NumTasks())
+	}
+	for _, l := range logs {
+		if l.TotalInstr() <= 0 {
+			t.Error("empty log")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"spampsm/internal/core"
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+)
+
+// Example measures a small LCC queue and reports its task-level
+// speedup on a simulated 8-processor machine.
+func Example() {
+	p := scene.DC.Scale(0.4)
+	p.Name = "DC-demo"
+	d, err := spam.NewDataset(p)
+	if err != nil {
+		panic(err)
+	}
+	sys := core.NewSystem(d, core.LCC, spam.Level3)
+	m, err := sys.Measure(false)
+	if err != nil {
+		panic(err)
+	}
+	series := m.TLPSeries("demo", 8)
+	y1, _ := series.YAt(1)
+	y8, _ := series.YAt(8)
+	fmt.Printf("tasks > 20: %v\n", m.NumTasks() > 20)
+	fmt.Printf("speedup at 1 proc: %.1f\n", y1)
+	fmt.Printf("speedup at 8 procs within [5,8]: %v\n", y8 >= 5 && y8 <= 8)
+	// Output:
+	// tasks > 20: true
+	// speedup at 1 proc: 1.0
+	// speedup at 8 procs within [5,8]: true
+}

@@ -1,0 +1,476 @@
+// Package geom is the 2-D computational-geometry substrate for SPAM's
+// task-related RHS computation. SPAM spends 50-70% of its time outside
+// the match, evaluating spatial predicates over image regions; every
+// predicate SPAM's knowledge base needs (intersection, adjacency,
+// containment, parallelism, proximity, alignment, elongation, …) is
+// implemented here from scratch.
+//
+// All polygons are simple (non-self-intersecting) with vertices in
+// either winding order; operations normalize as needed.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a 2-D point in image coordinates (pixels).
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	Min, Max Point
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point { return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2} }
+
+// Intersects reports whether two rectangles overlap (closed intervals).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Point{r.Min.X - d, r.Min.Y - d}, Point{r.Max.X + d, r.Max.Y + d}}
+}
+
+// Contains reports whether p lies inside r (closed).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Polygon is a simple polygon given by its vertex ring (no repeated
+// closing vertex).
+type Polygon []Point
+
+// Clone returns a deep copy of the polygon.
+func (pg Polygon) Clone() Polygon { return append(Polygon(nil), pg...) }
+
+// Valid reports whether the polygon has at least 3 vertices and
+// non-zero area.
+func (pg Polygon) Valid() bool { return len(pg) >= 3 && math.Abs(pg.SignedArea()) > 1e-9 }
+
+// SignedArea returns the signed area (positive for counter-clockwise
+// winding in a Y-up frame).
+func (pg Polygon) SignedArea() float64 {
+	var a float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += pg[i].Cross(pg[j])
+	}
+	return a / 2
+}
+
+// Area returns the absolute area of the polygon.
+func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
+
+// Perimeter returns the length of the polygon boundary.
+func (pg Polygon) Perimeter() float64 {
+	var s float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		s += pg[i].Dist(pg[(i+1)%n])
+	}
+	return s
+}
+
+// Centroid returns the area centroid of the polygon.
+func (pg Polygon) Centroid() Point {
+	var cx, cy, a float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cr := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * cr
+		cy += (pg[i].Y + pg[j].Y) * cr
+		a += cr
+	}
+	if math.Abs(a) < 1e-12 {
+		// Degenerate: fall back to the vertex mean.
+		var m Point
+		for _, p := range pg {
+			m = m.Add(p)
+		}
+		return m.Scale(1 / float64(len(pg)))
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}
+
+// BBox returns the axis-aligned bounding box.
+func (pg Polygon) BBox() Rect {
+	if len(pg) == 0 {
+		return Rect{}
+	}
+	r := Rect{pg[0], pg[0]}
+	for _, p := range pg[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
+// principalAxes returns the eigenvalues (major, minor) and major-axis
+// direction of the vertex covariance matrix. SPAM uses this for
+// elongation and orientation measurements of image regions.
+func (pg Polygon) principalAxes() (major, minor float64, dir Point) {
+	n := float64(len(pg))
+	if n == 0 {
+		return 0, 0, Point{1, 0}
+	}
+	var mean Point
+	for _, p := range pg {
+		mean = mean.Add(p)
+	}
+	mean = mean.Scale(1 / n)
+	var sxx, syy, sxy float64
+	for _, p := range pg {
+		d := p.Sub(mean)
+		sxx += d.X * d.X
+		syy += d.Y * d.Y
+		sxy += d.X * d.Y
+	}
+	sxx, syy, sxy = sxx/n, syy/n, sxy/n
+	tr := sxx + syy
+	det := sxx*syy - sxy*sxy
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	l1 := tr/2 + disc
+	l2 := tr/2 - disc
+	var d Point
+	if math.Abs(sxy) > 1e-12 {
+		d = Point{l1 - syy, sxy}
+	} else if sxx >= syy {
+		d = Point{1, 0}
+	} else {
+		d = Point{0, 1}
+	}
+	if norm := d.Norm(); norm > 0 {
+		d = d.Scale(1 / norm)
+	}
+	return l1, l2, d
+}
+
+// Elongation returns the ratio of the major to minor principal extents
+// (>= 1). Long thin regions (runways, roads) have high elongation.
+func (pg Polygon) Elongation() float64 {
+	major, minor, _ := pg.principalAxes()
+	if minor <= 1e-12 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(major / minor)
+}
+
+// Orientation returns the major-axis orientation in radians in [0, π).
+func (pg Polygon) Orientation() float64 {
+	_, _, d := pg.principalAxes()
+	a := math.Atan2(d.Y, d.X)
+	if a < 0 {
+		a += math.Pi
+	}
+	if a >= math.Pi {
+		a -= math.Pi
+	}
+	return a
+}
+
+// Compactness returns 4πA/P² in (0, 1]; 1 is a circle. Compact blobs
+// (terminal buildings) score high, elongated strips low.
+func (pg Polygon) Compactness() float64 {
+	p := pg.Perimeter()
+	if p <= 0 {
+		return 0
+	}
+	return 4 * math.Pi * pg.Area() / (p * p)
+}
+
+// Contains reports whether pt is strictly inside the polygon
+// (even-odd rule; boundary points count as inside).
+func (pg Polygon) Contains(pt Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := pg[i], pg[j]
+		// On-edge check.
+		if distPointSegment(pt, pi, pj) < 1e-9 {
+			return true
+		}
+		if (pi.Y > pt.Y) != (pj.Y > pt.Y) {
+			xCross := pi.X + (pt.Y-pi.Y)/(pj.Y-pi.Y)*(pj.X-pi.X)
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// segIntersect reports whether segments ab and cd intersect (including
+// endpoint touching and collinear overlap).
+func segIntersect(a, b, c, d Point) bool {
+	d1 := orient(c, d, a)
+	d2 := orient(c, d, b)
+	d3 := orient(a, b, c)
+	d4 := orient(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(c, d, a)) ||
+		(d2 == 0 && onSegment(c, d, b)) ||
+		(d3 == 0 && onSegment(a, b, c)) ||
+		(d4 == 0 && onSegment(a, b, d))
+}
+
+func orient(a, b, c Point) float64 {
+	v := b.Sub(a).Cross(c.Sub(a))
+	if math.Abs(v) < 1e-12 {
+		return 0
+	}
+	return v
+}
+
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X)-1e-12 <= p.X && p.X <= math.Max(a.X, b.X)+1e-12 &&
+		math.Min(a.Y, b.Y)-1e-12 <= p.Y && p.Y <= math.Max(a.Y, b.Y)+1e-12
+}
+
+// Intersects reports whether two polygons share any point (boundary or
+// interior). O(n·m) edge test with an O(1) bounding-box reject — this
+// is the dominant LCC constraint kernel.
+func (pg Polygon) Intersects(other Polygon) bool {
+	if len(pg) < 3 || len(other) < 3 {
+		return false
+	}
+	if !pg.BBox().Intersects(other.BBox()) {
+		return false
+	}
+	n, m := len(pg), len(other)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		for j := 0; j < m; j++ {
+			c, d := other[j], other[(j+1)%m]
+			if segIntersect(a, b, c, d) {
+				return true
+			}
+		}
+	}
+	// No edge crossings: one may contain the other entirely.
+	return pg.Contains(other[0]) || other.Contains(pg[0])
+}
+
+// ContainsPoly reports whether pg fully contains other.
+func (pg Polygon) ContainsPoly(other Polygon) bool {
+	if len(pg) < 3 || len(other) < 3 {
+		return false
+	}
+	for _, p := range other {
+		if !pg.Contains(p) {
+			return false
+		}
+	}
+	// All vertices inside; ensure no edge of other crosses pg's boundary
+	// out and back (possible with concave pg).
+	n, m := len(pg), len(other)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		for j := 0; j < m; j++ {
+			c, d := other[j], other[(j+1)%m]
+			if orient(a, b, c) != 0 && orient(a, b, d) != 0 && segIntersect(a, b, c, d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func distPointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := a.Add(ab.Scale(t))
+	return p.Dist(proj)
+}
+
+// Distance returns the minimum distance between the boundaries of two
+// polygons; 0 if they intersect.
+func (pg Polygon) Distance(other Polygon) float64 {
+	if pg.Intersects(other) {
+		return 0
+	}
+	best := math.Inf(1)
+	n, m := len(pg), len(other)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		for j := 0; j < m; j++ {
+			c, d := other[j], other[(j+1)%m]
+			for _, v := range []float64{
+				distPointSegment(a, c, d), distPointSegment(b, c, d),
+				distPointSegment(c, a, b), distPointSegment(d, a, b),
+			} {
+				if v < best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Adjacent reports whether the two polygons are within eps of touching.
+func (pg Polygon) Adjacent(other Polygon, eps float64) bool {
+	if !pg.BBox().Expand(eps).Intersects(other.BBox()) {
+		return false
+	}
+	return pg.Distance(other) <= eps
+}
+
+// ParallelTo reports whether the major axes of the two polygons are
+// within tol radians of parallel (mod π).
+func (pg Polygon) ParallelTo(other Polygon, tol float64) bool {
+	da := math.Abs(pg.Orientation() - other.Orientation())
+	if da > math.Pi/2 {
+		da = math.Pi - da
+	}
+	return da <= tol
+}
+
+// PerpendicularTo reports whether the major axes are within tol radians
+// of perpendicular.
+func (pg Polygon) PerpendicularTo(other Polygon, tol float64) bool {
+	da := math.Abs(pg.Orientation() - other.Orientation())
+	if da > math.Pi/2 {
+		da = math.Pi - da
+	}
+	return math.Abs(da-math.Pi/2) <= tol
+}
+
+// AlignedWith reports whether other lies roughly along pg's major axis:
+// the line through pg's centroid in its major direction passes within
+// lateralTol of other's centroid. SPAM's RTF phase uses linear
+// alignment to chain collinear runway fragments.
+func (pg Polygon) AlignedWith(other Polygon, lateralTol float64) bool {
+	_, _, dir := pg.principalAxes()
+	dc := other.Centroid().Sub(pg.Centroid())
+	// Lateral offset = component of dc perpendicular to dir.
+	lat := math.Abs(dc.Cross(dir))
+	return lat <= lateralTol
+}
+
+// ConvexHull returns the convex hull of the polygon's vertices in
+// counter-clockwise order (Andrew's monotone chain).
+func (pg Polygon) ConvexHull() Polygon {
+	pts := append([]Point(nil), pg...)
+	if len(pts) < 3 {
+		return Polygon(pts)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	var hull []Point
+	// Lower hull.
+	for _, p := range pts {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(pts) - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon(hull[:len(hull)-1])
+}
+
+// RectPoly builds a rectangle polygon centered at c with the given
+// length along angle theta and the given width across it.
+func RectPoly(c Point, length, width, theta float64) Polygon {
+	u := Point{math.Cos(theta), math.Sin(theta)}.Scale(length / 2)
+	v := Point{-math.Sin(theta), math.Cos(theta)}.Scale(width / 2)
+	return Polygon{
+		c.Add(u).Add(v),
+		c.Sub(u).Add(v),
+		c.Sub(u).Sub(v),
+		c.Add(u).Sub(v),
+	}
+}
+
+// Blob builds an irregular n-gon around center c with mean radius r;
+// jitter in [0,1) perturbs each vertex radius deterministically from
+// the seed, producing natural-looking region outlines.
+func Blob(c Point, r float64, n int, jitter float64, seed uint64) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	pg := make(Polygon, n)
+	s := seed
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		frac := float64(s>>11) / float64(1<<53)
+		rad := r * (1 + jitter*(frac*2-1))
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pg[i] = Point{c.X + rad*math.Cos(a), c.Y + rad*math.Sin(a)}
+	}
+	return pg
+}
+
+// String renders the polygon compactly for diagnostics.
+func (pg Polygon) String() string {
+	return fmt.Sprintf("poly[%d pts, area %.0f]", len(pg), pg.Area())
+}

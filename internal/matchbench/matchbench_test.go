@@ -1,0 +1,116 @@
+package matchbench
+
+import (
+	"strings"
+	"testing"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/pmatch"
+)
+
+func TestSourcesParse(t *testing.T) {
+	for _, s := range []Spec{Rubik, Weaver, Tourney} {
+		src := Source(s)
+		if _, err := ops5.Parse(src); err != nil {
+			t.Errorf("%s source: %v", s.Name, err)
+		}
+		if !strings.Contains(src, "drive") {
+			t.Errorf("%s: missing driver production", s.Name)
+		}
+		// One watcher production per spec watcher.
+		if got := strings.Count(src, "(p watch-"); got != s.Watchers {
+			t.Errorf("%s: %d watcher productions, want %d", s.Name, got, s.Watchers)
+		}
+	}
+}
+
+func TestRunsAreMatchIntensive(t *testing.T) {
+	for _, s := range []Spec{Rubik, Weaver, Tourney} {
+		log, st, err := Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if st.Firings != s.Cycles {
+			t.Errorf("%s: fired %d, want %d (only the driver fires)", s.Name, st.Firings, s.Cycles)
+		}
+		if f := st.MatchFraction(); f < 0.9 {
+			t.Errorf("%s: match fraction %.2f, want > 0.9 (match-intensive)", s.Name, f)
+		}
+		if len(log.Cycles) != s.Cycles {
+			t.Errorf("%s: %d logged cycles", s.Name, len(log.Cycles))
+		}
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	speedAt := func(s Spec, m int) float64 {
+		log, _, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pmatch.DefaultModel.Speedup(log, m)
+	}
+	rub := speedAt(Rubik, 13)
+	wea := speedAt(Weaver, 13)
+	tou := speedAt(Tourney, 13)
+	// The figure's qualitative content: Rubik >= Weaver >> Tourney,
+	// Rubik and Weaver "good", Tourney "quite low".
+	if !(rub >= wea && wea > tou) {
+		t.Errorf("ordering wrong: rubik %.1f, weaver %.1f, tourney %.1f", rub, wea, tou)
+	}
+	if rub < 9 {
+		t.Errorf("rubik speedup %.1f, want good (>= 9)", rub)
+	}
+	if wea < 7 {
+		t.Errorf("weaver speedup %.1f, want good (>= 7)", wea)
+	}
+	if tou > 6 {
+		t.Errorf("tourney speedup %.1f, want quite low (<= 6)", tou)
+	}
+}
+
+func TestTourneySaturates(t *testing.T) {
+	log, _, err := Run(Tourney)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s6 := pmatch.DefaultModel.Speedup(log, 6)
+	s13 := pmatch.DefaultModel.Speedup(log, 13)
+	if s13 > s6*1.25 {
+		t.Errorf("tourney should saturate early: s6=%.2f s13=%.2f", s6, s13)
+	}
+}
+
+func TestSpeedupSeries(t *testing.T) {
+	log, _, err := Run(Weaver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := SpeedupSeries("weaver", log, 5, pmatch.DefaultModel)
+	if len(ser.Points) != 5 {
+		t.Fatalf("series points = %d", len(ser.Points))
+	}
+	y1, _ := ser.YAt(1)
+	if y1 < 0.9 || y1 > 1.1 {
+		t.Errorf("speedup at 1 process = %v, want ~1", y1)
+	}
+	for i := 1; i < len(ser.Points); i++ {
+		if ser.Points[i].Y < ser.Points[i-1].Y-0.05 {
+			t.Errorf("series should be nondecreasing early: %+v", ser.Points)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	l1, s1, err := Run(Tourney)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, s2, err := Run(Tourney)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.TotalInstr() != s2.TotalInstr() || l1.TotalInstr() != l2.TotalInstr() {
+		t.Error("runs must be deterministic")
+	}
+}

@@ -1,0 +1,168 @@
+package msgpass
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spampsm/internal/machine"
+)
+
+func varied(n int, meanSec float64, seed uint64) []float64 {
+	out := make([]float64, n)
+	s := seed
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		frac := float64(s>>11) / float64(1<<53)
+		out[i] = machine.SecToInstr(meanSec * (0.2 + 1.6*frac))
+	}
+	return out
+}
+
+func uniform(n int, sec float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = machine.SecToInstr(sec)
+	}
+	return out
+}
+
+func TestPolicyNames(t *testing.T) {
+	if StaticRoundRobin.String() != "static-round-robin" ||
+		StaticBalanced.String() != "static-balanced" ||
+		Dynamic.String() != "dynamic" {
+		t.Error("policy names wrong")
+	}
+	if Policy(99).String() != "unknown" {
+		t.Error("unknown policy name")
+	}
+}
+
+func TestSingleNodeNearSerial(t *testing.T) {
+	durs := uniform(20, 2)
+	cfg := DefaultConfig(1)
+	for _, p := range []Policy{StaticRoundRobin, StaticBalanced, Dynamic} {
+		s := Speedup(durs, cfg, p)
+		if s > 1.0 || s < 0.9 {
+			t.Errorf("%v: single-node speedup = %v, want just under 1 (message overhead)", p, s)
+		}
+	}
+}
+
+func TestDynamicBeatsStaticUnderVariance(t *testing.T) {
+	// The package's headline: with SPAM-like task-duration variance,
+	// dynamic distribution beats static round-robin despite message
+	// costs — the queue absorbs the variance.
+	durs := varied(300, 3, 7)
+	cfg := DefaultConfig(14)
+	dyn := Speedup(durs, cfg, Dynamic)
+	rr := Speedup(durs, cfg, StaticRoundRobin)
+	if dyn <= rr {
+		t.Errorf("dynamic (%v) should beat static round-robin (%v) under variance", dyn, rr)
+	}
+	if dyn < 10 {
+		t.Errorf("dynamic speedup %v too low for 14 nodes", dyn)
+	}
+}
+
+func TestStaticBalancedNeedsOracle(t *testing.T) {
+	// Balanced static partitioning (with perfect size knowledge) is
+	// competitive with dynamic; round-robin is not.
+	durs := varied(300, 3, 11)
+	cfg := DefaultConfig(14)
+	bal := Speedup(durs, cfg, StaticBalanced)
+	rr := Speedup(durs, cfg, StaticRoundRobin)
+	if bal <= rr {
+		t.Errorf("balanced (%v) should beat round-robin (%v)", bal, rr)
+	}
+}
+
+func TestMessageCostsMatter(t *testing.T) {
+	durs := uniform(100, 0.02) // tiny tasks: 20 ms each
+	cheap := DefaultConfig(8)
+	costly := cheap
+	costly.MsgLatencyInstr *= 20
+	costly.TaskShipInstr *= 20
+	sCheap := Speedup(durs, cheap, Dynamic)
+	sCostly := Speedup(durs, costly, Dynamic)
+	if sCostly >= sCheap {
+		t.Errorf("fine-grain tasks must suffer from message cost: %v vs %v", sCostly, sCheap)
+	}
+}
+
+func TestWorkConservedAcrossPolicies(t *testing.T) {
+	durs := varied(60, 2, 3)
+	var want float64
+	for _, d := range durs {
+		want += d
+	}
+	cfg := DefaultConfig(6)
+	for _, p := range []Policy{StaticRoundRobin, StaticBalanced, Dynamic} {
+		sched := Run(durs, cfg, p)
+		var busy float64
+		for _, b := range sched.Busy {
+			busy += b
+		}
+		if busy < want {
+			t.Errorf("%v: busy time %v below task work %v", p, busy, want)
+		}
+		if len(sched.PerTask) != len(durs) {
+			t.Errorf("%v: per-task records = %d", p, len(sched.PerTask))
+		}
+	}
+}
+
+func TestQuickDynamicBounded(t *testing.T) {
+	f := func(seed uint64, nodes8 uint8) bool {
+		nodes := int(nodes8%16) + 1
+		durs := varied(50, 1, seed|1)
+		var serial float64
+		for _, d := range durs {
+			serial += d
+		}
+		sched := Run(durs, DefaultConfig(nodes), Dynamic)
+		// Makespan within [serial/nodes, serial + overheads].
+		perFetch := 2*DefaultConfig(nodes).MsgLatencyInstr +
+			DefaultConfig(nodes).TaskShipInstr + DefaultConfig(nodes).ResultShipInstr
+		upper := serial + float64(len(durs))*perFetch
+		return sched.Makespan >= serial/float64(nodes)-1e-6 && sched.Makespan <= upper+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	durs := varied(80, 2, 5)
+	cfg := DefaultConfig(10)
+	for _, p := range []Policy{StaticRoundRobin, StaticBalanced, Dynamic} {
+		a := Run(durs, cfg, p).Makespan
+		b := Run(durs, cfg, p).Makespan
+		if a != b {
+			t.Errorf("%v: nondeterministic makespan", p)
+		}
+	}
+}
+
+func TestZeroNodesClamped(t *testing.T) {
+	durs := uniform(5, 1)
+	sched := Run(durs, Config{Nodes: 0}, Dynamic)
+	if sched.Makespan <= 0 || len(sched.Busy) != 1 {
+		t.Errorf("zero nodes should clamp to 1: %+v", sched)
+	}
+}
+
+func TestSpeedupMonotoneInNodes(t *testing.T) {
+	durs := varied(200, 3, 13)
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		s := Speedup(durs, DefaultConfig(n), Dynamic)
+		if s < prev-1e-9 {
+			t.Errorf("speedup decreased at %d nodes: %v -> %v", n, prev, s)
+		}
+		prev = s
+	}
+	if math.IsNaN(prev) {
+		t.Error("NaN speedup")
+	}
+}

@@ -1,0 +1,88 @@
+package ops5
+
+import (
+	"testing"
+
+	"spampsm/internal/symtab"
+)
+
+// BenchmarkRecognizeActCycle measures raw engine throughput on the
+// counter loop (one modify per firing).
+func BenchmarkRecognizeActCycle(b *testing.B) {
+	prog := MustParse(`
+(literalize count n limit)
+(p step (count ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Assert("count", map[string]symtab.Value{
+			"n": symtab.Int(0), "limit": symtab.Int(1000),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		fired, err := e.Run(0)
+		if err != nil || fired != 1000 {
+			b.Fatalf("fired %d err %v", fired, err)
+		}
+	}
+}
+
+// BenchmarkJoinHeavyMatch measures a join-heavy workload: each firing
+// re-matches a three-way join over a populated working memory.
+func BenchmarkJoinHeavyMatch(b *testing.B) {
+	prog := MustParse(`
+(literalize tick n limit)
+(literalize item id group val)
+(p drive (tick ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 200; j++ {
+			e.Assert("item", map[string]symtab.Value{
+				"id": symtab.Int(int64(j)), "group": symtab.Int(int64(j % 8)),
+				"val": symtab.Int(int64(-j)),
+			})
+		}
+		e.Assert("tick", map[string]symtab.Value{"n": symtab.Int(0), "limit": symtab.Int(200)})
+		if _, err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures production-memory compilation (parse +
+// Rete network construction) for a mid-sized program.
+func BenchmarkCompile(b *testing.B) {
+	src := `
+(literalize a x y z)
+(literalize b u v w)
+`
+	for i := 0; i < 40; i++ {
+		src += `
+(p rule` + string(rune('a'+i%26)) + string(rune('0'+i/26)) + `
+   (a ^x <x> ^y > 3)
+   (b ^u <x> ^v <> <x>)
+ - (b ^w <x>)
+  -->
+   (make a ^x (compute <x> + 1)))
+`
+	}
+	prog := MustParse(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEngine(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ops5
+
+import (
+	"sort"
+
+	"spampsm/internal/rete"
+)
+
+// Strategy selects the OPS5 conflict-resolution strategy.
+type Strategy uint8
+
+const (
+	// LEX orders by recency of all timetags, then specificity.
+	LEX Strategy = iota
+	// MEA orders by the recency of the WME matching the first condition
+	// element, then as LEX.
+	MEA
+)
+
+// ParseStrategy converts a strategy name ("lex" or "mea").
+func ParseStrategy(s string) Strategy {
+	if s == "mea" {
+		return MEA
+	}
+	return LEX
+}
+
+// instantiation is one conflict-set entry: a production matched by a
+// specific token.
+type instantiation struct {
+	cp    *compiledProd
+	token *rete.Token
+	tags  []int // timetags of the positive-CE WMEs, sorted descending
+	first int   // timetag of the first CE's WME (for MEA)
+	seq   int   // creation order, for deterministic tie-breaking
+	fired bool
+}
+
+// conflictSet holds the live instantiations. It implements rete.Agenda.
+type conflictSet struct {
+	insts map[*rete.Token]*instantiation
+	seq   int
+	// compares counts conflict-resolution comparisons for cost
+	// accounting; the engine reads and resets it each cycle.
+	compares int
+}
+
+func newConflictSet() *conflictSet {
+	return &conflictSet{insts: map[*rete.Token]*instantiation{}}
+}
+
+// Activate implements rete.Agenda.
+func (cs *conflictSet) Activate(p *rete.PNode, t *rete.Token) {
+	cp := p.Data.(*compiledProd)
+	wmes := t.WMEs()
+	tags := make([]int, len(wmes))
+	for i, w := range wmes {
+		tags[i] = w.TimeTag
+	}
+	first := 0
+	if len(tags) > 0 {
+		first = tags[0]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(tags)))
+	cs.seq++
+	cs.insts[t] = &instantiation{cp: cp, token: t, tags: tags, first: first, seq: cs.seq}
+}
+
+// Deactivate implements rete.Agenda.
+func (cs *conflictSet) Deactivate(p *rete.PNode, t *rete.Token) {
+	delete(cs.insts, t)
+}
+
+// Size returns the number of live instantiations (fired or not).
+func (cs *conflictSet) Size() int { return len(cs.insts) }
+
+// lexLess reports whether a's tag list is less recent than b's under
+// the LEX ordering: compare descending-sorted timetags pairwise; the
+// first larger tag wins; if one list is a prefix of the other, the
+// longer list wins.
+func lexLess(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// better reports whether x dominates y under the strategy.
+func better(x, y *instantiation, strat Strategy) bool {
+	if strat == MEA && x.first != y.first {
+		return x.first > y.first
+	}
+	xt, yt := x.tags, y.tags
+	if lexLess(xt, yt) {
+		return false
+	}
+	if lexLess(yt, xt) {
+		return true
+	}
+	// Equal recency: specificity.
+	if x.cp.prod.Specificity != y.cp.prod.Specificity {
+		return x.cp.prod.Specificity > y.cp.prod.Specificity
+	}
+	// Arbitrary in OPS5; deterministic here: earliest activation wins.
+	return x.seq < y.seq
+}
+
+// Resolve picks the dominant unfired instantiation, or nil when the
+// conflict set offers nothing (quiescence).
+func (cs *conflictSet) Resolve(strat Strategy) *instantiation {
+	var best *instantiation
+	for _, in := range cs.insts {
+		if in.fired {
+			continue
+		}
+		cs.compares++
+		if best == nil || better(in, best, strat) {
+			best = in
+		}
+	}
+	return best
+}
+
+// takeCompares returns and resets the comparison counter.
+func (cs *conflictSet) takeCompares() int {
+	c := cs.compares
+	cs.compares = 0
+	return c
+}

@@ -1,0 +1,134 @@
+package ops5
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spampsm/internal/rete"
+)
+
+// genInst builds an instantiation with the given descending tags.
+func genInst(tags []int, spec int, seq int) *instantiation {
+	sorted := append([]int(nil), tags...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	first := 0
+	if len(tags) > 0 {
+		first = tags[0]
+	}
+	return &instantiation{
+		cp:    &compiledProd{prod: &Production{Name: "p", Specificity: spec}},
+		tags:  sorted,
+		first: first,
+		seq:   seq,
+	}
+}
+
+func TestLexLessBasics(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{3, 2}, []int{4, 1}, true},  // 3 < 4
+		{[]int{4, 1}, []int{3, 2}, false}, // 4 > 3
+		{[]int{4, 2}, []int{4, 3}, true},  // tie on 4, 2 < 3
+		{[]int{4}, []int{4, 1}, true},     // prefix: shorter loses
+		{[]int{4, 1}, []int{4}, false},    // longer wins
+		{[]int{4, 1}, []int{4, 1}, false}, // equal
+		{nil, []int{1}, true},             // empty loses
+	}
+	for _, c := range cases {
+		if got := lexLess(c.a, c.b); got != c.want {
+			t.Errorf("lexLess(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// tagsFrom derives a small random tag list from quick's raw values.
+func tagsFrom(raw []uint8) []int {
+	n := int(len(raw)%4) + 1
+	tags := make([]int, 0, n)
+	for i := 0; i < n && i < len(raw); i++ {
+		tags = append(tags, int(raw[i]%10)+1)
+	}
+	if len(tags) == 0 {
+		tags = []int{1}
+	}
+	return tags
+}
+
+func TestQuickBetterAntisymmetric(t *testing.T) {
+	f := func(ra, rb []uint8, sa, sb uint8) bool {
+		a := genInst(tagsFrom(ra), int(sa%5), 1)
+		b := genInst(tagsFrom(rb), int(sb%5), 2)
+		ab := better(a, b, LEX)
+		ba := better(b, a, LEX)
+		return ab != ba // a strict total order: exactly one direction wins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBetterTransitive(t *testing.T) {
+	for _, strat := range []Strategy{LEX, MEA} {
+		f := func(ra, rb, rc []uint8, sa, sb, sc uint8) bool {
+			a := genInst(tagsFrom(ra), int(sa%5), 1)
+			b := genInst(tagsFrom(rb), int(sb%5), 2)
+			c := genInst(tagsFrom(rc), int(sc%5), 3)
+			if better(a, b, strat) && better(b, c, strat) {
+				return better(a, c, strat)
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("strategy %v: %v", strat, err)
+		}
+	}
+}
+
+func TestResolvePicksMaximum(t *testing.T) {
+	cs := newConflictSet()
+	// Build instantiations by hand and verify Resolve returns the one
+	// that better() prefers over all others.
+	insts := []*instantiation{
+		genInst([]int{5, 2}, 3, 1),
+		genInst([]int{7, 1}, 2, 2),
+		genInst([]int{7, 3}, 2, 3),
+		genInst([]int{7, 3}, 4, 4),
+	}
+	for _, in := range insts {
+		cs.insts[new(rete.Token)] = in
+	}
+	got := cs.Resolve(LEX)
+	for _, in := range insts {
+		if in != got && better(in, got, LEX) {
+			t.Errorf("Resolve returned a dominated instantiation")
+		}
+	}
+	// Firing removes it from contention.
+	got.fired = true
+	second := cs.Resolve(LEX)
+	if second == got {
+		t.Error("fired instantiation must not be re-selected")
+	}
+}
+
+func TestMEAFirstDominates(t *testing.T) {
+	// Under MEA, a larger first-CE timetag beats any overall recency.
+	a := genInst([]int{3, 99, 98}, 1, 1) // first=3
+	b := genInst([]int{5, 1}, 1, 2)      // first=5
+	if !better(b, a, MEA) {
+		t.Error("MEA should prefer the newer first-CE match")
+	}
+	if better(b, a, LEX) {
+		// LEX compares sorted tags: [99,98,3] vs [5,1] — a wins.
+		t.Error("LEX should prefer the higher overall recency")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	if ParseStrategy("mea") != MEA || ParseStrategy("lex") != LEX || ParseStrategy("") != LEX {
+		t.Error("strategy parsing wrong")
+	}
+}

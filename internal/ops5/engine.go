@@ -1,0 +1,593 @@
+package ops5
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"spampsm/internal/rete"
+	"spampsm/internal/symtab"
+	"spampsm/internal/wm"
+)
+
+// Instruction costs of interpreter operations outside the match
+// (simulated NS32332 instructions).
+const (
+	CostResolveCompare = 30  // one conflict-resolution comparison
+	CostActionBase     = 240 // dispatch of one RHS action
+	CostWriteArg       = 45  // formatting one write argument
+	CostBindOp         = 60  // one RHS bind
+	CostComputeOp      = 36  // one arithmetic operation in compute
+	CostExternalBase   = 150 // calling out to an external function
+)
+
+// ExternalFn is a task-related computation invoked from the RHS: it
+// receives evaluated arguments and returns a value plus its own cost in
+// simulated instructions. This is how SPAM's geometric computation
+// (performed outside OPS5 in the original system) is metered.
+type ExternalFn func(args []symtab.Value) (symtab.Value, float64, error)
+
+// CycleCost is the cost breakdown of one recognize-act cycle: the
+// conflict-resolution cost, the act cost, and the match work triggered
+// by the act's working-memory changes. MatchRoots is the forest of node
+// activations (present only when capture is enabled) that the
+// match-parallelism simulation schedules.
+type CycleCost struct {
+	Resolve    float64
+	Act        float64
+	Match      float64
+	MatchRoots []*rete.Activation
+}
+
+// Total returns the cycle's total instruction cost.
+func (c CycleCost) Total() float64 { return c.Resolve + c.Act + c.Match }
+
+// CostLog is the complete cost record of one engine run: the
+// initialization cost (loading the initial working memory through the
+// match network) and one CycleCost per production firing.
+type CostLog struct {
+	Init      float64
+	InitRoots []*rete.Activation
+	Cycles    []CycleCost
+}
+
+// TotalInstr returns the run's total instruction count.
+func (l *CostLog) TotalInstr() float64 {
+	t := l.Init
+	for _, c := range l.Cycles {
+		t += c.Total()
+	}
+	return t
+}
+
+// MatchInstr returns the total match instructions (including init).
+func (l *CostLog) MatchInstr() float64 {
+	t := l.Init
+	for _, c := range l.Cycles {
+		t += c.Match
+	}
+	return t
+}
+
+// RunStats aggregates the statistics of one engine run.
+type RunStats struct {
+	Firings      int
+	Cycles       int
+	RHSActions   int
+	MatchInstr   float64
+	ResolveInstr float64
+	ActInstr     float64
+	InitInstr    float64
+	Halted       bool
+}
+
+// TotalInstr returns the run's total simulated instructions.
+func (s RunStats) TotalInstr() float64 {
+	return s.MatchInstr + s.ResolveInstr + s.ActInstr + s.InitInstr
+}
+
+// MatchFraction returns the fraction of total time spent in match
+// (init counts as match: it is alpha/beta network loading).
+func (s RunStats) MatchFraction() float64 {
+	t := s.TotalInstr()
+	if t == 0 {
+		return 0
+	}
+	return (s.MatchInstr + s.InitInstr) / t
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithOutput directs (write ...) output; the default discards it.
+func WithOutput(w io.Writer) Option { return func(e *Engine) { e.out = w } }
+
+// WithCapture enables per-activation cost capture for the parallel
+// match simulation. Without it only aggregate costs are recorded.
+func WithCapture() Option { return func(e *Engine) { e.capture = true } }
+
+// WithTrace enables the OPS5 "watch" facility: each firing is printed
+// with its instantiation's timetags, and each working-memory change is
+// logged as it happens.
+func WithTrace(w io.Writer) Option { return func(e *Engine) { e.trace = w } }
+
+// Engine is one OPS5 interpreter instance: a production memory compiled
+// into a Rete network, a working memory, and a conflict set. Engines
+// are deliberately self-contained — the SPAM/PSM task processes each
+// own a full engine (working-memory distribution).
+type Engine struct {
+	prog      *Program
+	classes   *wm.Classes
+	mem       *wm.Memory
+	net       *rete.Network
+	cs        *conflictSet
+	strategy  Strategy
+	compiled  map[string]*compiledProd
+	externals map[string]ExternalFn
+	out       io.Writer
+	trace     io.Writer
+	capture   bool
+	halted    bool
+	running   bool
+	stats     RunStats
+	// log is allocated separately from the Engine so that callers can
+	// retain the cost log while the engine itself (its Rete network and
+	// working memory) is garbage collected.
+	log *CostLog
+}
+
+// NewEngine compiles a program into a ready engine.
+func NewEngine(prog *Program, opts ...Option) (*Engine, error) {
+	e := &Engine{
+		prog:      prog,
+		classes:   wm.NewClasses(),
+		cs:        newConflictSet(),
+		strategy:  ParseStrategy(prog.Strategy),
+		compiled:  map[string]*compiledProd{},
+		externals: map[string]ExternalFn{},
+		out:       io.Discard,
+		log:       &CostLog{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	for _, c := range prog.Classes {
+		if _, err := e.classes.Declare(c.Name, c.Attrs...); err != nil {
+			return nil, err
+		}
+	}
+	e.mem = wm.NewMemory(e.classes)
+	e.net = rete.New(e.cs)
+	e.net.SetCapture(e.capture)
+	for _, p := range prog.Productions {
+		cp, err := compileProduction(p, e.classes)
+		if err != nil {
+			return nil, err
+		}
+		pn, err := e.net.AddProduction(p.Name, cp.patterns, cp)
+		if err != nil {
+			return nil, err
+		}
+		cp.pnode = pn
+		e.compiled[p.Name] = cp
+	}
+	e.net.StartBatch()
+	return e, nil
+}
+
+// Register installs an external function. Functions must be registered
+// for every name in the program's external declaration before Run.
+func (e *Engine) Register(name string, fn ExternalFn) { e.externals[name] = fn }
+
+// Classes exposes the engine's class registry.
+func (e *Engine) Classes() *wm.Classes { return e.classes }
+
+// Assert adds a WME to working memory from outside the rule system
+// (initial task loading). Its match cost is accounted as
+// initialization.
+func (e *Engine) Assert(class string, sets map[string]symtab.Value) (*wm.WME, error) {
+	if e.running {
+		return nil, fmt.Errorf("ops5: Assert during Run")
+	}
+	w, err := e.mem.Make(class, sets)
+	if err != nil {
+		return nil, err
+	}
+	before := e.net.Totals().Cost
+	e.net.Add(w)
+	e.log.Init += e.net.Totals().Cost - before
+	return w, nil
+}
+
+// AssertValues is Assert with a parallel attribute/value list, a
+// convenience for generated workloads.
+func (e *Engine) AssertValues(class string, attrs []string, vals []symtab.Value) (*wm.WME, error) {
+	sets := make(map[string]symtab.Value, len(attrs))
+	for i, a := range attrs {
+		sets[a] = vals[i]
+	}
+	return e.Assert(class, sets)
+}
+
+// Stats returns the run statistics so far.
+func (e *Engine) Stats() RunStats {
+	s := e.stats
+	s.InitInstr = e.log.Init
+	return s
+}
+
+// Log returns the engine's cost log.
+func (e *Engine) Log() *CostLog { return e.log }
+
+// Memory exposes the working memory (for result extraction).
+func (e *Engine) Memory() *wm.Memory { return e.mem }
+
+// WMEs returns the live WMEs of a class ordered by timetag.
+func (e *Engine) WMEs(class string) []*wm.WME { return e.mem.OfClass(class) }
+
+// ConflictSetSize returns the number of live instantiations.
+func (e *Engine) ConflictSetSize() int { return e.cs.Size() }
+
+// ConflictSet lists the live unfired instantiations as
+// "production-name [timetags]" strings, sorted — the OPS5 "cs" command.
+func (e *Engine) ConflictSet() []string {
+	var out []string
+	for _, in := range e.cs.insts {
+		if in.fired {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s %v", in.cp.prod.Name, in.tags))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DumpWM writes the live working memory to w in timetag order — the
+// OPS5 "wm" command.
+func (e *Engine) DumpWM(w io.Writer) {
+	for _, el := range e.mem.Snapshot() {
+		fmt.Fprintf(w, "%d: %s\n", el.TimeTag, el)
+	}
+}
+
+// ProductionNames returns the production memory's names in definition
+// order — the OPS5 "pm" command.
+func (e *Engine) ProductionNames() []string {
+	names := make([]string, len(e.prog.Productions))
+	for i, p := range e.prog.Productions {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Halted reports whether a (halt) action stopped the run.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Run executes the recognize-act loop until quiescence, halt, or
+// maxFirings productions have fired (0 means no limit). It returns the
+// number of firings performed by this call.
+func (e *Engine) Run(maxFirings int) (int, error) {
+	if missing := e.missingExternals(); len(missing) > 0 {
+		return 0, fmt.Errorf("ops5: externals not registered: %s", strings.Join(missing, ", "))
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	// Collect any activations pending from initialization.
+	initRoots := e.net.TakeBatch()
+	if len(initRoots) > 0 {
+		e.log.InitRoots = append(e.log.InitRoots, initRoots...)
+	}
+	fired := 0
+	for !e.halted && (maxFirings == 0 || fired < maxFirings) {
+		e.stats.Cycles++
+		// Resolve.
+		inst := e.cs.Resolve(e.strategy)
+		resolveCost := float64(e.cs.takeCompares()) * CostResolveCompare
+		e.stats.ResolveInstr += resolveCost
+		if inst == nil {
+			// Quiescence: no unfired instantiation.
+			break
+		}
+		inst.fired = true
+		if e.trace != nil {
+			fmt.Fprintf(e.trace, "%d. %s %v\n", e.stats.Firings+1, inst.cp.prod.Name, inst.tags)
+		}
+		// Act.
+		e.net.StartBatch()
+		matchBefore := e.net.Totals().Cost
+		actCost, err := e.fire(inst)
+		if err != nil {
+			return fired, fmt.Errorf("ops5: firing %s: %w", inst.cp.prod.Name, err)
+		}
+		matchCost := e.net.Totals().Cost - matchBefore
+		roots := e.net.TakeBatch()
+		e.stats.ActInstr += actCost
+		e.stats.MatchInstr += matchCost
+		e.stats.Firings++
+		fired++
+		e.log.Cycles = append(e.log.Cycles, CycleCost{
+			Resolve:    resolveCost,
+			Act:        actCost,
+			Match:      matchCost,
+			MatchRoots: roots,
+		})
+	}
+	e.stats.Halted = e.halted
+	return fired, nil
+}
+
+func (e *Engine) missingExternals() []string {
+	var missing []string
+	for _, name := range e.prog.Externals {
+		if _, ok := e.externals[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// rhsEnv is the environment of one firing.
+type rhsEnv struct {
+	inst  *instantiation
+	binds map[string]symtab.Value
+	cost  float64
+}
+
+func (e *Engine) fire(inst *instantiation) (float64, error) {
+	env := &rhsEnv{inst: inst, binds: map[string]symtab.Value{}}
+	for _, a := range inst.cp.prod.RHS {
+		env.cost += CostActionBase
+		e.stats.RHSActions++
+		if err := e.execute(a, env); err != nil {
+			return env.cost, err
+		}
+		if e.halted {
+			break
+		}
+	}
+	return env.cost, nil
+}
+
+func (e *Engine) execute(a Action, env *rhsEnv) error {
+	switch act := a.(type) {
+	case MakeAction:
+		sets, err := e.evalSets(act.Sets, env)
+		if err != nil {
+			return err
+		}
+		w, err := e.mem.Make(act.Class, sets)
+		if err != nil {
+			return err
+		}
+		e.net.Add(w)
+		e.traceWM("=>WM", w)
+	case ModifyAction:
+		old, err := e.resolveRef(act.Ref, env)
+		if err != nil {
+			return err
+		}
+		sets, err := e.evalSets(act.Sets, env)
+		if err != nil {
+			return err
+		}
+		// OPS5 modify = remove + make with a fresh timetag.
+		if err := e.mem.Remove(old); err != nil {
+			return err
+		}
+		e.net.Remove(old)
+		e.traceWM("<=WM", old)
+		full := make(map[string]symtab.Value, len(old.Vals))
+		for i, attr := range old.Class.Attrs {
+			if v := old.Vals[i]; !v.IsNil() {
+				full[attr] = v
+			}
+		}
+		for k, v := range sets {
+			full[k] = v
+		}
+		w, err := e.mem.Make(old.Class.Name, full)
+		if err != nil {
+			return err
+		}
+		e.net.Add(w)
+		e.traceWM("=>WM", w)
+	case RemoveAction:
+		w, err := e.resolveRef(act.Ref, env)
+		if err != nil {
+			return err
+		}
+		if err := e.mem.Remove(w); err != nil {
+			return err
+		}
+		e.net.Remove(w)
+		e.traceWM("<=WM", w)
+	case BindAction:
+		v, err := e.eval(act.Expr, env)
+		if err != nil {
+			return err
+		}
+		env.cost += CostBindOp
+		env.binds[act.Var] = v
+	case WriteAction:
+		var parts []string
+		for _, arg := range act.Args {
+			env.cost += CostWriteArg
+			if _, isCrlf := arg.(CrlfExpr); isCrlf {
+				parts = append(parts, "\n")
+				continue
+			}
+			v, err := e.eval(arg, env)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, v.String())
+		}
+		fmt.Fprint(e.out, strings.Join(parts, " "))
+	case CallAction:
+		fn, ok := e.externals[act.Fn]
+		if !ok {
+			return fmt.Errorf("external %s not registered", act.Fn)
+		}
+		args := make([]symtab.Value, len(act.Args))
+		for i, arg := range act.Args {
+			v, err := e.eval(arg, env)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		_, cost, err := fn(args)
+		if err != nil {
+			return fmt.Errorf("external %s: %w", act.Fn, err)
+		}
+		env.cost += CostExternalBase + cost
+	case HaltAction:
+		e.halted = true
+	default:
+		return fmt.Errorf("unknown action %T", a)
+	}
+	return nil
+}
+
+// traceWM logs one working-memory change when tracing is on.
+func (e *Engine) traceWM(dir string, w *wm.WME) {
+	if e.trace != nil {
+		fmt.Fprintf(e.trace, "%s: %d %s\n", dir, w.TimeTag, w)
+	}
+}
+
+func (e *Engine) evalSets(sets []AttrSet, env *rhsEnv) (map[string]symtab.Value, error) {
+	out := make(map[string]symtab.Value, len(sets))
+	for _, s := range sets {
+		v, err := e.eval(s.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Attr] = v
+	}
+	return out, nil
+}
+
+func (e *Engine) resolveRef(r ElemRef, env *rhsEnv) (*wm.WME, error) {
+	level := -1
+	if r.Var != "" {
+		l, ok := env.inst.cp.elemLevels[r.Var]
+		if !ok {
+			return nil, fmt.Errorf("unknown element variable <%s>", r.Var)
+		}
+		level = l
+	} else {
+		level = r.Index - 1
+	}
+	w := env.inst.token.WMEAt(level)
+	if w == nil {
+		return nil, fmt.Errorf("element reference %s matches no WME (negated CE?)", r)
+	}
+	return w, nil
+}
+
+func (e *Engine) eval(x Expr, env *rhsEnv) (symtab.Value, error) {
+	switch ex := x.(type) {
+	case LitExpr:
+		return ex.Val, nil
+	case VarExpr:
+		if v, ok := env.binds[ex.Name]; ok {
+			return v, nil
+		}
+		if loc, ok := env.inst.cp.varLocs[ex.Name]; ok {
+			w := env.inst.token.WMEAt(loc.ce)
+			if w == nil {
+				return symtab.Nil, fmt.Errorf("variable <%s> bound at a retracted level", ex.Name)
+			}
+			return w.GetAt(loc.attr), nil
+		}
+		return symtab.Nil, fmt.Errorf("unbound variable <%s>", ex.Name)
+	case ComputeExpr:
+		acc, err := e.eval(ex.Operands[0], env)
+		if err != nil {
+			return symtab.Nil, err
+		}
+		for i, op := range ex.Ops {
+			rhs, err := e.eval(ex.Operands[i+1], env)
+			if err != nil {
+				return symtab.Nil, err
+			}
+			env.cost += CostComputeOp
+			acc, err = arith(acc, op, rhs)
+			if err != nil {
+				return symtab.Nil, err
+			}
+		}
+		return acc, nil
+	case CallExpr:
+		fn, ok := e.externals[ex.Fn]
+		if !ok {
+			return symtab.Nil, fmt.Errorf("external %s not registered", ex.Fn)
+		}
+		args := make([]symtab.Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := e.eval(a, env)
+			if err != nil {
+				return symtab.Nil, err
+			}
+			args[i] = v
+		}
+		v, cost, err := fn(args)
+		if err != nil {
+			return symtab.Nil, fmt.Errorf("external %s: %w", ex.Fn, err)
+		}
+		env.cost += CostExternalBase + cost
+		return v, nil
+	case CrlfExpr:
+		return symtab.Sym("\n"), nil
+	default:
+		return symtab.Nil, fmt.Errorf("unknown expression %T", x)
+	}
+}
+
+func arith(a symtab.Value, op byte, b symtab.Value) (symtab.Value, error) {
+	if !a.IsNumber() || !b.IsNumber() {
+		return symtab.Nil, fmt.Errorf("compute on non-number (%s %c %s)", a, op, b)
+	}
+	bothInt := a.Kind() == symtab.KindInt && b.Kind() == symtab.KindInt
+	if bothInt {
+		x, y := a.IntVal(), b.IntVal()
+		switch op {
+		case '+':
+			return symtab.Int(x + y), nil
+		case '-':
+			return symtab.Int(x - y), nil
+		case '*':
+			return symtab.Int(x * y), nil
+		case '/':
+			if y == 0 {
+				return symtab.Nil, fmt.Errorf("division by zero")
+			}
+			return symtab.Int(x / y), nil
+		case '%':
+			if y == 0 {
+				return symtab.Nil, fmt.Errorf("modulus by zero")
+			}
+			return symtab.Int(x % y), nil
+		}
+	}
+	x, y := a.FloatVal(), b.FloatVal()
+	switch op {
+	case '+':
+		return symtab.Float(x + y), nil
+	case '-':
+		return symtab.Float(x - y), nil
+	case '*':
+		return symtab.Float(x * y), nil
+	case '/':
+		if y == 0 {
+			return symtab.Nil, fmt.Errorf("division by zero")
+		}
+		return symtab.Float(x / y), nil
+	case '%':
+		return symtab.Nil, fmt.Errorf("modulus on floats")
+	}
+	return symtab.Nil, fmt.Errorf("unknown operator %c", op)
+}

@@ -1,0 +1,83 @@
+package ops5_test
+
+import (
+	"fmt"
+	"os"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/symtab"
+)
+
+// Example runs a two-rule production system to quiescence.
+func Example() {
+	prog, err := ops5.Parse(`
+(literalize box size label)
+(p label-big
+   { <b> (box ^size > 10 ^label none) }
+  -->
+   (modify <b> ^label big))
+(p label-small
+   { <b> (box ^size <= 10 ^label none) }
+  -->
+   (modify <b> ^label small))
+`)
+	if err != nil {
+		panic(err)
+	}
+	e, err := ops5.NewEngine(prog)
+	if err != nil {
+		panic(err)
+	}
+	for _, size := range []int64{5, 25} {
+		e.Assert("box", map[string]symtab.Value{
+			"size": symtab.Int(size), "label": symtab.Sym("none"),
+		})
+	}
+	fired, _ := e.Run(0)
+	fmt.Println("firings:", fired)
+	for _, w := range e.WMEs("box") {
+		fmt.Printf("size %v -> %v\n", w.Get("size"), w.Get("label"))
+	}
+	// The 25-box is more recent, so LEX fires it first and its modified
+	// WME carries the earlier new timetag.
+	// Output:
+	// firings: 2
+	// size 25 -> big
+	// size 5 -> small
+}
+
+// ExampleEngine_Register shows an external function metering its own
+// simulated cost — how SPAM's geometry is attached to rules.
+func ExampleEngine_Register() {
+	prog := ops5.MustParse(`
+(literalize reading v doubled)
+(external double)
+(p go { <r> (reading ^v <v> ^doubled none) } -->
+   (modify <r> ^doubled (double <v>)))
+`)
+	e, _ := ops5.NewEngine(prog)
+	e.Register("double", func(args []symtab.Value) (symtab.Value, float64, error) {
+		return symtab.Int(2 * args[0].IntVal()), 1000, nil // 1000 simulated instructions
+	})
+	e.Assert("reading", map[string]symtab.Value{"v": symtab.Int(21), "doubled": symtab.Sym("none")})
+	e.Run(0)
+	fmt.Println(e.WMEs("reading")[0].Get("doubled"))
+	// Output: 42
+}
+
+// ExampleShell drives the interactive top level programmatically.
+func ExampleShell() {
+	prog := ops5.MustParse(`
+(literalize count n limit)
+(p step (count ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+`)
+	e, _ := ops5.NewEngine(prog)
+	sh := &ops5.Shell{Engine: e}
+	sh.Exec("make (count ^n 0 ^limit 2)", os.Stdout)
+	sh.Exec("run 0", os.Stdout)
+	sh.Exec("wm count", os.Stdout)
+	// Output:
+	// asserted 1 element(s)
+	// 2 firings (quiescent)
+	// 3: (count ^n 2 ^limit 2)
+}

@@ -1,0 +1,126 @@
+package ops5
+
+import (
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []tokKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]tokKind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := lexAll("(p rule1 (goal ^want <x>) --> (make result ^v <x>))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{
+		tokLParen, tokAtom, tokAtom, tokLParen, tokAtom, tokCaret, tokAtom, tokVar, tokRParen,
+		tokArrow, tokLParen, tokAtom, tokAtom, tokCaret, tokAtom, tokVar, tokRParen,
+		tokRParen, tokEOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexPredicates(t *testing.T) {
+	toks, err := lexAll("<> <= >= < > <=> =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText := []string{"<>", "<=", ">=", "<", ">", "<=>", "="}
+	for i, wt := range wantText {
+		if toks[i].kind != tokPred || toks[i].text != wt {
+			t.Errorf("token %d = %v %q, want pred %q", i, toks[i].kind, toks[i].text, wt)
+		}
+	}
+}
+
+func TestLexAngles(t *testing.T) {
+	ks := kinds(t, "<< a b >> <x> <long-name.2>")
+	want := []tokKind{tokDLAngle, tokAtom, tokAtom, tokDRAngle, tokVar, tokVar, tokEOF}
+	for i, k := range want {
+		if ks[i] != k {
+			t.Fatalf("kinds = %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestLexNumbersAndMinus(t *testing.T) {
+	toks, _ := lexAll("-5 -0.5 - --> 3.25")
+	if toks[0].kind != tokAtom || toks[0].text != "-5" {
+		t.Errorf("-5 lexed as %v %q", toks[0].kind, toks[0].text)
+	}
+	if toks[1].kind != tokAtom || toks[1].text != "-0.5" {
+		t.Errorf("-0.5 lexed as %v %q", toks[1].kind, toks[1].text)
+	}
+	if toks[2].kind != tokMinus {
+		t.Errorf("bare - lexed as %v", toks[2].kind)
+	}
+	if toks[3].kind != tokArrow {
+		t.Errorf("--> lexed as %v", toks[3].kind)
+	}
+	if toks[4].kind != tokAtom || toks[4].text != "3.25" {
+		t.Errorf("3.25 lexed as %v %q", toks[4].kind, toks[4].text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	ks := kinds(t, "abc ; this is a comment ( ) < >\ndef")
+	want := []tokKind{tokAtom, tokAtom, tokEOF}
+	if len(ks) != len(want) {
+		t.Fatalf("kinds = %v", ks)
+	}
+}
+
+func TestLexQuotedAtom(t *testing.T) {
+	toks, err := lexAll("|hello world (1)|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokAtom || toks[0].text != "hello world (1)" {
+		t.Errorf("quoted atom = %v %q", toks[0].kind, toks[0].text)
+	}
+	if _, err := lexAll("|unterminated"); err == nil {
+		t.Error("unterminated quoted atom must error")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, _ := lexAll("a\nb\n\nc")
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 4 {
+		t.Errorf("lines = %d,%d,%d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexBraces(t *testing.T) {
+	ks := kinds(t, "{ <x> (c) }")
+	want := []tokKind{tokLBrace, tokVar, tokLParen, tokAtom, tokRParen, tokRBrace, tokEOF}
+	for i, k := range want {
+		if ks[i] != k {
+			t.Fatalf("kinds = %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestLexCaretAttachment(t *testing.T) {
+	// ^attr<var> without spaces: caret, atom, var.
+	toks, _ := lexAll("^status<s>")
+	if toks[0].kind != tokCaret || toks[1].kind != tokAtom || toks[1].text != "status" || toks[2].kind != tokVar {
+		t.Errorf("tokens = %v", toks)
+	}
+}

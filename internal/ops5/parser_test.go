@@ -1,0 +1,260 @@
+package ops5
+
+import (
+	"strings"
+	"testing"
+
+	"spampsm/internal/symtab"
+)
+
+const sampleSrc = `
+; a small program
+(literalize goal want status)
+(literalize block id color size on)
+(strategy mea)
+(external log-it measure)
+
+(p find-block
+   (goal ^want <c> ^status active)
+   { <b> (block ^color <c> ^size > 3 ^id <i>) }
+  -->
+   (write found <i> (crlf))
+   (modify 1 ^status done)
+   (make goal ^want <c> ^status (compute <i> + 1)))
+
+(p no-block
+   (goal ^want <c>)
+ - (block ^color <c>)
+  -->
+   (remove 1))
+`
+
+func TestParseProgram(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Classes) != 2 {
+		t.Fatalf("classes = %d", len(prog.Classes))
+	}
+	if prog.Classes[1].Name != "block" || len(prog.Classes[1].Attrs) != 4 {
+		t.Errorf("block decl = %+v", prog.Classes[1])
+	}
+	if prog.Strategy != "mea" {
+		t.Errorf("strategy = %s", prog.Strategy)
+	}
+	if len(prog.Externals) != 2 {
+		t.Errorf("externals = %v", prog.Externals)
+	}
+	if len(prog.Productions) != 2 {
+		t.Fatalf("productions = %d", len(prog.Productions))
+	}
+
+	p := prog.Production("find-block")
+	if p == nil {
+		t.Fatal("find-block missing")
+	}
+	if len(p.LHS) != 2 {
+		t.Fatalf("LHS size = %d", len(p.LHS))
+	}
+	if p.LHS[1].ElemVar != "b" {
+		t.Errorf("element variable = %q", p.LHS[1].ElemVar)
+	}
+	// ^size > 3 parsed with GT predicate.
+	var sizeTest *AttrTest
+	for i := range p.LHS[1].Tests {
+		if p.LHS[1].Tests[i].Attr == "size" {
+			sizeTest = &p.LHS[1].Tests[i]
+		}
+	}
+	if sizeTest == nil || sizeTest.Terms[0].Pred != PredGT || !sizeTest.Terms[0].Val.Equal(symtab.Int(3)) {
+		t.Errorf("size test = %+v", sizeTest)
+	}
+	if len(p.RHS) != 3 {
+		t.Fatalf("RHS size = %d", len(p.RHS))
+	}
+	if _, ok := p.RHS[0].(WriteAction); !ok {
+		t.Errorf("RHS[0] = %T", p.RHS[0])
+	}
+	mod, ok := p.RHS[1].(ModifyAction)
+	if !ok || mod.Ref.Index != 1 {
+		t.Errorf("RHS[1] = %+v", p.RHS[1])
+	}
+	mk, ok := p.RHS[2].(MakeAction)
+	if !ok || mk.Class != "goal" {
+		t.Errorf("RHS[2] = %+v", p.RHS[2])
+	}
+	if _, ok := mk.Sets[1].Expr.(ComputeExpr); !ok {
+		t.Errorf("compute expr = %T", mk.Sets[1].Expr)
+	}
+
+	n := prog.Production("no-block")
+	if !n.LHS[1].Negated {
+		t.Error("second CE of no-block should be negated")
+	}
+	if prog.Production("nope") != nil {
+		t.Error("lookup of unknown production must be nil")
+	}
+}
+
+func TestParseDisjunctionAndConjunction(t *testing.T) {
+	src := `
+(literalize r kind n)
+(p pick
+   (r ^kind << runway taxiway >> ^n { > 2 < 10 })
+  -->
+   (make r ^kind chosen))
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := prog.Productions[0].LHS[0]
+	if len(ce.Tests) != 2 {
+		t.Fatalf("tests = %d", len(ce.Tests))
+	}
+	if ce.Tests[0].Terms[0].Disj == nil || len(ce.Tests[0].Terms[0].Disj) != 2 {
+		t.Errorf("disjunction = %+v", ce.Tests[0].Terms[0])
+	}
+	if len(ce.Tests[1].Terms) != 2 {
+		t.Fatalf("conjunction terms = %d", len(ce.Tests[1].Terms))
+	}
+	if ce.Tests[1].Terms[0].Pred != PredGT || ce.Tests[1].Terms[1].Pred != PredLT {
+		t.Errorf("conjunction preds = %+v", ce.Tests[1].Terms)
+	}
+}
+
+func TestSpecificity(t *testing.T) {
+	src := `
+(literalize a x y)
+(p one (a ^x 1) --> (halt))
+(p two (a ^x 1 ^y 2) (a ^x 2) --> (halt))
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Production("one").Specificity; got != 2 {
+		t.Errorf("one specificity = %d, want 2", got)
+	}
+	if got := prog.Production("two").Specificity; got != 5 {
+		t.Errorf("two specificity = %d, want 5", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown top form", "(zap foo)"},
+		{"bad strategy", "(strategy fifo)"},
+		{"empty lhs", "(literalize a x)(p r --> (halt))"},
+		{"negated first", "(literalize a x)(p r - (a) --> (halt))"},
+		{"unknown action", "(literalize a x)(p r (a) --> (explode))"},
+		{"bad elem ref", "(literalize a x)(p r (a) --> (remove 0))"},
+		{"out of range ref", "(literalize a x)(p r (a) --> (remove 2))"},
+		{"modify no sets", "(literalize a x)(p r (a) --> (modify 1))"},
+		{"empty conj", "(literalize a x)(p r (a ^x { }) --> (halt))"},
+		{"empty disj", "(literalize a x)(p r (a ^x << >>) --> (halt))"},
+		{"disj with pred", "(literalize a x)(p r (a ^x > << 1 2 >>) --> (halt))"},
+		{"undeclared class in CE", "(literalize a x)(p r (b) --> (halt))"},
+		{"undeclared attr in CE", "(literalize a x)(p r (a ^zap 1) --> (halt))"},
+		{"undeclared class in make", "(literalize a x)(p r (a) --> (make b))"},
+		{"undeclared attr in make", "(literalize a x)(p r (a) --> (make a ^zap 1))"},
+		{"unbound rhs var", "(literalize a x)(p r (a) --> (make a ^x <v>))"},
+		{"unbound pred var", "(literalize a x)(p r (a ^x > <v>) --> (halt))"},
+		{"undeclared external", "(literalize a x)(p r (a) --> (call zap 1))"},
+		{"dup production", "(literalize a x)(p r (a) --> (halt))(p r (a) --> (halt))"},
+		{"dup class", "(literalize a x)(literalize a y)"},
+		{"elemvar on negated", "(literalize a x)(p r (a) - { <e> (a) } --> (halt))"},
+		{"remove negated ce", "(literalize a x)(p r (a) - (a ^x 1) --> (remove 2))"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse/sema error", c.name)
+		}
+	}
+}
+
+func TestSemaAllowsLocalNegatedVars(t *testing.T) {
+	// A variable whose only occurrences are inside one negated CE is
+	// legal (local consistency).
+	src := `
+(literalize a x y)
+(p r (a ^x 1) - (a ^x <v> ^y <v>) --> (halt))
+`
+	if _, err := Parse(src); err != nil {
+		t.Errorf("local negated variable should be legal: %v", err)
+	}
+}
+
+func TestProductionStringRoundTrip(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pretty-printed production must re-parse to the same structure.
+	p := prog.Production("find-block")
+	src2 := "(literalize goal want status)(literalize block id color size on)(external log-it measure)" + p.String()
+	prog2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("pretty-printed production failed to re-parse: %v\n%s", err, p)
+	}
+	p2 := prog2.Production("find-block")
+	if p2.Specificity != p.Specificity || len(p2.LHS) != len(p.LHS) || len(p2.RHS) != len(p.RHS) {
+		t.Errorf("round trip changed structure:\n%s\n%s", p, p2)
+	}
+}
+
+func TestParseElemVarBothOrders(t *testing.T) {
+	src := `
+(literalize a x)
+(p r1 { <e> (a ^x 1) } --> (remove <e>))
+(p r2 { (a ^x 1) <e> } --> (remove <e>))
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Productions[0].LHS[0].ElemVar != "e" || prog.Productions[1].LHS[0].ElemVar != "e" {
+		t.Error("element variable not captured in both orders")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad source")
+		}
+	}()
+	MustParse("(p broken")
+}
+
+func TestParseComputeOperators(t *testing.T) {
+	src := `
+(literalize a x)
+(p r (a ^x <v>)
+  -->
+  (make a ^x (compute <v> + 1 - 2 * 3 // 4 \\ 5)))
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := prog.Productions[0].RHS[0].(MakeAction)
+	ce := mk.Sets[0].Expr.(ComputeExpr)
+	if len(ce.Operands) != 6 || len(ce.Ops) != 5 {
+		t.Fatalf("compute arity: %d operands, %d ops", len(ce.Operands), len(ce.Ops))
+	}
+	if string(ce.Ops) != "+-*/%" {
+		t.Errorf("ops = %q", ce.Ops)
+	}
+}
+
+func TestParserReportsProductionName(t *testing.T) {
+	_, err := Parse("(literalize a x)(p myrule (a ^zap 1) --> (halt))")
+	if err == nil || !strings.Contains(err.Error(), "myrule") {
+		t.Errorf("error should mention production name: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+package ops5
+
+import (
+	"fmt"
+)
+
+// Analyze performs semantic analysis over a parsed program: class and
+// attribute references resolve, variable binding is consistent, element
+// references are legal, and external calls are declared. Parse calls
+// this automatically; it is exported for programmatically-built
+// programs (SPAM generates rule sets from its knowledge base).
+func Analyze(prog *Program) error {
+	classes := map[string]map[string]bool{}
+	for _, c := range prog.Classes {
+		if _, dup := classes[c.Name]; dup {
+			return fmt.Errorf("ops5: class %s declared twice", c.Name)
+		}
+		attrs := map[string]bool{}
+		for _, a := range c.Attrs {
+			if attrs[a] {
+				return fmt.Errorf("ops5: class %s: duplicate attribute %s", c.Name, a)
+			}
+			attrs[a] = true
+		}
+		classes[c.Name] = attrs
+	}
+	externals := map[string]bool{}
+	for _, e := range prog.Externals {
+		externals[e] = true
+	}
+	names := map[string]bool{}
+	for _, p := range prog.Productions {
+		if names[p.Name] {
+			return fmt.Errorf("ops5: production %s defined twice", p.Name)
+		}
+		names[p.Name] = true
+		if err := analyzeProduction(p, classes, externals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func analyzeProduction(p *Production, classes map[string]map[string]bool, externals map[string]bool) error {
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("ops5: production %s: %s", p.Name, fmt.Sprintf(format, args...))
+	}
+	if p.LHS[0].Negated {
+		return fail("first condition element may not be negated")
+	}
+
+	bound := map[string]bool{}   // value variables bound by positive CEs
+	elemVars := map[string]int{} // element variable -> CE index (0-based)
+
+	for i, ce := range p.LHS {
+		attrs, ok := classes[ce.Class]
+		if !ok {
+			return fail("condition %d: undeclared class %s", i+1, ce.Class)
+		}
+		if ce.ElemVar != "" {
+			if ce.Negated {
+				return fail("condition %d: element variable on a negated condition", i+1)
+			}
+			if _, dup := elemVars[ce.ElemVar]; dup {
+				return fail("element variable <%s> bound twice", ce.ElemVar)
+			}
+			if bound[ce.ElemVar] {
+				return fail("variable <%s> used as both value and element variable", ce.ElemVar)
+			}
+			elemVars[ce.ElemVar] = i
+		}
+		// Variables local to a negated CE: legal if their first occurrence
+		// is an EQ term within this CE (consistency is local to the CE).
+		localBound := map[string]bool{}
+		for _, at := range ce.Tests {
+			if !attrs[at.Attr] {
+				return fail("condition %d: class %s has no attribute %s", i+1, ce.Class, at.Attr)
+			}
+			for _, tm := range at.Terms {
+				if !tm.IsVar() {
+					continue
+				}
+				v := tm.Var
+				if _, isElem := elemVars[v]; isElem {
+					return fail("element variable <%s> used as a value", v)
+				}
+				switch {
+				case bound[v] || localBound[v]:
+					// consistency test; any predicate is fine
+				case tm.Pred == PredEQ:
+					// first occurrence binds
+					if ce.Negated {
+						localBound[v] = true
+					} else {
+						bound[v] = true
+					}
+				default:
+					return fail("condition %d: variable <%s> used with %s before being bound", i+1, v, tm.Pred)
+				}
+			}
+		}
+	}
+
+	// RHS: track variables bound so far (LHS values + successive binds).
+	rhsBound := map[string]bool{}
+	for v := range bound {
+		rhsBound[v] = true
+	}
+	var checkExpr func(e Expr) error
+	checkExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case VarExpr:
+			if !rhsBound[x.Name] {
+				if _, isElem := elemVars[x.Name]; isElem {
+					return fail("element variable <%s> used in value position", x.Name)
+				}
+				return fail("unbound variable <%s> on RHS", x.Name)
+			}
+		case ComputeExpr:
+			for _, op := range x.Operands {
+				if err := checkExpr(op); err != nil {
+					return err
+				}
+			}
+		case CallExpr:
+			if !externals[x.Fn] {
+				return fail("call of undeclared external function %s", x.Fn)
+			}
+			for _, a := range x.Args {
+				if err := checkExpr(a); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	checkRef := func(r ElemRef, action string) error {
+		if r.Var != "" {
+			if _, ok := elemVars[r.Var]; !ok {
+				return fail("%s references unknown element variable <%s>", action, r.Var)
+			}
+			return nil
+		}
+		if r.Index < 1 || r.Index > len(p.LHS) {
+			return fail("%s references condition %d of %d", action, r.Index, len(p.LHS))
+		}
+		if p.LHS[r.Index-1].Negated {
+			return fail("%s references negated condition %d", action, r.Index)
+		}
+		return nil
+	}
+	checkSets := func(class string, sets []AttrSet) error {
+		attrs := classes[class]
+		for _, s := range sets {
+			if !attrs[s.Attr] {
+				return fail("class %s has no attribute %s", class, s.Attr)
+			}
+			if err := checkExpr(s.Expr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, a := range p.RHS {
+		switch act := a.(type) {
+		case MakeAction:
+			if _, ok := classes[act.Class]; !ok {
+				return fail("make of undeclared class %s", act.Class)
+			}
+			if err := checkSets(act.Class, act.Sets); err != nil {
+				return err
+			}
+		case ModifyAction:
+			if err := checkRef(act.Ref, "modify"); err != nil {
+				return err
+			}
+			var class string
+			if act.Ref.Var != "" {
+				class = p.LHS[elemVars[act.Ref.Var]].Class
+			} else {
+				class = p.LHS[act.Ref.Index-1].Class
+			}
+			if err := checkSets(class, act.Sets); err != nil {
+				return err
+			}
+		case RemoveAction:
+			if err := checkRef(act.Ref, "remove"); err != nil {
+				return err
+			}
+		case BindAction:
+			if err := checkExpr(act.Expr); err != nil {
+				return err
+			}
+			rhsBound[act.Var] = true
+		case WriteAction:
+			for _, e := range act.Args {
+				if err := checkExpr(e); err != nil {
+					return err
+				}
+			}
+		case CallAction:
+			if !externals[act.Fn] {
+				return fail("call of undeclared external function %s", act.Fn)
+			}
+			for _, e := range act.Args {
+				if err := checkExpr(e); err != nil {
+					return err
+				}
+			}
+		case HaltAction:
+			// nothing to check
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package ops5
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Shell is a small interactive debugging console over an engine,
+// modeled on the OPS5 top level: run the recognize-act loop in steps,
+// inspect working memory, the conflict set and production memory, and
+// assert WMEs.
+type Shell struct {
+	Engine *Engine
+}
+
+// Exec executes one shell command, writing its output to w. It returns
+// io.EOF for the exit command and an error for malformed input; the
+// engine's own errors are reported to w, not returned, so a session
+// survives them.
+func (sh *Shell) Exec(line string, w io.Writer) error {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "help", "?":
+		fmt.Fprint(w, `commands:
+  run [n]        fire n productions (default 1; 0 = to quiescence)
+  wm [class]     print working memory (optionally one class)
+  cs             print the conflict set
+  pm             print production names
+  make (c ^a v)  assert a working memory element
+  stats          print run statistics
+  exit | quit    leave the shell
+`)
+	case "run":
+		n := 1
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("ops5: run wants a non-negative count, got %q", fields[1])
+			}
+			n = v
+		}
+		fired, err := sh.Engine.Run(n)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, "%d firings", fired)
+		if sh.Engine.Halted() {
+			fmt.Fprint(w, " (halted)")
+		} else if fired < n || n == 0 {
+			fmt.Fprint(w, " (quiescent)")
+		}
+		fmt.Fprintln(w)
+	case "wm":
+		if len(fields) > 1 {
+			for _, el := range sh.Engine.WMEs(fields[1]) {
+				fmt.Fprintf(w, "%d: %s\n", el.TimeTag, el)
+			}
+			return nil
+		}
+		sh.Engine.DumpWM(w)
+	case "cs":
+		entries := sh.Engine.ConflictSet()
+		if len(entries) == 0 {
+			fmt.Fprintln(w, "(empty)")
+		}
+		for _, e := range entries {
+			fmt.Fprintln(w, e)
+		}
+	case "pm":
+		for _, name := range sh.Engine.ProductionNames() {
+			fmt.Fprintln(w, name)
+		}
+	case "make":
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "make"))
+		specs, err := ParseWMEList(rest)
+		if err != nil {
+			return err
+		}
+		if err := sh.Engine.AssertAll(specs); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, "asserted %d element(s)\n", len(specs))
+	case "stats":
+		st := sh.Engine.Stats()
+		fmt.Fprintf(w, "firings %d, cycles %d, rhs actions %d, match %.0f%%, halted %v\n",
+			st.Firings, st.Cycles, st.RHSActions, 100*st.MatchFraction(), st.Halted)
+	case "exit", "quit":
+		return io.EOF
+	default:
+		return fmt.Errorf("ops5: unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+// Run reads commands from r until EOF or the exit command, echoing a
+// prompt to w.
+func (sh *Shell) Run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	for {
+		fmt.Fprint(w, "ops5> ")
+		if !sc.Scan() {
+			fmt.Fprintln(w)
+			return sc.Err()
+		}
+		if err := sh.Exec(sc.Text(), w); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			fmt.Fprintf(w, "%v\n", err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package ops5
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func shellFixture(t *testing.T) *Shell {
+	t.Helper()
+	e := mustEngine(t, `
+(literalize count n limit)
+(p step (count ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+(p done (count ^n <n> ^limit <n>) --> (halt))
+`)
+	return &Shell{Engine: e}
+}
+
+func exec(t *testing.T, sh *Shell, cmd string) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := sh.Exec(cmd, &b); err != nil && err != io.EOF {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return b.String()
+}
+
+func TestShellMakeRunWM(t *testing.T) {
+	sh := shellFixture(t)
+	out := exec(t, sh, "make (count ^n 0 ^limit 3)")
+	if !strings.Contains(out, "asserted 1") {
+		t.Errorf("make output = %q", out)
+	}
+	out = exec(t, sh, "run 2")
+	if !strings.Contains(out, "2 firings") {
+		t.Errorf("run output = %q", out)
+	}
+	out = exec(t, sh, "wm count")
+	if !strings.Contains(out, "^n 2") {
+		t.Errorf("wm output = %q", out)
+	}
+	out = exec(t, sh, "run 0")
+	if !strings.Contains(out, "halted") {
+		t.Errorf("run-to-halt output = %q", out)
+	}
+	out = exec(t, sh, "stats")
+	if !strings.Contains(out, "firings 4") {
+		t.Errorf("stats output = %q", out)
+	}
+}
+
+func TestShellCSAndPM(t *testing.T) {
+	sh := shellFixture(t)
+	out := exec(t, sh, "cs")
+	if !strings.Contains(out, "(empty)") {
+		t.Errorf("empty cs = %q", out)
+	}
+	exec(t, sh, "make (count ^n 0 ^limit 5)")
+	out = exec(t, sh, "cs")
+	if !strings.Contains(out, "step") {
+		t.Errorf("cs = %q", out)
+	}
+	out = exec(t, sh, "pm")
+	if !strings.Contains(out, "step") || !strings.Contains(out, "done") {
+		t.Errorf("pm = %q", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh := shellFixture(t)
+	var b bytes.Buffer
+	if err := sh.Exec("frobnicate", &b); err == nil {
+		t.Error("unknown command must error")
+	}
+	if err := sh.Exec("run minus-one", &b); err == nil {
+		t.Error("bad run count must error")
+	}
+	if err := sh.Exec("make (zork)", &b); err != nil {
+		t.Error("engine errors should be reported, not returned")
+	} else if !strings.Contains(b.String(), "error:") {
+		t.Errorf("expected reported error, got %q", b.String())
+	}
+	if err := sh.Exec("", &b); err != nil {
+		t.Error("blank line is a no-op")
+	}
+}
+
+func TestShellExit(t *testing.T) {
+	sh := shellFixture(t)
+	var b bytes.Buffer
+	if err := sh.Exec("quit", &b); err != io.EOF {
+		t.Errorf("quit should return EOF, got %v", err)
+	}
+}
+
+func TestShellRunLoop(t *testing.T) {
+	sh := shellFixture(t)
+	in := strings.NewReader("make (count ^n 0 ^limit 2)\nrun 0\nwm\nhelp\nexit\n")
+	var out bytes.Buffer
+	if err := sh.Run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "ops5>") < 5 {
+		t.Errorf("prompts missing:\n%s", s)
+	}
+	if !strings.Contains(s, "halted") || !strings.Contains(s, "commands:") {
+		t.Errorf("session output incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,196 @@
+package ops5
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spampsm/internal/symtab"
+)
+
+func TestMultipleRemoveRefs(t *testing.T) {
+	e := mustEngine(t, `
+(literalize a x)
+(literalize b y)
+(p sweep (a) (b) --> (remove 1 2))
+`)
+	e.Assert("a", nil)
+	e.Assert("b", nil)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.WMEs("a")) != 0 || len(e.WMEs("b")) != 0 {
+		t.Error("both elements should be removed by one remove form")
+	}
+}
+
+func TestRemoveNoRefsRejected(t *testing.T) {
+	if _, err := Parse("(literalize a x)(p r (a) --> (remove))"); err == nil {
+		t.Error("remove with no references must fail to parse")
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	var tr bytes.Buffer
+	e := mustEngine(t, `
+(literalize count n limit)
+(p step (count ^n <n> ^limit > <n>) --> (modify 1 ^n (compute <n> + 1)))
+`, WithTrace(&tr))
+	e.Assert("count", map[string]symtab.Value{"n": symtab.Int(0), "limit": symtab.Int(2)})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "1. step") || !strings.Contains(out, "2. step") {
+		t.Errorf("trace missing firing lines:\n%s", out)
+	}
+	if !strings.Contains(out, "=>WM") || !strings.Contains(out, "<=WM") {
+		t.Errorf("trace missing WM changes:\n%s", out)
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	e := mustEngine(t, `
+(literalize a x)
+(p one (a ^x 1) --> (halt))
+(p two (a ^x <v>) --> (halt))
+`)
+	names := e.ProductionNames()
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Errorf("production names = %v", names)
+	}
+	e.Assert("a", map[string]symtab.Value{"x": symtab.Int(1)})
+	cs := e.ConflictSet()
+	if len(cs) != 2 {
+		t.Fatalf("conflict set = %v", cs)
+	}
+	for _, entry := range cs {
+		if !strings.Contains(entry, "[1]") {
+			t.Errorf("entry %q should cite timetag 1", entry)
+		}
+	}
+	var buf bytes.Buffer
+	e.DumpWM(&buf)
+	if !strings.Contains(buf.String(), "(a ^x 1)") {
+		t.Errorf("WM dump = %q", buf.String())
+	}
+}
+
+func TestParseWMEList(t *testing.T) {
+	specs, err := ParseWMEList(`
+; initial working memory
+(count ^n 0 ^limit 10)
+(goal ^want runway ^score 0.5)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	if specs[0].Class != "count" || !specs[0].Sets["limit"].Equal(symtab.Int(10)) {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if !specs[1].Sets["want"].Equal(symtab.Sym("runway")) ||
+		!specs[1].Sets["score"].Equal(symtab.Float(0.5)) {
+		t.Errorf("spec 1 = %+v", specs[1])
+	}
+}
+
+func TestParseWMEListErrors(t *testing.T) {
+	for _, src := range []string{
+		"count ^n 0)",       // missing (
+		"(^n 0)",            // missing class
+		"(count ^ 0)",       // missing attr name
+		"(count ^n)",        // missing value
+		"(count ^n 0",       // unterminated
+		"(count ^n (deep))", // nested form
+	} {
+		if _, err := ParseWMEList(src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestAssertAll(t *testing.T) {
+	e := mustEngine(t, `(literalize count n limit)`)
+	specs, _ := ParseWMEList("(count ^n 1)(count ^n 2)")
+	if err := e.AssertAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.WMEs("count")) != 2 {
+		t.Error("AssertAll should add both WMEs")
+	}
+	bad, _ := ParseWMEList("(zork ^n 1)")
+	if err := e.AssertAll(bad); err == nil {
+		t.Error("AssertAll of undeclared class must fail")
+	}
+}
+
+// TestMonkeyAndBananas runs a classic OPS5 planning program end to end:
+// a monkey must push a ladder beneath the bananas, climb it, and grab
+// them. Exercises MEA control, negations, element variables and
+// multi-step state modification.
+func TestMonkeyAndBananas(t *testing.T) {
+	var out bytes.Buffer
+	e := mustEngine(t, `
+(strategy mea)
+(literalize goal status task)
+(literalize monkey at on holds)
+(literalize object name at weight on)
+
+; If the monkey should grab something that hangs from the ceiling and
+; the ladder is not beneath it, push the ladder there.
+(p push-ladder
+   (goal ^status active ^task grab)
+   (object ^name bananas ^at <place> ^on ceiling)
+ - (object ^name ladder ^at <place>)
+   { <l> (object ^name ladder) }
+   { <m> (monkey ^on floor) }
+  -->
+   (modify <l> ^at <place>)
+   (modify <m> ^at <place>))
+
+; With the ladder in place, climb it.
+(p climb-ladder
+   (goal ^status active ^task grab)
+   (object ^name bananas ^at <place> ^on ceiling)
+   (object ^name ladder ^at <place>)
+   { <m> (monkey ^at <place> ^on floor) }
+  -->
+   (modify <m> ^on ladder))
+
+; On the ladder beneath the bananas: grab them.
+(p grab-bananas
+   { <g> (goal ^status active ^task grab) }
+   (object ^name bananas ^at <place>)
+   (object ^name ladder ^at <place>)
+   { <m> (monkey ^at <place> ^on ladder ^holds nil-thing) }
+  -->
+   (modify <m> ^holds bananas)
+   (modify <g> ^status done)
+   (write the monkey has the bananas (crlf)))
+`, WithOutput(&out))
+	e.Assert("goal", map[string]symtab.Value{"status": symtab.Sym("active"), "task": symtab.Sym("grab")})
+	e.Assert("monkey", map[string]symtab.Value{"at": symtab.Sym("door"), "on": symtab.Sym("floor"), "holds": symtab.Sym("nil-thing")})
+	e.Assert("object", map[string]symtab.Value{"name": symtab.Sym("bananas"), "at": symtab.Sym("window"), "on": symtab.Sym("ceiling")})
+	e.Assert("object", map[string]symtab.Value{"name": symtab.Sym("ladder"), "at": symtab.Sym("corner"), "on": symtab.Sym("floor")})
+	fired, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Errorf("plan length = %d firings, want 3 (push, climb, grab)", fired)
+	}
+	monkey := e.WMEs("monkey")[0]
+	if !monkey.Get("holds").Equal(symtab.Sym("bananas")) {
+		t.Errorf("monkey holds %v", monkey.Get("holds"))
+	}
+	if !strings.Contains(out.String(), "bananas") {
+		t.Errorf("output = %q", out.String())
+	}
+	goal := e.WMEs("goal")[0]
+	if !goal.Get("status").Equal(symtab.Sym("done")) {
+		t.Error("goal should be done")
+	}
+}

@@ -1,0 +1,715 @@
+// Package rete implements the Rete match network used by the OPS5
+// engine: a constant-test alpha network with shared alpha memories, a
+// beta network of join and negative nodes with variable-consistency
+// tests, production nodes feeding a conflict-set agenda, and tree-based
+// token deletion (after Doorenbos, "Production Matching for Large
+// Learning Systems").
+//
+// The network also accounts for match cost at the granularity ParaOPS5
+// parallelizes: every node activation (an alpha-memory delta arriving
+// at a join/negative node, or a token arriving at a node) is recorded
+// as an Activation with its instruction cost and its child activations.
+// The per-cycle forest of activations is the schedulable workload for
+// the match-parallelism studies.
+package rete
+
+import (
+	"fmt"
+
+	"spampsm/internal/symtab"
+	"spampsm/internal/wm"
+)
+
+// Instruction costs of the primitive match operations, in simulated
+// NS32332 instructions (the Encore Multimax processor of the paper).
+// The constants reflect the interpreted OPS5 match of the era (symbol
+// dereferencing, tag checks, list traversal), calibrated so that one
+// node activation lands near the ~100-instruction subtask granularity
+// ParaOPS5 reports.
+const (
+	CostAlphaFilterTerm = 60  // one constant test in the alpha network
+	CostAlphaMemOp      = 100 // insert/remove in an alpha memory
+	CostJoinTest        = 160 // one variable consistency test
+	CostTokenOp         = 260 // token create/delete incl. memory insert
+	CostNegJoinResult   = 190 // negative-node join result bookkeeping
+	CostAgendaOp        = 300 // conflict-set insert/remove
+	CostActivationBase  = 120 // scheduling overhead of one node activation
+	// CostAlphaScan is the (small) dispatch cost of testing one alpha
+	// memory during the constant-test sweep of a WME change; the sweep
+	// is cheap relative to the beta activations it triggers.
+	CostAlphaScan = 20
+)
+
+// Activation records one node activation: its label, instruction cost,
+// and the child activations it spawned. ParaOPS5 executes each node
+// activation as an independent ~100-instruction subtask; the forest of
+// activations per recognize-act cycle is what match parallelism
+// schedules.
+type Activation struct {
+	Label    string
+	Cost     float64 // instructions
+	Children []*Activation
+}
+
+// TotalCost returns the cost of the activation and all descendants.
+func (a *Activation) TotalCost() float64 {
+	t := a.Cost
+	for _, c := range a.Children {
+		t += c.TotalCost()
+	}
+	return t
+}
+
+// Count returns the number of activations in the tree rooted at a.
+func (a *Activation) Count() int {
+	n := 1
+	for _, c := range a.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// PredFn evaluates a join-test predicate over (wme value, token value).
+type PredFn func(own, bound symtab.Value) bool
+
+// JoinTest is one variable-consistency test of a join or negative node:
+// the new WME's attribute OwnAttr is compared against attribute
+// TokenAttr of the WME bound at condition-element index TokenLevel.
+type JoinTest struct {
+	OwnAttr    int
+	TokenLevel int
+	TokenAttr  int
+	Pred       PredFn
+}
+
+// Pattern is the compiled form of one condition element.
+type Pattern struct {
+	Negated bool
+	Class   string
+	// Signature identifies the alpha test so equivalent patterns share
+	// one alpha memory.
+	Signature string
+	// Filter applies the CE's constant and intra-element tests.
+	Filter func(*wm.WME) bool
+	// FilterCost is the instruction cost of one Filter evaluation.
+	FilterCost float64
+	// Tests are the inter-element variable consistency tests.
+	Tests []JoinTest
+}
+
+// Token is a partial instantiation: a chain of WMEs, one level per
+// condition element (negated CEs and production nodes hold nil WMEs).
+type Token struct {
+	parent   *Token
+	W        *wm.WME
+	level    int // condition-element index; -1 for the dummy token
+	node     tokenHolder
+	children []*Token
+	// joinResults, for tokens owned by negative nodes: the WMEs
+	// currently blocking the negated condition.
+	joinResults []*negJoinResult
+	// adapters: bridge memories the token is currently a member of
+	// (tokens of negative nodes flow into an adapter memory that feeds
+	// the next join level).
+	adapters []*betaMemory
+}
+
+// WMEAt returns the WME bound at condition-element level k (nil for
+// negated levels).
+func (t *Token) WMEAt(k int) *wm.WME {
+	for tok := t; tok != nil; tok = tok.parent {
+		if tok.level == k {
+			return tok.W
+		}
+	}
+	return nil
+}
+
+// WMEs returns the positive-CE WMEs of the token in CE order.
+func (t *Token) WMEs() []*wm.WME {
+	var rev []*wm.WME
+	for tok := t; tok != nil && tok.level >= 0; tok = tok.parent {
+		if tok.W != nil {
+			rev = append(rev, tok.W)
+		}
+	}
+	out := make([]*wm.WME, len(rev))
+	for i, w := range rev {
+		out[len(rev)-1-i] = w
+	}
+	return out
+}
+
+type negJoinResult struct {
+	owner *Token
+	wme   *wm.WME
+}
+
+// wmeState tracks the network's per-WME bookkeeping.
+type wmeState struct {
+	alphaMems      []*alphaMem
+	tokens         []*Token
+	negJoinResults []*negJoinResult
+}
+
+// tokenHolder is any node that stores tokens.
+type tokenHolder interface {
+	removeToken(t *Token)
+}
+
+// tokenChild receives a bare token from a memory-ish parent.
+type tokenChild interface {
+	leftActivateToken(t *Token, n *Network)
+}
+
+// rightChild receives alpha-memory deltas.
+type rightChild interface {
+	rightActivate(w *wm.WME, n *Network)
+	rightRetract(w *wm.WME, n *Network)
+}
+
+// alphaMem stores the WMEs passing one CE's constant tests.
+type alphaMem struct {
+	signature  string
+	class      string
+	filter     func(*wm.WME) bool
+	filterCost float64
+	items      map[*wm.WME]bool
+	successors []rightChild
+}
+
+// betaMemory stores the tokens matching a prefix of positive CEs.
+type betaMemory struct {
+	items    map[*Token]bool
+	children []tokenChild
+	label    string
+}
+
+func (m *betaMemory) removeToken(t *Token) { delete(m.items, t) }
+
+func (m *betaMemory) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
+	tok := n.newToken(m, t, w, level)
+	m.items[tok] = true
+	for _, c := range m.children {
+		c.leftActivateToken(tok, n)
+	}
+}
+
+// joinNode joins a parent beta memory with an alpha memory.
+type joinNode struct {
+	parent *betaMemory
+	amem   *alphaMem
+	tests  []JoinTest
+	child  joinTarget
+	level  int
+	label  string
+}
+
+// joinTarget is what a join node feeds: the next beta memory, a
+// negative node does not appear here (negatives hang off memories),
+// or a production node.
+type joinTarget interface {
+	leftActivatePair(t *Token, w *wm.WME, level int, n *Network)
+}
+
+func (j *joinNode) passes(t *Token, w *wm.WME, n *Network) bool {
+	for _, ts := range j.tests {
+		n.charge(CostJoinTest)
+		n.totals.JoinTests++
+		bound := t.WMEAt(ts.TokenLevel)
+		if bound == nil {
+			return false
+		}
+		if !ts.Pred(w.GetAt(ts.OwnAttr), bound.GetAt(ts.TokenAttr)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *joinNode) leftActivateToken(t *Token, n *Network) {
+	n.begin("join:" + j.label)
+	defer n.end()
+	for w := range j.amem.items {
+		if j.passes(t, w, n) {
+			j.child.leftActivatePair(t, w, j.level, n)
+		}
+	}
+}
+
+func (j *joinNode) rightActivate(w *wm.WME, n *Network) {
+	n.begin("join:" + j.label)
+	defer n.end()
+	for t := range j.parent.items {
+		if j.passes(t, w, n) {
+			j.child.leftActivatePair(t, w, j.level, n)
+		}
+	}
+}
+
+func (j *joinNode) rightRetract(w *wm.WME, n *Network) {
+	// Tokens referencing w are deleted through the WME's token list;
+	// nothing to do on the join node itself.
+}
+
+// negativeNode implements a negated CE. It stores the tokens that have
+// passed the prefix and, for each, the set of WMEs currently matching
+// the negated condition (join results). A token flows on to the
+// children only while its join-result set is empty.
+type negativeNode struct {
+	parent   *betaMemory
+	amem     *alphaMem
+	tests    []JoinTest
+	children []tokenChild
+	items    map[*Token]bool
+	level    int
+	label    string
+}
+
+func (g *negativeNode) removeToken(t *Token) { delete(g.items, t) }
+
+func (g *negativeNode) passes(t *Token, w *wm.WME, n *Network) bool {
+	for _, ts := range g.tests {
+		n.charge(CostJoinTest)
+		n.totals.JoinTests++
+		bound := t.WMEAt(ts.TokenLevel)
+		if bound == nil {
+			return false
+		}
+		if !ts.Pred(w.GetAt(ts.OwnAttr), bound.GetAt(ts.TokenAttr)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
+	n.begin("neg:" + g.label)
+	tok := n.newToken(g, t, nil, g.level)
+	g.items[tok] = true
+	for w := range g.amem.items {
+		if g.passes(tok, w, n) {
+			n.charge(CostNegJoinResult)
+			jr := &negJoinResult{owner: tok, wme: w}
+			tok.joinResults = append(tok.joinResults, jr)
+			st := n.state(w)
+			st.negJoinResults = append(st.negJoinResults, jr)
+		}
+	}
+	n.end()
+	if len(tok.joinResults) == 0 {
+		for _, c := range g.children {
+			c.leftActivateToken(tok, n)
+		}
+	}
+}
+
+func (g *negativeNode) rightActivate(w *wm.WME, n *Network) {
+	n.begin("neg:" + g.label)
+	defer n.end()
+	for tok := range g.items {
+		if g.passes(tok, w, n) {
+			n.charge(CostNegJoinResult)
+			if len(tok.joinResults) == 0 {
+				// The negation just became false: retract downstream and
+				// withdraw the token from the bridge memories feeding the
+				// next join level.
+				for len(tok.children) > 0 {
+					n.deleteToken(tok.children[len(tok.children)-1])
+				}
+				for _, ad := range tok.adapters {
+					delete(ad.items, tok)
+				}
+				tok.adapters = nil
+			}
+			jr := &negJoinResult{owner: tok, wme: w}
+			tok.joinResults = append(tok.joinResults, jr)
+			st := n.state(w)
+			st.negJoinResults = append(st.negJoinResults, jr)
+		}
+	}
+}
+
+func (g *negativeNode) rightRetract(w *wm.WME, n *Network) {
+	// Handled via the WME's negJoinResults list in Network.Remove.
+}
+
+// PNode is a production node: its tokens are the instantiations of one
+// production currently in the conflict set.
+type PNode struct {
+	Name string
+	// Data carries the production object of the owning engine.
+	Data  interface{}
+	items map[*Token]bool
+	level int
+}
+
+func (p *PNode) removeToken(t *Token) { delete(p.items, t) }
+
+func (p *PNode) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
+	n.begin("p:" + p.Name)
+	tok := n.newToken(p, t, w, level)
+	p.items[tok] = true
+	n.charge(CostAgendaOp)
+	n.end()
+	n.agenda.Activate(p, tok)
+}
+
+func (p *PNode) leftActivateToken(t *Token, n *Network) {
+	p.leftActivatePair(t, nil, p.level, n)
+}
+
+// Agenda receives conflict-set activations and deactivations.
+type Agenda interface {
+	Activate(p *PNode, t *Token)
+	Deactivate(p *PNode, t *Token)
+}
+
+// Counters aggregates network-wide match statistics.
+type Counters struct {
+	ConstTests    int
+	JoinTests     int
+	TokensCreated int
+	TokensDeleted int
+	Activations   int
+	Cost          float64 // instructions
+}
+
+// Network is one Rete network instance. A Network is not safe for
+// concurrent mutation; each SPAM/PSM task process owns its own network
+// (that is the point of working-memory distribution).
+type Network struct {
+	agenda    Agenda
+	amems     map[string]*alphaMem
+	byClass   map[string][]*alphaMem
+	dummyTop  *betaMemory
+	dummyTok  *Token
+	states    map[*wm.WME]*wmeState
+	frozen    bool
+	prods     []*PNode
+	totals    Counters
+	batch     []*Activation
+	stack     []*Activation
+	capturing bool
+}
+
+// New builds an empty network reporting to the given agenda.
+func New(agenda Agenda) *Network {
+	n := &Network{
+		agenda:  agenda,
+		amems:   map[string]*alphaMem{},
+		byClass: map[string][]*alphaMem{},
+		states:  map[*wm.WME]*wmeState{},
+	}
+	n.dummyTop = &betaMemory{items: map[*Token]bool{}, label: "top"}
+	n.dummyTok = &Token{level: -1, node: n.dummyTop}
+	n.dummyTop.items[n.dummyTok] = true
+	return n
+}
+
+// Totals returns the aggregate match counters.
+func (n *Network) Totals() Counters { return n.totals }
+
+// NumAlphaMems returns the number of distinct alpha memories, which is
+// less than the number of condition elements when patterns share
+// signatures.
+func (n *Network) NumAlphaMems() int { return len(n.amems) }
+
+// SetCapture enables or disables per-activation tree capture. With
+// capture off only the aggregate counters are maintained, which keeps
+// long runs (hundreds of thousands of firings) cheap.
+func (n *Network) SetCapture(on bool) { n.capturing = on }
+
+// StartBatch clears the pending activation forest; the activations
+// produced by subsequent Add/Remove calls accumulate until TakeBatch.
+func (n *Network) StartBatch() { n.batch = n.batch[:0]; n.stack = n.stack[:0] }
+
+// TakeBatch returns the activation forest accumulated since StartBatch.
+func (n *Network) TakeBatch() []*Activation {
+	out := n.batch
+	n.batch = nil
+	n.stack = n.stack[:0]
+	return out
+}
+
+func (n *Network) begin(label string) { n.beginBase(label, CostActivationBase) }
+
+// beginBase opens an activation with an explicit dispatch cost.
+func (n *Network) beginBase(label string, base float64) {
+	n.totals.Activations++
+	n.totals.Cost += base
+	if !n.capturing {
+		return
+	}
+	a := &Activation{Label: label, Cost: base}
+	if len(n.stack) == 0 {
+		n.batch = append(n.batch, a)
+	} else {
+		p := n.stack[len(n.stack)-1]
+		p.Children = append(p.Children, a)
+	}
+	n.stack = append(n.stack, a)
+}
+
+func (n *Network) end() {
+	if !n.capturing || len(n.stack) == 0 {
+		return
+	}
+	n.stack = n.stack[:len(n.stack)-1]
+}
+
+func (n *Network) charge(cost float64) {
+	n.totals.Cost += cost
+	if n.capturing && len(n.stack) > 0 {
+		n.stack[len(n.stack)-1].Cost += cost
+	}
+}
+
+func (n *Network) state(w *wm.WME) *wmeState {
+	st := n.states[w]
+	if st == nil {
+		st = &wmeState{}
+		n.states[w] = st
+	}
+	return st
+}
+
+func (n *Network) newToken(holder tokenHolder, parent *Token, w *wm.WME, level int) *Token {
+	n.charge(CostTokenOp)
+	n.totals.TokensCreated++
+	tok := &Token{parent: parent, W: w, level: level, node: holder}
+	if parent != nil {
+		parent.children = append(parent.children, tok)
+	}
+	if w != nil {
+		st := n.state(w)
+		st.tokens = append(st.tokens, tok)
+	}
+	return tok
+}
+
+// AddProduction compiles a production's patterns into the network.
+// All productions must be added before the first WME is asserted.
+func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (*PNode, error) {
+	if n.frozen {
+		return nil, fmt.Errorf("rete: AddProduction(%s) after working memory was populated", name)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("rete: production %s has no patterns", name)
+	}
+	if pats[0].Negated {
+		return nil, fmt.Errorf("rete: production %s: first pattern may not be negated", name)
+	}
+	mem := n.dummyTop
+	for i, pat := range pats {
+		am := n.alpha(pat)
+		last := i == len(pats)-1
+		if pat.Negated {
+			neg := &negativeNode{
+				parent: mem, amem: am, tests: pat.Tests,
+				items: map[*Token]bool{}, level: i,
+				label: fmt.Sprintf("%s/%d", name, i+1),
+			}
+			mem.children = append(mem.children, neg)
+			// Prepend: when one alpha memory feeds several levels of the
+			// same chain, descendants must be right-activated before
+			// ancestors or new-WME pairings are produced twice.
+			am.successors = append([]rightChild{neg}, am.successors...)
+			if last {
+				p := &PNode{Name: name, Data: data, items: map[*Token]bool{}, level: i + 1}
+				neg.children = append(neg.children, p)
+				n.prods = append(n.prods, p)
+				return p, nil
+			}
+			// The negative node acts as the memory for the next level,
+			// via a bridge memory that holds its unblocked tokens.
+			mem = negAdapter(neg)
+			continue
+		}
+		j := &joinNode{parent: mem, amem: am, tests: pat.Tests, level: i,
+			label: fmt.Sprintf("%s/%d", name, i+1)}
+		mem.children = append(mem.children, j)
+		// Prepend so descendants right-activate before ancestors (see the
+		// negative-node case above).
+		am.successors = append([]rightChild{j}, am.successors...)
+		if last {
+			p := &PNode{Name: name, Data: data, items: map[*Token]bool{}, level: i + 1}
+			j.child = p
+			n.prods = append(n.prods, p)
+			return p, nil
+		}
+		next := &betaMemory{items: map[*Token]bool{}, label: fmt.Sprintf("%s/%d", name, i+1)}
+		j.child = next
+		mem = next
+	}
+	return nil, fmt.Errorf("rete: production %s: unreachable", name)
+}
+
+// negAdapter makes a negative node usable as the parent memory of the
+// next join level: the join iterates the negative node's unblocked
+// tokens and receives new tokens via leftActivateToken.
+func negAdapter(g *negativeNode) *betaMemory {
+	// A thin real memory fed by the negative node keeps join-node logic
+	// uniform: tokens whose negation holds are copied into it.
+	m := &betaMemory{items: map[*Token]bool{}, label: g.label + "/adapter"}
+	g.children = append(g.children, (*negBridge)(m))
+	return m
+}
+
+// negBridge forwards a token from a negative node into its adapter
+// memory without adding a token level.
+type negBridge betaMemory
+
+func (b *negBridge) leftActivateToken(t *Token, n *Network) {
+	m := (*betaMemory)(b)
+	// Reuse the token itself: store and fan out. The token's holder
+	// remains the negative node; the adapter tracks membership only.
+	m.items[t] = true
+	t.adapters = append(t.adapters, m)
+	for _, c := range m.children {
+		c.leftActivateToken(t, n)
+	}
+}
+
+func (n *Network) alpha(pat Pattern) *alphaMem {
+	if am, ok := n.amems[pat.Signature]; ok {
+		return am
+	}
+	am := &alphaMem{
+		signature:  pat.Signature,
+		class:      pat.Class,
+		filter:     pat.Filter,
+		filterCost: pat.FilterCost,
+		items:      map[*wm.WME]bool{},
+	}
+	n.amems[pat.Signature] = am
+	n.byClass[pat.Class] = append(n.byClass[pat.Class], am)
+	return am
+}
+
+// Add asserts a WME into the network. Each alpha memory is activated
+// completely — insert, then right-activate its successors — before the
+// next alpha memory sees the WME. The discipline matters: if the WME
+// were inserted into every memory first, a beta cascade triggered by
+// an earlier condition element would find the WME already present in a
+// later element's memory and the later memory's own right activation
+// would pair it a second time, duplicating instantiations.
+func (n *Network) Add(w *wm.WME) {
+	n.frozen = true
+	for _, am := range n.byClass[w.Class.Name] {
+		n.beginBase("alpha:"+am.signature, CostAlphaScan)
+		n.charge(am.filterCost)
+		n.totals.ConstTests++
+		ok := am.filter == nil || am.filter(w)
+		if ok {
+			n.charge(CostAlphaMemOp)
+			am.items[w] = true
+			st := n.state(w)
+			st.alphaMems = append(st.alphaMems, am)
+		}
+		n.end()
+		if ok {
+			// Right-activate before the next alpha memory sees w (see
+			// the duplicate-pairing note above); the cascades are
+			// independent root activations for the match scheduler.
+			for _, s := range am.successors {
+				s.rightActivate(w, n)
+			}
+		}
+	}
+}
+
+// Remove retracts a WME from the network.
+func (n *Network) Remove(w *wm.WME) {
+	st := n.states[w]
+	if st == nil {
+		return
+	}
+	n.begin("retract:" + w.Class.Name)
+	for _, am := range st.alphaMems {
+		n.charge(CostAlphaMemOp)
+		delete(am.items, w)
+	}
+	n.end()
+	// Delete tokens referencing w (the token trees rooted at each).
+	// Each root deletion is a schedulable node activation: ParaOPS5
+	// parallelizes retraction the same way as assertion.
+	for len(st.tokens) > 0 {
+		tok := st.tokens[len(st.tokens)-1]
+		n.begin("retract-tok:" + w.Class.Name)
+		n.deleteToken(tok)
+		n.end()
+	}
+	// Negative join results: conditions that were blocked by w may now
+	// succeed.
+	for _, jr := range st.negJoinResults {
+		owner := jr.owner
+		for i, r := range owner.joinResults {
+			if r == jr {
+				owner.joinResults = append(owner.joinResults[:i], owner.joinResults[i+1:]...)
+				break
+			}
+		}
+		n.begin("neg-unblock:" + w.Class.Name)
+		n.charge(CostNegJoinResult)
+		if len(owner.joinResults) == 0 {
+			if g, ok := owner.node.(*negativeNode); ok {
+				for _, c := range g.children {
+					c.leftActivateToken(owner, n)
+				}
+			}
+		}
+		n.end()
+	}
+	delete(n.states, w)
+}
+
+func (n *Network) deleteToken(tok *Token) {
+	for len(tok.children) > 0 {
+		n.deleteToken(tok.children[len(tok.children)-1])
+	}
+	n.charge(CostTokenOp)
+	n.totals.TokensDeleted++
+	if p, ok := tok.node.(*PNode); ok {
+		n.charge(CostAgendaOp)
+		n.agenda.Deactivate(p, tok)
+	}
+	tok.node.removeToken(tok)
+	for _, ad := range tok.adapters {
+		delete(ad.items, tok)
+	}
+	tok.adapters = nil
+	if tok.W != nil {
+		st := n.states[tok.W]
+		if st != nil {
+			for i, t := range st.tokens {
+				if t == tok {
+					st.tokens = append(st.tokens[:i], st.tokens[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	if _, ok := tok.node.(*negativeNode); ok {
+		for _, jr := range tok.joinResults {
+			st := n.states[jr.wme]
+			if st != nil {
+				for i, r := range st.negJoinResults {
+					if r == jr {
+						st.negJoinResults = append(st.negJoinResults[:i], st.negJoinResults[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		tok.joinResults = nil
+	}
+	if tok.parent != nil {
+		for i, c := range tok.parent.children {
+			if c == tok {
+				tok.parent.children = append(tok.parent.children[:i], tok.parent.children[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package scene
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// kindColors give each region class a fill for the SVG rendering.
+var kindColors = map[Kind]string{
+	Runway:   "#9aa0a6",
+	Taxiway:  "#b8bcc2",
+	Terminal: "#8d6e63",
+	Apron:    "#cfd2d6",
+	Hangar:   "#795548",
+	Grass:    "#7cb342",
+	Tarmac:   "#c5c9cd",
+	Road:     "#a1887f",
+	Lot:      "#90a4ae",
+	Noise:    "#e0c2cc",
+	House:    "#8d6e63",
+	Driveway: "#bcaaa4",
+	Street:   "#9aa0a6",
+	Yard:     "#7cb342",
+}
+
+// WriteSVG renders the scene's segmentation as an SVG document: one
+// polygon per region, colored by ground-truth class, with a legend.
+// Optional labels (e.g. classification results) can be drawn at region
+// centroids via the labels map (region ID → text).
+func (s *Scene) WriteSVG(w io.Writer, labels map[int]string) error {
+	const margin = 40.0
+	scale := 1000.0 / s.W
+	width := s.W*scale + 2*margin
+	height := s.H*scale + 2*margin + 60 // legend strip
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#30343a"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" fill="#eceff1" font-family="sans-serif" font-size="18">%s (%d regions)</text>`+"\n",
+		margin, s.Name, len(s.Regions))
+
+	// Regions, largest first so small ones stay visible.
+	regions := append([]*Region(nil), s.Regions...)
+	sort.SliceStable(regions, func(i, j int) bool {
+		return regions[i].Poly.Area() > regions[j].Poly.Area()
+	})
+	for _, r := range regions {
+		color, ok := kindColors[r.TrueKind]
+		if !ok {
+			color = "#ff00ff"
+		}
+		var pts []string
+		for _, p := range r.Poly {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", margin+p.X*scale, margin+p.Y*scale))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.85" stroke="#1c1f24" stroke-width="0.6"><title>#%d %s</title></polygon>`+"\n",
+			strings.Join(pts, " "), color, r.ID, r.TrueKind)
+	}
+	// Labels at centroids.
+	var labelIDs []int
+	for id := range labels {
+		labelIDs = append(labelIDs, id)
+	}
+	sort.Ints(labelIDs)
+	for _, id := range labelIDs {
+		r := s.Region(id)
+		if r == nil {
+			continue
+		}
+		c := r.Poly.Centroid()
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="#fffde7" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			margin+c.X*scale, margin+c.Y*scale, xmlEscape(labels[id]))
+	}
+
+	// Legend: the classes present, in stable order.
+	present := map[Kind]bool{}
+	for _, r := range s.Regions {
+		present[r.TrueKind] = true
+	}
+	var kinds []Kind
+	for k := range present {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	x := margin
+	y := s.H*scale + margin + 30
+	for _, k := range kinds {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", x, y-10, kindColors[k])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="#eceff1" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+16, y, k)
+		x += float64(len(k))*6.5 + 40
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

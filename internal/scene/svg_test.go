@@ -1,0 +1,49 @@
+package scene
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	s := Generate(DC)
+	var b strings.Builder
+	if err := s.WriteSVG(&b, map[int]string{1: "runway?", 2: `<&"label>`}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(out, "<polygon"); got != len(s.Regions) {
+		t.Errorf("polygons = %d, want %d", got, len(s.Regions))
+	}
+	for _, want := range []string{"runway", "grassy-area", "DC", "legend", "&lt;&amp;&quot;label&gt;"} {
+		if want == "legend" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, `<&"label>`) {
+		t.Error("labels must be XML-escaped")
+	}
+	// Every present class appears in the legend text.
+	for k := range map[Kind]bool{Runway: true, Grass: true, Terminal: true} {
+		if !strings.Contains(out, string(k)) {
+			t.Errorf("legend missing %s", k)
+		}
+	}
+}
+
+func TestWriteSVGSuburban(t *testing.T) {
+	s := GenerateSuburban(SuburbanParams{Name: "sub", Seed: 3, Blocks: 2, HousesPerBlock: 3, Verts: 8})
+	var b strings.Builder
+	if err := s.WriteSVG(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "house") {
+		t.Error("suburban SVG missing house polygons")
+	}
+}

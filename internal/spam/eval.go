@@ -1,0 +1,136 @@
+package spam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spampsm/internal/scene"
+)
+
+// ClassScore is the per-class confusion tally of an RTF evaluation.
+type ClassScore struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP / (TP + FP), or 0 when nothing was predicted.
+func (c ClassScore) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when the class has no instances.
+func (c ClassScore) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c ClassScore) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is the result of evaluating RTF hypotheses against the
+// scene generator's ground truth.
+type Accuracy struct {
+	PerClass map[scene.Kind]*ClassScore
+	// Regions is the number of evaluable regions (noise excluded).
+	Regions int
+	// Correct is the number of regions whose best hypothesis matches
+	// the ground truth.
+	Correct int
+	// Unclassified is the number of evaluable regions with no
+	// hypothesis at all.
+	Unclassified int
+}
+
+// TopAccuracy returns Correct / Regions.
+func (a Accuracy) TopAccuracy() float64 {
+	if a.Regions == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Regions)
+}
+
+// MacroF1 averages F1 over the classes that occur in the scene.
+func (a Accuracy) MacroF1() float64 {
+	var sum float64
+	n := 0
+	for _, cs := range a.PerClass {
+		if cs.TP+cs.FN > 0 { // class present in ground truth
+			sum += cs.F1()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// EvaluateRTF scores the best (highest-confidence) hypothesis of each
+// region against the generator's ground truth. Noise regions are
+// excluded: SPAM is not expected to interpret segmentation artifacts,
+// only to leave them for context-driven prediction.
+func EvaluateRTF(sc *scene.Scene, frags []*Fragment) Accuracy {
+	best := map[int]*Fragment{}
+	for _, f := range frags {
+		if b, ok := best[f.RegionID]; !ok || f.Conf > b.Conf {
+			best[f.RegionID] = f
+		}
+	}
+	acc := Accuracy{PerClass: map[scene.Kind]*ClassScore{}}
+	score := func(k scene.Kind) *ClassScore {
+		if acc.PerClass[k] == nil {
+			acc.PerClass[k] = &ClassScore{}
+		}
+		return acc.PerClass[k]
+	}
+	for _, r := range sc.Regions {
+		if r.TrueKind == scene.Noise {
+			continue
+		}
+		acc.Regions++
+		b := best[r.ID]
+		if b == nil {
+			acc.Unclassified++
+			score(r.TrueKind).FN++
+			continue
+		}
+		if b.Type == r.TrueKind {
+			acc.Correct++
+			score(r.TrueKind).TP++
+		} else {
+			score(r.TrueKind).FN++
+			score(b.Type).FP++
+		}
+	}
+	return acc
+}
+
+// Report renders the evaluation as a table.
+func (a Accuracy) Report() string {
+	var kinds []scene.Kind
+	for k := range a.PerClass {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "RTF classification vs ground truth: %d/%d regions correct (%.0f%%), %d unclassified, macro-F1 %.2f\n",
+		a.Correct, a.Regions, 100*a.TopAccuracy(), a.Unclassified, a.MacroF1())
+	fmt.Fprintf(&b, "%-20s %5s %5s %5s %9s %7s %5s\n", "class", "TP", "FP", "FN", "precision", "recall", "F1")
+	for _, k := range kinds {
+		cs := a.PerClass[k]
+		fmt.Fprintf(&b, "%-20s %5d %5d %5d %9.2f %7.2f %5.2f\n",
+			k, cs.TP, cs.FP, cs.FN, cs.Precision(), cs.Recall(), cs.F1())
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package spam
+
+import (
+	"fmt"
+	"math"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/scene"
+	"spampsm/internal/symtab"
+)
+
+// Cost model of the task-related geometric computation (simulated
+// NS32332 instructions). In the original SPAM these operations ran over
+// image regions in forked external processes (later C function calls);
+// here they run over segmentation polygons, with simulated cost scaled
+// to the C-ported baseline the paper measures against.
+const (
+	// CostGeoBase is the fixed cost of one spatial predicate evaluation.
+	CostGeoBase = 20000
+	// CostGeoPerVert is the per-vertex cost (both polygons' vertices
+	// count). Datasets with more complex region outlines (DC) pay more
+	// per check, which lowers their match fraction, as the paper's
+	// per-dataset asymptotic limits show.
+	CostGeoPerVert = 1800
+	// CostMeasure is the cost of one RTF measurement/verification call.
+	CostMeasure = 4000
+	// CostPredict is the cost of one FA sub-area prediction: carving
+	// candidate sub-regions out of a functional area's extent is the
+	// most expensive geometric operation SPAM performs.
+	CostPredict = 150000
+	// CostStereo is the cost of one MODEL-phase stereo verification.
+	CostStereo = 250000
+)
+
+// Fragment is one scene-fragment interpretation hypothesis, the unit
+// the LCC phase checks for consistency.
+type Fragment struct {
+	ID       int
+	RegionID int
+	Type     scene.Kind
+	Conf     int // 0..100
+}
+
+// RegionStore resolves region IDs to geometry for the external
+// functions and precomputes the per-region measurements asserted into
+// RTF working memory.
+type RegionStore struct {
+	scene *scene.Scene
+	byID  map[int]*scene.Region
+}
+
+// NewRegionStore indexes a scene.
+func NewRegionStore(s *scene.Scene) *RegionStore {
+	st := &RegionStore{scene: s, byID: make(map[int]*scene.Region, len(s.Regions))}
+	for _, r := range s.Regions {
+		st.byID[r.ID] = r
+	}
+	return st
+}
+
+// Scene returns the underlying scene.
+func (st *RegionStore) Scene() *scene.Scene { return st.scene }
+
+// Get returns a region by ID, or nil.
+func (st *RegionStore) Get(id int) *scene.Region { return st.byID[id] }
+
+// geoCost returns the simulated cost of a predicate over two regions.
+func geoCost(a, b *scene.Region) float64 {
+	return CostGeoBase + CostGeoPerVert*float64(len(a.Poly)+len(b.Poly))
+}
+
+// Test evaluates a spatial relation between two regions. It returns
+// the boolean result and the simulated instruction cost.
+func (st *RegionStore) Test(rel string, aID, bID int, eps float64) (bool, float64, error) {
+	a, b := st.Get(aID), st.Get(bID)
+	if a == nil || b == nil {
+		return false, 0, fmt.Errorf("spam: unknown region %d or %d", aID, bID)
+	}
+	cost := geoCost(a, b)
+	switch rel {
+	case RelIntersects:
+		return a.Poly.Intersects(b.Poly), cost, nil
+	case RelAdjacent:
+		return a.Poly.Adjacent(b.Poly, eps), cost, nil
+	case RelNear:
+		return a.Poly.Distance(b.Poly) <= eps, cost, nil
+	case RelParallel:
+		return a.Poly.ParallelTo(b.Poly, eps), cost, nil
+	case RelLeadsTo:
+		// "Access roads lead to terminal buildings": the road's major
+		// axis points at the target and the two are within range.
+		near := a.Poly.Distance(b.Poly) <= eps
+		return near && a.Poly.AlignedWith(b.Poly, eps), cost * 1.5, nil
+	case RelContainedIn:
+		return b.Poly.ContainsPoly(a.Poly), cost, nil
+	case RelAligned:
+		return a.Poly.AlignedWith(b.Poly, eps) && a.Poly.ParallelTo(b.Poly, 0.15), cost, nil
+	default:
+		return false, 0, fmt.Errorf("spam: unknown relation %q", rel)
+	}
+}
+
+// boolSym converts a Go bool to the OPS5 t/f symbols.
+func boolSym(b bool) symtab.Value {
+	if b {
+		return symtab.Sym("t")
+	}
+	return symtab.Sym("f")
+}
+
+// Register installs the SPAM external functions on an engine:
+//
+//	(geo-test <relation> <region-a> <region-b> <eps>) -> t | f
+//	(rtf-verify <region>)                             -> measurement cost
+//	(rtf-verify-align <region-a> <region-b>)          -> t | f
+//	(fa-predict-area <seed-region> <kind>)            -> candidate count
+//	(stereo-verify <region-a> <region-b>)             -> t | f
+func (st *RegionStore) Register(e *ops5.Engine) {
+	e.Register("geo-test", func(args []symtab.Value) (symtab.Value, float64, error) {
+		if len(args) != 4 {
+			return symtab.Nil, 0, fmt.Errorf("geo-test wants 4 args, got %d", len(args))
+		}
+		ok, cost, err := st.Test(args[0].SymVal(), int(args[1].IntVal()), int(args[2].IntVal()), args[3].FloatVal())
+		if err != nil {
+			return symtab.Nil, 0, err
+		}
+		return boolSym(ok), cost, nil
+	})
+	e.Register("rtf-verify", func(args []symtab.Value) (symtab.Value, float64, error) {
+		if len(args) != 1 {
+			return symtab.Nil, 0, fmt.Errorf("rtf-verify wants 1 arg")
+		}
+		r := st.Get(int(args[0].IntVal()))
+		if r == nil {
+			return symtab.Nil, 0, fmt.Errorf("rtf-verify: unknown region %d", args[0].IntVal())
+		}
+		// Re-measure the region boundary (simulated cost only; the
+		// measurements were precomputed at task build time).
+		cost := CostMeasure + 300*float64(len(r.Poly))
+		return symtab.Int(int64(len(r.Poly))), cost, nil
+	})
+	e.Register("rtf-verify-align", func(args []symtab.Value) (symtab.Value, float64, error) {
+		if len(args) != 2 {
+			return symtab.Nil, 0, fmt.Errorf("rtf-verify-align wants 2 args")
+		}
+		a, b := st.Get(int(args[0].IntVal())), st.Get(int(args[1].IntVal()))
+		if a == nil || b == nil {
+			return symtab.Nil, 0, fmt.Errorf("rtf-verify-align: unknown region")
+		}
+		ok := a.Poly.AlignedWith(b.Poly, 300) && a.Poly.ParallelTo(b.Poly, 0.2)
+		// Alignment is a light axis test, far cheaper than the full
+		// boundary predicates.
+		cost := CostMeasure + 300*float64(len(a.Poly)+len(b.Poly))
+		return boolSym(ok), cost, nil
+	})
+	e.Register("fa-predict-area", func(args []symtab.Value) (symtab.Value, float64, error) {
+		if len(args) != 2 {
+			return symtab.Nil, 0, fmt.Errorf("fa-predict-area wants 2 args")
+		}
+		r := st.Get(int(args[0].IntVal()))
+		if r == nil {
+			return symtab.Nil, 0, fmt.Errorf("fa-predict-area: unknown region")
+		}
+		// Count plausible sub-area candidates inside the seed's
+		// neighbourhood: regions overlapping the expanded bbox.
+		bb := r.Poly.BBox().Expand(800)
+		n := 0
+		for _, other := range st.scene.Regions {
+			if other.ID != r.ID && bb.Intersects(other.Poly.BBox()) {
+				n++
+			}
+		}
+		cost := CostPredict + CostGeoPerVert*float64(len(r.Poly))*4
+		return symtab.Int(int64(n)), cost, nil
+	})
+	e.Register("stereo-verify", func(args []symtab.Value) (symtab.Value, float64, error) {
+		if len(args) != 2 {
+			return symtab.Nil, 0, fmt.Errorf("stereo-verify wants 2 args")
+		}
+		a, b := st.Get(int(args[0].IntVal())), st.Get(int(args[1].IntVal()))
+		if a == nil || b == nil {
+			return symtab.Nil, 0, fmt.Errorf("stereo-verify: unknown region")
+		}
+		// Disambiguation heuristic: the larger, more compact region
+		// wins a conflicting-hypothesis contest.
+		sa := a.Poly.Area() * math.Sqrt(a.Poly.Compactness())
+		sb := b.Poly.Area() * math.Sqrt(b.Poly.Compactness())
+		return boolSym(sa >= sb), CostStereo, nil
+	})
+}
+
+// Measurements returns the region attributes asserted into RTF working
+// memory, quantized for stable rule matching.
+func Measurements(r *scene.Region) (area, elong, compact, intensity, texture float64) {
+	area = math.Round(r.Poly.Area())
+	e := r.Poly.Elongation()
+	if math.IsInf(e, 1) || e > 1e6 {
+		e = 1e6
+	}
+	elong = math.Round(e*100) / 100
+	compact = math.Round(r.Poly.Compactness()*1000) / 1000
+	intensity = math.Round(r.Intensity*10) / 10
+	texture = math.Round(r.Texture*1000) / 1000
+	return
+}
+
+// NearbyFragments returns the fragments of the wanted class whose
+// regions fall within radius of the focal fragment's region — the
+// candidate partners of one constraint.
+func NearbyFragments(st *RegionStore, focal *Fragment, want scene.Kind, all []*Fragment, radius float64) []*Fragment {
+	fr := st.Get(focal.RegionID)
+	if fr == nil {
+		return nil
+	}
+	bb := fr.Poly.BBox().Expand(radius)
+	var out []*Fragment
+	for _, f := range all {
+		if f.ID == focal.ID || f.Type != want {
+			continue
+		}
+		r := st.Get(f.RegionID)
+		if r == nil {
+			continue
+		}
+		if bb.Intersects(r.Poly.BBox()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package spam
+
+import (
+	"fmt"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/scene"
+	"spampsm/internal/tlp"
+)
+
+// LispFactor converts the optimized C/ParaOPS5 baseline's simulated
+// time to the original Lisp implementation's time scale. The paper
+// reports the port bought "approximately a 10-20 fold speed-up"; the
+// Lisp-era Tables 1-3 are reproduced by applying this factor.
+const LispFactor = 15.0
+
+// Dataset bundles a scene with its knowledge base and compiled phase
+// programs.
+type Dataset struct {
+	Name  string
+	KB    *KB
+	Scene *scene.Scene
+	Store *RegionStore
+	Progs *Programs
+}
+
+// NewDataset generates an airport dataset.
+func NewDataset(p scene.Params) (*Dataset, error) {
+	s := scene.Generate(p)
+	return datasetFrom(s, AirportKB())
+}
+
+// NewSuburbanDataset generates a suburban dataset.
+func NewSuburbanDataset(p scene.SuburbanParams) (*Dataset, error) {
+	s := scene.GenerateSuburban(p)
+	return datasetFrom(s, SuburbanKB())
+}
+
+func datasetFrom(s *scene.Scene, kb *KB) (*Dataset, error) {
+	progs, err := BuildPrograms(kb)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:  s.Name,
+		KB:    kb,
+		Scene: s,
+		Store: NewRegionStore(s),
+		Progs: progs,
+	}, nil
+}
+
+// PhaseRun is the statistics of one interpretation phase.
+type PhaseRun struct {
+	Phase      string
+	Tasks      int
+	Firings    int
+	RHSActions int
+	Instr      float64 // total simulated instructions
+	MatchInstr float64
+	Hypotheses int
+	Results    []*tlp.Result
+}
+
+// MatchFraction returns the phase's match fraction of total time.
+func (p PhaseRun) MatchFraction() float64 {
+	if p.Instr == 0 {
+		return 0
+	}
+	return p.MatchInstr / p.Instr
+}
+
+// Interpretation is the result of a full four-phase run.
+type Interpretation struct {
+	Dataset     *Dataset
+	Phases      []PhaseRun // RTF, LCC, FA, MODEL
+	Fragments   []*Fragment
+	Pairs       []ConsistentPair
+	Outcomes    []LCCOutcome
+	FAs         []FunctionalArea
+	Predictions []Prediction
+	Model       Model
+	ModelFound  bool
+}
+
+// Phase returns the named phase run (RTF/LCC/FA/MODEL), or nil.
+func (in *Interpretation) Phase(name string) *PhaseRun {
+	for i := range in.Phases {
+		if in.Phases[i].Phase == name {
+			return &in.Phases[i]
+		}
+	}
+	return nil
+}
+
+// TotalFirings sums firings over all phases.
+func (in *Interpretation) TotalFirings() int {
+	n := 0
+	for _, p := range in.Phases {
+		n += p.Firings
+	}
+	return n
+}
+
+// TotalInstr sums simulated instructions over all phases.
+func (in *Interpretation) TotalInstr() float64 {
+	var t float64
+	for _, p := range in.Phases {
+		t += p.Instr
+	}
+	return t
+}
+
+// InterpretOptions configure a full run.
+type InterpretOptions struct {
+	Workers  int   // task processes for the real pool (default 1)
+	Level    Level // LCC decomposition level (default Level3)
+	RTFBatch int   // regions per RTF task (default 3)
+	// ReEntry enables the FA→LCC re-entry of the paper: functional-area
+	// predictions hypothesize fragments on unclassified regions, which
+	// are then re-checked by the LCC rules.
+	ReEntry bool
+	Capture bool // per-activation capture for match-parallel simulation
+}
+
+func phaseStats(name string, results []*tlp.Result, hypotheses int) PhaseRun {
+	p := PhaseRun{Phase: name, Tasks: len(results), Hypotheses: hypotheses, Results: results}
+	for _, r := range results {
+		if r == nil || r.Err != nil {
+			continue
+		}
+		p.Firings += r.Stats.Firings
+		p.RHSActions += r.Stats.RHSActions
+		p.Instr += r.Stats.TotalInstr()
+		p.MatchInstr += r.Stats.MatchInstr + r.Stats.InitInstr
+	}
+	return p
+}
+
+// Interpret runs the full four-phase SPAM interpretation of the
+// dataset: RTF → LCC → FA (with optional LCC re-entry) → MODEL.
+func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	if opt.Level == 0 {
+		opt.Level = Level3
+	}
+	if opt.RTFBatch < 1 {
+		opt.RTFBatch = 3
+	}
+	pool := &tlp.Pool{Workers: opt.Workers}
+	in := &Interpretation{Dataset: d}
+
+	// Phase 1: RTF.
+	rtfTasks := BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, opt.RTFBatch, opt.Capture)
+	rtfResults, err := pool.Run(rtfTasks)
+	if err != nil {
+		return nil, fmt.Errorf("spam: RTF: %w", err)
+	}
+	if err := tlp.FirstError(rtfResults); err != nil {
+		return nil, fmt.Errorf("spam: RTF: %w", err)
+	}
+	in.Fragments = ExtractFragments(rtfResults)
+	releaseEngines(rtfResults)
+	in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, len(in.Fragments)))
+
+	// Phase 2: LCC.
+	lccTasks := BuildLCCTasks(d.KB, d.Store, d.Progs.LCC, in.Fragments, opt.Level, opt.Capture)
+	lccResults, err := pool.Run(lccTasks)
+	if err != nil {
+		return nil, fmt.Errorf("spam: LCC: %w", err)
+	}
+	if err := tlp.FirstError(lccResults); err != nil {
+		return nil, fmt.Errorf("spam: LCC: %w", err)
+	}
+	in.Pairs, in.Outcomes = ExtractLCC(lccResults)
+	releaseEngines(lccResults)
+
+	// Phase 3: FA.
+	faTasks := BuildFATasks(d.KB, d.Store, d.Progs.FA, in.Fragments, in.Pairs, in.Outcomes, opt.Capture)
+	var faResults []*tlp.Result
+	if len(faTasks) > 0 {
+		faResults, err = pool.Run(faTasks)
+		if err != nil {
+			return nil, fmt.Errorf("spam: FA: %w", err)
+		}
+		if err := tlp.FirstError(faResults); err != nil {
+			return nil, fmt.Errorf("spam: FA: %w", err)
+		}
+	}
+	in.FAs, in.Predictions = ExtractFA(faResults)
+	releaseEngines(faResults)
+
+	// FA→LCC re-entry: predictions hypothesize fragments on regions
+	// that RTF left unclassified; LCC re-checks them. Their cost is
+	// attributed to the LCC phase, where the paper accounts it.
+	if opt.ReEntry && len(in.Predictions) > 0 {
+		extra := d.reEntryFragments(in)
+		if len(extra) > 0 {
+			// Only the re-entry objects are re-checked, against the full
+			// fragment pool.
+			pool2 := append(append([]*Fragment(nil), in.Fragments...), extra...)
+			reTasks := BuildLCCTasksFor(d.KB, d.Store, d.Progs.LCC, extra, pool2, opt.Level, opt.Capture)
+			if len(reTasks) > 0 {
+				reResults, err := pool.Run(reTasks)
+				if err != nil {
+					return nil, fmt.Errorf("spam: LCC re-entry: %w", err)
+				}
+				if err := tlp.FirstError(reResults); err != nil {
+					return nil, fmt.Errorf("spam: LCC re-entry: %w", err)
+				}
+				rePairs, reOuts := ExtractLCC(reResults)
+				releaseEngines(reResults)
+				in.Pairs = append(in.Pairs, rePairs...)
+				in.Outcomes = append(in.Outcomes, reOuts...)
+				in.Fragments = append(in.Fragments, extra...)
+				lccResults = append(lccResults, reResults...)
+			}
+		}
+	}
+	in.Phases = append(in.Phases, phaseStats("LCC", lccResults, countConsistent(in.Outcomes)))
+	in.Phases = append(in.Phases, phaseStats("FA", faResults, countClosed(in.FAs)))
+
+	// Phase 4: MODEL.
+	modelTask := BuildModelTask(d.KB, d.Store, d.Progs.Model, in.Fragments, in.FAs, opt.Capture)
+	modelResults, err := pool.Run([]*tlp.Task{modelTask})
+	if err != nil {
+		return nil, fmt.Errorf("spam: MODEL: %w", err)
+	}
+	if err := tlp.FirstError(modelResults); err != nil {
+		return nil, fmt.Errorf("spam: MODEL: %w", err)
+	}
+	in.Model, in.ModelFound = ExtractModel(modelResults)
+	releaseEngines(modelResults)
+	nModels := 0
+	if in.ModelFound {
+		nModels = 1
+	}
+	in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, nModels))
+	return in, nil
+}
+
+// reEntryFragments hypothesizes fragments for FA predictions over
+// regions that have no interpretation yet.
+func (d *Dataset) reEntryFragments(in *Interpretation) []*Fragment {
+	classified := map[int]bool{}
+	maxID := 0
+	for _, f := range in.Fragments {
+		classified[f.RegionID] = true
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	seedRegion := map[int]int{} // fa seed fragment -> region
+	for _, f := range in.Fragments {
+		seedRegion[f.ID] = f.RegionID
+	}
+	var out []*Fragment
+	seen := map[int]bool{}
+	for _, p := range in.Predictions {
+		sr := d.Store.Get(seedRegion[p.FA])
+		if sr == nil {
+			continue
+		}
+		bb := sr.Poly.BBox().Expand(1000)
+		for _, r := range d.Scene.Regions {
+			if classified[r.ID] || seen[r.ID] {
+				continue
+			}
+			if bb.Intersects(r.Poly.BBox()) {
+				seen[r.ID] = true
+				maxID++
+				out = append(out, &Fragment{
+					ID: maxID, RegionID: r.ID, Type: p.Kind, Conf: 30,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// releaseEngines frees the engines of completed results once their
+// outputs have been extracted; the phase statistics only need the
+// stats and cost logs.
+func releaseEngines(results []*tlp.Result) {
+	for _, r := range results {
+		if r != nil {
+			r.Engine = nil
+		}
+	}
+}
+
+func countConsistent(outs []LCCOutcome) int {
+	n := 0
+	for _, o := range outs {
+		if o.Status == "consistent" {
+			n++
+		}
+	}
+	return n
+}
+
+func countClosed(fas []FunctionalArea) int {
+	n := 0
+	for _, f := range fas {
+		if f.Status == "closed" {
+			n++
+		}
+	}
+	return n
+}
+
+// TaskLogs converts completed results to cost logs for the machine
+// simulator, in queue order.
+func TaskLogs(results []*tlp.Result) []*ops5.CostLog {
+	var logs []*ops5.CostLog
+	for _, r := range results {
+		if r != nil && r.Err == nil && r.Log != nil {
+			logs = append(logs, r.Log)
+		}
+	}
+	return logs
+}

@@ -1,0 +1,370 @@
+package spam
+
+import (
+	"fmt"
+	"strings"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/scene"
+)
+
+// The rule generators below compile the knowledge base into OPS5
+// source. SPAM's production memory was partly hand-built, partly
+// mechanically derived from its constraint knowledge; generating the
+// per-constraint productions keeps that structure while letting the
+// same templates serve both task domains. The generated source is
+// parsed by the ops5 front end like any hand-written program.
+
+// linearClasses are the classes whose fragments participate in RTF
+// linear-alignment verification (collinear runway pieces, road chains).
+var linearClasses = map[scene.Kind]bool{
+	scene.Runway: true, scene.Road: true, scene.Taxiway: true, scene.Street: true,
+}
+
+// classIndex gives each class a small stable integer for fragment ID
+// synthesis in generated rules.
+func classIndex(kb *KB, k scene.Kind) int {
+	for i, c := range kb.Classes {
+		if c == k {
+			return i
+		}
+	}
+	return len(kb.Classes)
+}
+
+func tierIndex(tier string) int {
+	switch tier {
+	case "strong":
+		return 1
+	case "medium":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// RTFSource generates the region-to-fragment phase program: the
+// heuristic classification task. One production per evidence entry,
+// plus linear-alignment verification and dominated-hypothesis pruning.
+func RTFSource(kb *KB) string {
+	var b strings.Builder
+	b.WriteString(`; RTF: region-to-fragment classification (generated)
+(literalize rtf-task batch status)
+(literalize region id batch area elong compact intensity texture status)
+(literalize fragment id region type conf status)
+(literalize pruned region type)
+(external rtf-verify rtf-verify-align)
+`)
+	for _, ev := range kb.Evidence {
+		var tests []string
+		rangeTest := func(attr string, lo, hi float64) {
+			switch {
+			case lo != 0 && hi != 0:
+				tests = append(tests, fmt.Sprintf("^%s { >= %g <= %g }", attr, lo, hi))
+			case lo != 0:
+				tests = append(tests, fmt.Sprintf("^%s >= %g", attr, lo))
+			case hi != 0:
+				tests = append(tests, fmt.Sprintf("^%s <= %g", attr, hi))
+			}
+		}
+		rangeTest("elong", ev.MinElong, ev.MaxElong)
+		rangeTest("area", ev.MinArea, ev.MaxArea)
+		rangeTest("intensity", ev.MinInt, ev.MaxInt)
+		if ev.MaxTexture != 0 {
+			tests = append(tests, fmt.Sprintf("^texture <= %g", ev.MaxTexture))
+		}
+		if ev.MinCompact != 0 {
+			tests = append(tests, fmt.Sprintf("^compact >= %g", ev.MinCompact))
+		}
+		idBase := classIndex(kb, ev.Class)*10 + tierIndex(ev.Tier)
+		fmt.Fprintf(&b, `
+(p rtf-%s-%s
+   (rtf-task ^status active)
+   (region ^id <r> ^status measured %s)
+ - (fragment ^region <r> ^type %s)
+ - (pruned ^region <r> ^type %s)
+  -->
+   (call rtf-verify <r>)
+   (make fragment ^id (compute <r> * 100 + %d) ^region <r> ^type %s ^conf %d ^status hypothesized))
+`, ev.Class, ev.Tier, strings.Join(tests, " "), ev.Class, ev.Class, idBase, ev.Class, ev.Confidence)
+	}
+	// Linear alignment: collinear fragments of linear classes support
+	// each other (the paper's RTF-phase linear alignment).
+	for _, k := range kb.Classes {
+		if !linearClasses[k] {
+			continue
+		}
+		fmt.Fprintf(&b, `
+(p rtf-align-%s
+   (rtf-task ^status active)
+   { <fw> (fragment ^type %s ^region <r1> ^conf <c> ^status hypothesized) }
+   (fragment ^type %s ^region { <r2> <> <r1> } ^status << hypothesized boosted >>)
+  -->
+   (call rtf-verify-align <r1> <r2>)
+   (modify <fw> ^status boosted ^conf (compute <c> + 5)))
+`, k, k, k)
+	}
+	// Prune hypotheses dominated by a much stronger competing
+	// interpretation of the same region.
+	b.WriteString(`
+(p rtf-prune-dominated
+   (rtf-task ^status active)
+   (fragment ^region <r> ^type <t1> ^conf <c1>)
+   { <weak> (fragment ^region <r> ^type { <t2> <> <t1> } ^conf { <c2> < <c1> <= 58 }) }
+  -->
+   (make pruned ^region <r> ^type <t2>)
+   (remove <weak>))
+`)
+	return b.String()
+}
+
+// LCCSource generates the local-consistency-check phase program: the
+// constraint-satisfaction task. One check production per constraint,
+// shared tally and finish productions. Task scope is carried entirely
+// by working memory (the lcc-task WME and the fragments provided),
+// which is what makes the Level 1-4 decompositions possible with one
+// rule set.
+func LCCSource(kb *KB) string {
+	var b strings.Builder
+	b.WriteString(`; LCC: local consistency checking (generated)
+(literalize lcc-task object class cid expected status)
+(literalize fragment id region type conf status)
+(literalize scope object constraint partner)
+(literalize check object constraint partner relation result tallied)
+(literalize support object count checked)
+(literalize lcc-result object support checked status)
+(external geo-test)
+`)
+	for _, c := range kb.Constraints {
+		// Two check productions per constraint, partitioned by partner
+		// confidence. The partition does not change which checks run —
+		// exactly one of the two fires per (focal, partner) — but it
+		// mirrors SPAM's large production memory, where each WM change
+		// is matched against many candidate productions.
+		for _, band := range []struct {
+			suffix string
+			test   string
+		}{
+			{"hi", "^conf >= 55"},
+			{"lo", "^conf < 55"},
+		} {
+			fmt.Fprintf(&b, `
+(p lcc-check-%s-%s
+   (lcc-task ^object <f> ^class %s ^cid << %s all >> ^status active)
+   (fragment ^id <f> ^region <rf>)
+   (fragment ^id { <p> <> <f> } ^type %s %s ^region <rp>)
+   (scope ^object <f> ^constraint %s ^partner <p>)
+ - (check ^object <f> ^constraint %s ^partner <p>)
+  -->
+   (make check ^object <f> ^constraint %s ^partner <p> ^relation %s
+         ^result (geo-test %s <rf> <rp> %g) ^tallied no))
+`, c.ID, band.suffix, c.Subject, c.ID, c.Object, band.test, c.ID, c.ID, c.ID, c.Relation, c.Relation, c.Eps)
+		}
+		// A dormant audit production per constraint: it joins fully over
+		// the focal/partner/check combinations but its final condition
+		// (a review-status task) never holds, so it consumes match
+		// without ever firing — the cost profile of SPAM's 600+
+		// production memory, most of which is quiet at any moment.
+		fmt.Fprintf(&b, `
+(p lcc-audit-%s
+   (fragment ^id <f> ^type %s ^region <rf>)
+   (fragment ^id { <p> <> <f> } ^type %s ^region <rp>)
+   (check ^object <f> ^constraint %s ^partner <p> ^result t)
+   (lcc-task ^object <f> ^status review)
+  -->
+   (make support ^object <f> ^count 0 ^checked 0))
+`, c.ID, c.Subject, c.Object, c.ID)
+	}
+	// Relation-level monitors, likewise dormant.
+	rels := map[string]bool{}
+	for _, c := range kb.Constraints {
+		if rels[c.Relation] {
+			continue
+		}
+		rels[c.Relation] = true
+		fmt.Fprintf(&b, `
+(p lcc-monitor-%s
+   (check ^relation %s ^result t ^tallied yes ^object <f>)
+   (lcc-task ^object <f> ^status review)
+  -->
+   (make support ^object <f> ^count 0 ^checked 0))
+`, c.Relation, c.Relation)
+	}
+	b.WriteString(`
+(p lcc-tally-consistent
+   (lcc-task ^object <f> ^status active)
+   { <c> (check ^object <f> ^result t ^tallied no) }
+   { <s> (support ^object <f> ^count <n> ^checked <k>) }
+  -->
+   (modify <c> ^tallied yes)
+   (modify <s> ^count (compute <n> + 1) ^checked (compute <k> + 1)))
+
+(p lcc-tally-inconsistent
+   (lcc-task ^object <f> ^status active)
+   { <c> (check ^object <f> ^result f ^tallied no) }
+   { <s> (support ^object <f> ^count <n> ^checked <k>) }
+  -->
+   (modify <c> ^tallied yes)
+   (modify <s> ^checked (compute <k> + 1)))
+
+(p lcc-finish-consistent
+   { <t> (lcc-task ^object <f> ^expected <k> ^status active) }
+   (support ^object <f> ^checked <k> ^count { <n> > 0 })
+  -->
+   (modify <t> ^status done)
+   (make lcc-result ^object <f> ^support <n> ^checked <k> ^status consistent))
+
+(p lcc-finish-weak
+   { <t> (lcc-task ^object <f> ^expected <k> ^status active) }
+   (support ^object <f> ^checked <k> ^count 0)
+  -->
+   (modify <t> ^status done)
+   (make lcc-result ^object <f> ^support 0 ^checked <k> ^status weak))
+`)
+	return b.String()
+}
+
+// FASource generates the functional-area phase program: consistent
+// fragments aggregate into functional-area contexts, and each context
+// predicts the sub-areas the paper describes ("the context determines
+// the prediction").
+func FASource(kb *KB) string {
+	var b strings.Builder
+	b.WriteString(`; FA: functional-area aggregation (generated)
+(literalize fa-task seed fatype expected status)
+(literalize fragment id region type conf status)
+(literalize consistency object partner relation result)
+(literalize fa id seed fatype nmembers status)
+(literalize member fa frag kind)
+(literalize prediction fa kind candidates)
+(external fa-predict-area)
+
+(p fa-create
+   { <t> (fa-task ^seed <f> ^fatype <ft> ^status active) }
+   (fragment ^id <f>)
+  -->
+   (modify <t> ^status collecting)
+   (make fa ^id <f> ^seed <f> ^fatype <ft> ^nmembers 0 ^status open))
+`)
+	for _, spec := range kb.FAs {
+		for _, m := range spec.Members {
+			fmt.Fprintf(&b, `
+(p fa-collect-%s-%s
+   (fa-task ^seed <f> ^status collecting)
+   { <a> (fa ^seed <f> ^fatype %s ^status open ^nmembers <n>) }
+   (consistency ^object <f> ^partner <p> ^result t)
+   (fragment ^id <p> ^type %s)
+ - (member ^fa <f> ^frag <p>)
+  -->
+   (make member ^fa <f> ^frag <p> ^kind %s)
+   (modify <a> ^nmembers (compute <n> + 1)))
+`, spec.Type, m, spec.Type, m, m)
+		}
+		for _, pk := range spec.Predicts {
+			fmt.Fprintf(&b, `
+(p fa-predict-%s-%s
+   (fa-task ^seed <f> ^status collecting)
+   (fa ^seed <f> ^fatype %s ^nmembers >= 2 ^status open)
+   (fragment ^id <f> ^region <r>)
+ - (prediction ^fa <f> ^kind %s)
+  -->
+   (make prediction ^fa <f> ^kind %s ^candidates (fa-predict-area <r> %s)))
+`, spec.Type, pk, spec.Type, pk, pk, pk)
+		}
+	}
+	b.WriteString(`
+(p fa-close
+   { <t> (fa-task ^seed <f> ^expected <k> ^status collecting) }
+   { <a> (fa ^seed <f> ^nmembers <k> ^status open) }
+  -->
+   (modify <t> ^status done)
+   (modify <a> ^status closed))
+`)
+	return b.String()
+}
+
+// ModelSource generates the model-generation/evaluation phase program:
+// closed functional areas are scored into a scene model; conflicting
+// hypotheses (two functional areas seeded on the same region) are
+// disambiguated by stereo verification, the paper's top-down activity
+// in MODEL phase.
+func ModelSource(kb *KB) string {
+	var b strings.Builder
+	b.WriteString(`; MODEL: model generation and evaluation (generated)
+(literalize model-task status)
+(literalize fa id seed fatype nmembers status)
+(literalize fragment id region type conf status)
+(literalize model id score nfas status)
+(external stereo-verify)
+
+(p model-init
+   { <t> (model-task ^status active) }
+  -->
+   (modify <t> ^status scoring)
+   (make model ^id 1 ^score 0 ^nfas 0 ^status building))
+
+(p model-add-fa
+   (model-task ^status scoring)
+   { <m> (model ^status building ^score <s> ^nfas <n>) }
+   { <a> (fa ^status closed ^nmembers <k>) }
+  -->
+   (modify <a> ^status in-model)
+   (modify <m> ^score (compute <s> + <k> + 1) ^nfas (compute <n> + 1)))
+
+(p model-conflict
+   (model-task ^status scoring)
+   (fa ^seed <f1> ^status in-model)
+   (fragment ^id <f1> ^region <r>)
+   { <a2> (fa ^seed { <f2> > <f1> } ^status in-model) }
+   (fragment ^id <f2> ^region <r>)
+  -->
+   (call stereo-verify <r> <r>)
+   (modify <a2> ^status rejected))
+
+(p model-finish
+   { <t> (model-task ^status scoring) }
+   { <m> (model ^status building) }
+ - (fa ^status closed)
+  -->
+   (modify <t> ^status done)
+   (modify <m> ^status final))
+`)
+	return b.String()
+}
+
+// Programs bundles the four phase programs parsed and ready to
+// instantiate engines from.
+type Programs struct {
+	RTF   *ops5.Program
+	LCC   *ops5.Program
+	FA    *ops5.Program
+	Model *ops5.Program
+}
+
+// BuildPrograms parses the generated phase programs for a knowledge
+// base.
+func BuildPrograms(kb *KB) (*Programs, error) {
+	rtf, err := ops5.Parse(RTFSource(kb))
+	if err != nil {
+		return nil, fmt.Errorf("spam: RTF rules: %w", err)
+	}
+	lcc, err := ops5.Parse(LCCSource(kb))
+	if err != nil {
+		return nil, fmt.Errorf("spam: LCC rules: %w", err)
+	}
+	fa, err := ops5.Parse(FASource(kb))
+	if err != nil {
+		return nil, fmt.Errorf("spam: FA rules: %w", err)
+	}
+	model, err := ops5.Parse(ModelSource(kb))
+	if err != nil {
+		return nil, fmt.Errorf("spam: MODEL rules: %w", err)
+	}
+	return &Programs{RTF: rtf, LCC: lcc, FA: fa, Model: model}, nil
+}
+
+// NumProductions returns the total production count across phases.
+func (p *Programs) NumProductions() int {
+	return len(p.RTF.Productions) + len(p.LCC.Productions) +
+		len(p.FA.Productions) + len(p.Model.Productions)
+}

@@ -1,0 +1,576 @@
+package spam
+
+import (
+	"fmt"
+	"sort"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/scene"
+	"spampsm/internal/symtab"
+	"spampsm/internal/tlp"
+)
+
+// Level is the LCC decomposition level of Section 4: Level 4 = one
+// task per object class, Level 3 = per object, Level 2 = per
+// (object, constraint), Level 1 = per (object, constraint, component).
+type Level int
+
+// Decomposition levels.
+const (
+	Level1 Level = 1
+	Level2 Level = 2
+	Level3 Level = 3
+	Level4 Level = 4
+)
+
+// sym shortens symbol construction in WM assembly.
+func sym(s string) symtab.Value { return symtab.Sym(s) }
+
+// engineOpts builds the engine options for a task.
+func engineOpts(capture bool) []ops5.Option {
+	if capture {
+		return []ops5.Option{ops5.WithCapture()}
+	}
+	return nil
+}
+
+// assertFragment adds a fragment hypothesis to an engine's WM.
+func assertFragment(e *ops5.Engine, f *Fragment) error {
+	_, err := e.Assert("fragment", map[string]symtab.Value{
+		"id":     symtab.Int(int64(f.ID)),
+		"region": symtab.Int(int64(f.RegionID)),
+		"type":   sym(string(f.Type)),
+		"conf":   symtab.Int(int64(f.Conf)),
+		"status": sym("hypothesized"),
+	})
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// RTF phase tasks
+
+// BuildRTFTasks decomposes the RTF phase: each task classifies one
+// batch of regions. The decomposition yields the paper's ~60-100 tasks
+// per dataset at roughly Level-2 granularity.
+func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int, capture bool) []*tlp.Task {
+	if batchSize < 1 {
+		batchSize = 3
+	}
+	regions := store.Scene().Regions
+	var tasks []*tlp.Task
+	for start := 0; start < len(regions); start += batchSize {
+		end := start + batchSize
+		if end > len(regions) {
+			end = len(regions)
+		}
+		batch := regions[start:end]
+		batchID := start / batchSize
+		batchCopy := append([]*scene.Region(nil), batch...)
+		tasks = append(tasks, &tlp.Task{
+			ID:      fmt.Sprintf("rtf-%s-%d", store.Scene().Name, batchID),
+			Label:   fmt.Sprintf("RTF batch %d (%d regions)", batchID, len(batchCopy)),
+			EstSize: float64(len(batchCopy)),
+			Build: func() (*ops5.Engine, error) {
+				e, err := ops5.NewEngine(prog, engineOpts(capture)...)
+				if err != nil {
+					return nil, err
+				}
+				store.Register(e)
+				if _, err := e.Assert("rtf-task", map[string]symtab.Value{
+					"batch": symtab.Int(int64(batchID)), "status": sym("active"),
+				}); err != nil {
+					return nil, err
+				}
+				for _, r := range batchCopy {
+					area, elong, compact, intensity, texture := Measurements(r)
+					if _, err := e.Assert("region", map[string]symtab.Value{
+						"id":        symtab.Int(int64(r.ID)),
+						"batch":     symtab.Int(int64(batchID)),
+						"area":      symtab.Float(area),
+						"elong":     symtab.Float(elong),
+						"compact":   symtab.Float(compact),
+						"intensity": symtab.Float(intensity),
+						"texture":   symtab.Float(texture),
+						"status":    sym("measured"),
+					}); err != nil {
+						return nil, err
+					}
+				}
+				return e, nil
+			},
+		})
+	}
+	return tasks
+}
+
+// ExtractFragments collects the fragment hypotheses produced by RTF
+// task results, ordered by fragment ID.
+func ExtractFragments(results []*tlp.Result) []*Fragment {
+	var frags []*Fragment
+	for _, r := range results {
+		if r == nil || r.Err != nil || r.Engine == nil {
+			continue
+		}
+		for _, w := range r.Engine.WMEs("fragment") {
+			frags = append(frags, &Fragment{
+				ID:       int(w.Get("id").IntVal()),
+				RegionID: int(w.Get("region").IntVal()),
+				Type:     scene.Kind(w.Get("type").SymVal()),
+				Conf:     int(w.Get("conf").IntVal()),
+			})
+		}
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i].ID < frags[j].ID })
+	return frags
+}
+
+// ---------------------------------------------------------------------------
+// LCC phase tasks
+
+// lccUnit is one (focal, constraint-subset) work assignment.
+type lccUnit struct {
+	focal    *Fragment
+	cid      string // "" means all constraints of the class
+	partners map[string][]*Fragment
+	expected int
+}
+
+// partnersFor computes the candidate partner set of one constraint.
+func partnersFor(store *RegionStore, focal *Fragment, c Constraint, all []*Fragment) []*Fragment {
+	return NearbyFragments(store, focal, c.Object, all, c.Radius)
+}
+
+// unitsForLevel enumerates the work units of a decomposition level.
+// focals are the objects to check; all is the candidate partner pool.
+func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Level) []lccUnit {
+	frags := all
+	var units []lccUnit
+	for _, f := range focals {
+		cons := kb.ConstraintsFor(f.Type)
+		if len(cons) == 0 {
+			continue
+		}
+		switch level {
+		case Level3, Level4:
+			u := lccUnit{focal: f, cid: "all", partners: map[string][]*Fragment{}}
+			for _, c := range cons {
+				ps := partnersFor(store, f, c, frags)
+				u.partners[c.ID] = ps
+				u.expected += len(ps)
+			}
+			units = append(units, u)
+		case Level2:
+			for _, c := range cons {
+				ps := partnersFor(store, f, c, frags)
+				units = append(units, lccUnit{
+					focal: f, cid: c.ID,
+					partners: map[string][]*Fragment{c.ID: ps},
+					expected: len(ps),
+				})
+			}
+		case Level1:
+			for _, c := range cons {
+				for _, p := range partnersFor(store, f, c, frags) {
+					units = append(units, lccUnit{
+						focal: f, cid: c.ID,
+						partners: map[string][]*Fragment{c.ID: {p}},
+						expected: 1,
+					})
+				}
+			}
+		}
+	}
+	return units
+}
+
+// buildLCCEngine loads one engine with a set of work units (several
+// units share an engine at Level 4).
+func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccUnit, capture bool) (*ops5.Engine, error) {
+	e, err := ops5.NewEngine(prog, engineOpts(capture)...)
+	if err != nil {
+		return nil, err
+	}
+	store.Register(e)
+	seen := map[int]bool{}
+	addFrag := func(f *Fragment) error {
+		if seen[f.ID] {
+			return nil
+		}
+		seen[f.ID] = true
+		return assertFragment(e, f)
+	}
+	for _, u := range units {
+		if err := addFrag(u.focal); err != nil {
+			return nil, err
+		}
+		for cid, ps := range u.partners {
+			for _, p := range ps {
+				if err := addFrag(p); err != nil {
+					return nil, err
+				}
+				// The scope WME makes the decomposition exact: a check
+				// runs iff the control process put its (object,
+				// constraint, partner) triple into the task's working
+				// memory, so every level computes the same checks.
+				if _, err := e.Assert("scope", map[string]symtab.Value{
+					"object":     symtab.Int(int64(u.focal.ID)),
+					"constraint": sym(cid),
+					"partner":    symtab.Int(int64(p.ID)),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := e.Assert("support", map[string]symtab.Value{
+			"object": symtab.Int(int64(u.focal.ID)),
+			"count":  symtab.Int(0), "checked": symtab.Int(0),
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := e.Assert("lcc-task", map[string]symtab.Value{
+			"object":   symtab.Int(int64(u.focal.ID)),
+			"class":    sym(string(u.focal.Type)),
+			"cid":      sym(u.cid),
+			"expected": symtab.Int(int64(u.expected)),
+			"status":   sym("active"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// BuildLCCTasks decomposes the LCC phase at the chosen level. The
+// same generated rule set serves every level: the task's scope is its
+// working memory.
+func BuildLCCTasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragment, level Level, capture bool) []*tlp.Task {
+	return BuildLCCTasksFor(kb, store, prog, frags, frags, level, capture)
+}
+
+// BuildLCCTasksFor decomposes LCC for a subset of focal objects against
+// a larger partner pool — used by the FA→LCC re-entry, which re-checks
+// only the newly predicted fragments.
+func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, all []*Fragment, level Level, capture bool) []*tlp.Task {
+	units := unitsForLevel(kb, store, focals, all, level)
+	name := store.Scene().Name
+	if level == Level4 {
+		// One task per object class. The scope WMEs keep each focal
+		// object's checks identical to its Level-3 task even though the
+		// class's objects share one working memory.
+		byClass := map[scene.Kind][]lccUnit{}
+		for _, u := range units {
+			byClass[u.focal.Type] = append(byClass[u.focal.Type], u)
+		}
+		var classes []scene.Kind
+		for k := range byClass {
+			classes = append(classes, k)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		var tasks []*tlp.Task
+		for _, k := range classes {
+			group := byClass[k]
+			est := 0
+			for _, u := range group {
+				est += u.expected
+			}
+			groupCopy := group
+			tasks = append(tasks, &tlp.Task{
+				ID:      fmt.Sprintf("lcc4-%s-%s", name, k),
+				Label:   fmt.Sprintf("LCC L4 class %s (%d objects)", k, len(groupCopy)),
+				Group:   string(k),
+				EstSize: float64(est),
+				Build: func() (*ops5.Engine, error) {
+					return buildLCCEngine(kb, store, prog, groupCopy, capture)
+				},
+			})
+		}
+		return tasks
+	}
+	var tasks []*tlp.Task
+	for i, u := range units {
+		uc := u
+		tasks = append(tasks, &tlp.Task{
+			ID:      fmt.Sprintf("lcc%d-%s-%d", level, name, i),
+			Label:   fmt.Sprintf("LCC L%d object %d %s (%d checks)", level, uc.focal.ID, uc.cid, uc.expected),
+			Group:   string(uc.focal.Type),
+			EstSize: float64(uc.expected),
+			Build: func() (*ops5.Engine, error) {
+				return buildLCCEngine(kb, store, prog, []lccUnit{uc}, capture)
+			},
+		})
+	}
+	return tasks
+}
+
+// ConsistentPair is one consistency record produced by LCC: focal
+// object f and partner p satisfied the constraint's relation.
+type ConsistentPair struct {
+	Object   int
+	Partner  int
+	Relation string
+}
+
+// LCCOutcome is the per-object LCC verdict.
+type LCCOutcome struct {
+	Object  int
+	Support int
+	Checked int
+	Status  string // consistent | weak
+}
+
+// ExtractLCC collects the consistency pairs and per-object outcomes
+// from LCC task results.
+func ExtractLCC(results []*tlp.Result) ([]ConsistentPair, []LCCOutcome) {
+	var pairs []ConsistentPair
+	var outs []LCCOutcome
+	for _, r := range results {
+		if r == nil || r.Err != nil || r.Engine == nil {
+			continue
+		}
+		for _, w := range r.Engine.WMEs("check") {
+			if w.Get("result").SymVal() == "t" {
+				pairs = append(pairs, ConsistentPair{
+					Object:   int(w.Get("object").IntVal()),
+					Partner:  int(w.Get("partner").IntVal()),
+					Relation: w.Get("relation").SymVal(),
+				})
+			}
+		}
+		for _, w := range r.Engine.WMEs("lcc-result") {
+			outs = append(outs, LCCOutcome{
+				Object:  int(w.Get("object").IntVal()),
+				Support: int(w.Get("support").IntVal()),
+				Checked: int(w.Get("checked").IntVal()),
+				Status:  w.Get("status").SymVal(),
+			})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Object != pairs[j].Object {
+			return pairs[i].Object < pairs[j].Object
+		}
+		return pairs[i].Partner < pairs[j].Partner
+	})
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Object < outs[j].Object })
+	return pairs, outs
+}
+
+// ---------------------------------------------------------------------------
+// FA phase tasks
+
+// FunctionalArea is one aggregated context.
+type FunctionalArea struct {
+	Seed     int
+	Type     string
+	NMembers int
+	Status   string
+}
+
+// Prediction is one context-driven sub-area prediction.
+type Prediction struct {
+	FA         int
+	Kind       scene.Kind
+	Candidates int
+}
+
+// BuildFATasks decomposes the FA phase: one task per functional-area
+// seed (a consistent fragment of a seed class).
+func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragment,
+	pairs []ConsistentPair, outcomes []LCCOutcome, capture bool) []*tlp.Task {
+
+	byID := map[int]*Fragment{}
+	for _, f := range frags {
+		byID[f.ID] = f
+	}
+	consistent := map[int]bool{}
+	for _, o := range outcomes {
+		if o.Status == "consistent" {
+			consistent[o.Object] = true
+		}
+	}
+	pairsByObject := map[int][]ConsistentPair{}
+	for _, p := range pairs {
+		pairsByObject[p.Object] = append(pairsByObject[p.Object], p)
+	}
+
+	var tasks []*tlp.Task
+	for _, spec := range kb.FAs {
+		memberKinds := map[scene.Kind]bool{}
+		for _, m := range spec.Members {
+			memberKinds[m] = true
+		}
+		for _, f := range frags {
+			if f.Type != spec.Seed || !consistent[f.ID] {
+				continue
+			}
+			// Collect the consistent member partners and the expected
+			// member count (distinct partners of member classes).
+			var members []*Fragment
+			var memberPairs []ConsistentPair
+			seen := map[int]bool{}
+			for _, p := range pairsByObject[f.ID] {
+				pf := byID[p.Partner]
+				if pf == nil || !memberKinds[pf.Type] {
+					continue
+				}
+				memberPairs = append(memberPairs, p)
+				if !seen[pf.ID] {
+					seen[pf.ID] = true
+					members = append(members, pf)
+				}
+			}
+			seed := f
+			specCopy := spec
+			membersCopy := members
+			pairsCopy := memberPairs
+			expected := len(members)
+			tasks = append(tasks, &tlp.Task{
+				ID:      fmt.Sprintf("fa-%s-%s-%d", store.Scene().Name, spec.Type, f.ID),
+				Label:   fmt.Sprintf("FA %s seed %d (%d members)", spec.Type, f.ID, expected),
+				EstSize: float64(expected + 1),
+				Build: func() (*ops5.Engine, error) {
+					e, err := ops5.NewEngine(prog, engineOpts(capture)...)
+					if err != nil {
+						return nil, err
+					}
+					store.Register(e)
+					if err := assertFragment(e, seed); err != nil {
+						return nil, err
+					}
+					for _, m := range membersCopy {
+						if err := assertFragment(e, m); err != nil {
+							return nil, err
+						}
+					}
+					for _, p := range pairsCopy {
+						if _, err := e.Assert("consistency", map[string]symtab.Value{
+							"object":   symtab.Int(int64(p.Object)),
+							"partner":  symtab.Int(int64(p.Partner)),
+							"relation": sym(p.Relation),
+							"result":   sym("t"),
+						}); err != nil {
+							return nil, err
+						}
+					}
+					if _, err := e.Assert("fa-task", map[string]symtab.Value{
+						"seed":     symtab.Int(int64(seed.ID)),
+						"fatype":   sym(specCopy.Type),
+						"expected": symtab.Int(int64(len(pairsCopy))),
+						"status":   sym("active"),
+					}); err != nil {
+						return nil, err
+					}
+					return e, nil
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// ExtractFA collects the closed functional areas and predictions.
+func ExtractFA(results []*tlp.Result) ([]FunctionalArea, []Prediction) {
+	var fas []FunctionalArea
+	var preds []Prediction
+	for _, r := range results {
+		if r == nil || r.Err != nil || r.Engine == nil {
+			continue
+		}
+		for _, w := range r.Engine.WMEs("fa") {
+			fas = append(fas, FunctionalArea{
+				Seed:     int(w.Get("seed").IntVal()),
+				Type:     w.Get("fatype").SymVal(),
+				NMembers: int(w.Get("nmembers").IntVal()),
+				Status:   w.Get("status").SymVal(),
+			})
+		}
+		for _, w := range r.Engine.WMEs("prediction") {
+			preds = append(preds, Prediction{
+				FA:         int(w.Get("fa").IntVal()),
+				Kind:       scene.Kind(w.Get("kind").SymVal()),
+				Candidates: int(w.Get("candidates").IntVal()),
+			})
+		}
+	}
+	sort.Slice(fas, func(i, j int) bool { return fas[i].Seed < fas[j].Seed })
+	sort.Slice(preds, func(i, j int) bool { return preds[i].FA < preds[j].FA })
+	return fas, preds
+}
+
+// ---------------------------------------------------------------------------
+// MODEL phase task
+
+// Model is the final scene model.
+type Model struct {
+	Score int
+	NFAs  int
+}
+
+// BuildModelTask builds the single MODEL-phase task over the closed
+// functional areas.
+func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
+	frags []*Fragment, fas []FunctionalArea, capture bool) *tlp.Task {
+
+	byID := map[int]*Fragment{}
+	for _, f := range frags {
+		byID[f.ID] = f
+	}
+	fasCopy := append([]FunctionalArea(nil), fas...)
+	return &tlp.Task{
+		ID:      fmt.Sprintf("model-%s", store.Scene().Name),
+		Label:   fmt.Sprintf("MODEL (%d functional areas)", len(fasCopy)),
+		EstSize: float64(len(fasCopy) + 1),
+		Build: func() (*ops5.Engine, error) {
+			e, err := ops5.NewEngine(prog, engineOpts(capture)...)
+			if err != nil {
+				return nil, err
+			}
+			store.Register(e)
+			seen := map[int]bool{}
+			for _, fa := range fasCopy {
+				if fa.Status != "closed" {
+					continue
+				}
+				if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
+					seen[f.ID] = true
+					if err := assertFragment(e, f); err != nil {
+						return nil, err
+					}
+				}
+				if _, err := e.Assert("fa", map[string]symtab.Value{
+					"id":       symtab.Int(int64(fa.Seed)),
+					"seed":     symtab.Int(int64(fa.Seed)),
+					"fatype":   sym(fa.Type),
+					"nmembers": symtab.Int(int64(fa.NMembers)),
+					"status":   sym("closed"),
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := e.Assert("model-task", map[string]symtab.Value{
+				"status": sym("active"),
+			}); err != nil {
+				return nil, err
+			}
+			return e, nil
+		},
+	}
+}
+
+// ExtractModel returns the final model from the MODEL task result.
+func ExtractModel(results []*tlp.Result) (Model, bool) {
+	for _, r := range results {
+		if r == nil || r.Err != nil || r.Engine == nil {
+			continue
+		}
+		for _, w := range r.Engine.WMEs("model") {
+			if w.Get("status").SymVal() == "final" {
+				return Model{
+					Score: int(w.Get("score").IntVal()),
+					NFAs:  int(w.Get("nfas").IntVal()),
+				}, true
+			}
+		}
+	}
+	return Model{}, false
+}

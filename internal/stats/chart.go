@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderChart draws series as an ASCII line chart, the terminal
+// rendition of the paper's speedup figures. The X axis is the union of
+// the series' X values; Y starts at zero. Each series is plotted with
+// its own marker; coinciding points show the later series' marker.
+func RenderChart(title string, xLabel, yLabel string, height int, series ...Series) string {
+	if height < 4 {
+		height = 12
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Collect sorted X values and the Y range.
+	xset := map[float64]bool{}
+	maxY := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if len(xset) == 0 || maxY <= 0 {
+		return title + "\n(no data)\n"
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sortFloats(xs)
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+
+	// Grid: one column per X value (2 chars wide), height rows.
+	cols := len(xs)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*2))
+	}
+	rowOf := func(y float64) int {
+		r := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := map[float64]int{}
+	for i, x := range xs {
+		colOf[x] = i * 2
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for _, p := range s.Points {
+			grid[rowOf(p.Y)][colOf[p.X]] = mk
+		}
+	}
+
+	// Y-axis labels on the left.
+	for r := 0; r < height; r++ {
+		yv := (float64(height-1-r) / float64(height-1)) * maxY
+		fmt.Fprintf(&b, "%7.2f |%s\n", yv, string(grid[r]))
+	}
+	b.WriteString("        +" + strings.Repeat("-", cols*2) + "\n")
+	// X-axis labels: print every k-th to stay readable.
+	lbl := []byte(strings.Repeat(" ", cols*2+2))
+	step := 1
+	if cols > 12 {
+		step = 2
+	}
+	for i := 0; i < cols; i += step {
+		s := FormatFloat(xs[i])
+		for j := 0; j < len(s) && i*2+j < len(lbl); j++ {
+			lbl[i*2+j] = s[j]
+		}
+	}
+	b.WriteString("         " + strings.TrimRight(string(lbl), " ") + "\n")
+	fmt.Fprintf(&b, "         %s (y: %s)   legend:", xLabel, yLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// sortFloats is a tiny insertion sort (n is small: axis points).
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoSeries() (Series, Series) {
+	a := Series{Name: "L3"}
+	b := Series{Name: "L2"}
+	for p := 1; p <= 14; p++ {
+		a.Add(float64(p), float64(p)*0.85)
+		b.Add(float64(p), float64(p)*0.88)
+	}
+	return a, b
+}
+
+func TestRenderChartBasics(t *testing.T) {
+	a, b := demoSeries()
+	out := RenderChart("Figure 6", "task procs", "speedup", 12, a, b)
+	for _, want := range []string{"Figure 6", "*=L3", "o=L2", "task procs", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 12 rows + axis + labels + legend.
+	if len(lines) < 15 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderChartMonotoneShape(t *testing.T) {
+	a, _ := demoSeries()
+	out := RenderChart("", "x", "y", 10, a)
+	// A rising series: the first data row (highest y) must contain a
+	// marker near the right edge, the last data row near the left.
+	lines := strings.Split(out, "\n")
+	var dataRows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			dataRows = append(dataRows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(dataRows) < 2 {
+		t.Fatalf("no data rows:\n%s", out)
+	}
+	top, bottom := dataRows[0], dataRows[len(dataRows)-1]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Errorf("rising series should put high values to the right:\ntop %q\nbottom %q", top, bottom)
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	out := RenderChart("t", "x", "y", 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	var empty Series
+	out = RenderChart("t", "x", "y", 10, empty)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty-series chart = %q", out)
+	}
+}
+
+func TestRenderChartHeightClamp(t *testing.T) {
+	a, _ := demoSeries()
+	out := RenderChart("t", "x", "y", 1, a) // clamped to a sane height
+	if strings.Count(out, "|") < 4 {
+		t.Errorf("height clamp failed:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !approx(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !approx(s.Stddev, 2, 1e-12) {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+	if !approx(s.CoV, 0.4, 1e-12) {
+		t.Errorf("CoV = %v", s.CoV)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CoV != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Stddev != 0 || s.CoV != 0 {
+		t.Errorf("single summary wrong: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Errorf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	// Percentile must not reorder the caller's slice.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 1.0)
+	s.Add(4, 3.9)
+	if y, ok := s.YAt(4); !ok || y != 3.9 {
+		t.Errorf("YAt(4) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(2); ok {
+		t.Error("YAt(2) should be absent")
+	}
+	if s.MaxY() != 3.9 {
+		t.Errorf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s := Speedups("tlp", 100, []float64{1, 2, 4}, []float64{100, 52, 27})
+	if y, _ := s.YAt(1); !approx(y, 1, 1e-12) {
+		t.Errorf("speedup at 1 = %v", y)
+	}
+	if y, _ := s.YAt(4); !approx(y, 100.0/27, 1e-12) {
+		t.Errorf("speedup at 4 = %v", y)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Table X", Headers: []string{"Dataset", "Tasks", "Avg"}}
+	tb.AddRow("SF", 283, 5.07)
+	tb.AddRow("DC", 151, 6.55)
+	out := tb.String()
+	for _, want := range []string{"Table X", "Dataset", "SF", "283", "5.07", "6.55"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := Series{Name: "SF"}
+	a.Add(1, 1)
+	a.Add(2, 1.9)
+	b := Series{Name: "DC"}
+	b.Add(2, 1.8)
+	out := RenderSeries("Fig", "procs", a, b)
+	for _, want := range []string{"Fig", "SF", "DC", "1.90", "1.80", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		12:     "12",
+		0.357:  "0.357",
+		5.07:   "5.07",
+		1308.7: "1308.7",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	a := Series{Name: "SF"}
+	a.Add(1, 1)
+	a.Add(2, 1.9)
+	b := Series{Name: "with,comma"}
+	b.Add(2, 1.8)
+	out := SeriesCSV("procs", a, b)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "procs,SF,with;comma" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,1," {
+		t.Errorf("row 1 = %q (missing cell must be empty)", lines[1])
+	}
+	if lines[2] != "2,1.9,1.8" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Guard against pathological infinities from quick's generator.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStddevScaleInvariance(t *testing.T) {
+	f := func(seed uint8) bool {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64((int(seed)+i*7)%23) + 1
+		}
+		s1 := Summarize(xs)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3 * x
+		}
+		s2 := Summarize(scaled)
+		// CoV is scale-free; stddev scales linearly.
+		return approx(s2.CoV, s1.CoV, 1e-9) && approx(s2.Stddev, 3*s1.Stddev, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

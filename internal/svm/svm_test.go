@@ -1,0 +1,192 @@
+package svm
+
+import (
+	"fmt"
+	"testing"
+
+	"spampsm/internal/machine"
+)
+
+// uniform returns n task durations of d instructions each.
+func uniform(n int, d float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// varied returns n task durations averaging d with realistic spread
+// (CoV ≈ 0.4, like the paper's Level 2/3 measurements). Uniform
+// durations quantize the makespan and hide small overheads.
+func varied(n int, d float64) []float64 {
+	out := make([]float64, n)
+	s := uint64(12345)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		frac := float64(s>>11) / float64(1<<53) // [0,1)
+		out[i] = d * (0.3 + 1.4*frac)
+	}
+	return out
+}
+
+// taskInstr is a representative LCC task duration: ~5 simulated
+// seconds, as in the paper's Level 3 measurements.
+var taskInstr = machine.SecToInstr(5)
+
+func TestLocalOnlyMatchesMachine(t *testing.T) {
+	durs := uniform(40, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	s1 := Run(durs, Cluster{Node0Procs: 6}, DefaultConfig(), ov)
+	s2 := machine.Run(durs, 6, ov)
+	if s1.Makespan != s2.Makespan {
+		t.Errorf("local-only SVM (%v) must equal pure machine (%v)", s1.Makespan, s2.Makespan)
+	}
+}
+
+func TestRemoteProcsPayOverheads(t *testing.T) {
+	durs := uniform(60, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	cfg := DefaultConfig()
+	local := Run(durs, Cluster{Node0Procs: 8}, cfg, ov)
+	split := Run(durs, Cluster{Node0Procs: 4, RemoteProcs: 4}, cfg, ov)
+	if split.Makespan <= local.Makespan {
+		t.Errorf("cross-node run (%v) should be slower than same-size local run (%v)",
+			split.Makespan, local.Makespan)
+	}
+}
+
+func TestSpeedupStillRealAcrossNodes(t *testing.T) {
+	// The paper's headline SVM result: real speedups are possible with
+	// the shared virtual memory system — more remote processors still
+	// help, despite the translation.
+	durs := uniform(200, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	cfg := DefaultConfig()
+	s13 := Speedup(durs, Cluster{Node0Procs: 13}, cfg, ov)
+	s17 := Speedup(durs, Cluster{Node0Procs: 13, RemoteProcs: 4}, cfg, ov)
+	s22 := Speedup(durs, Cluster{Node0Procs: 13, RemoteProcs: 9}, cfg, ov)
+	if s17 <= s13 {
+		t.Errorf("4 remote procs should beat 13 local alone: %v vs %v", s17, s13)
+	}
+	if s22 <= s17 {
+		t.Errorf("more remote procs should keep helping: %v vs %v", s22, s17)
+	}
+	if s22 > 22 {
+		t.Errorf("speedup %v cannot exceed processor count", s22)
+	}
+}
+
+func TestTranslationLossAbout1ToTwoProcs(t *testing.T) {
+	// The observed "translational effect ... equivalent to the loss of
+	// about 1.5 processors".
+	durs := varied(400, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	cfg := DefaultConfig()
+	for _, remote := range []int{3, 6, 9} {
+		loss := TranslationLoss(durs, Cluster{Node0Procs: 13, RemoteProcs: remote}, cfg, ov)
+		if loss < 0.5 || loss > 3.0 {
+			t.Errorf("remote=%d: translation loss = %.2f processors, want ~1.5", remote, loss)
+		}
+	}
+	if got := TranslationLoss(durs, Cluster{Node0Procs: 5}, cfg, ov); got != 0 {
+		t.Errorf("no remote procs → loss 0, got %v", got)
+	}
+}
+
+func TestFalseSharingStalls(t *testing.T) {
+	durs := uniform(60, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	good := DefaultConfig()
+	bad := good
+	bad.FalseSharing = true
+	cl := Cluster{Node0Procs: 13, RemoteProcs: 5}
+	sGood := Speedup(durs, cl, good, ov)
+	sBad := Speedup(durs, cl, bad, ov)
+	if sBad >= sGood/2 {
+		t.Errorf("false sharing should be ruinous: good %v, bad %v", sGood, sBad)
+	}
+	// Before the fix, spanning nodes is worse than staying local.
+	sLocal := Speedup(durs, Cluster{Node0Procs: 13}, good, ov)
+	if sBad >= sLocal {
+		t.Errorf("false sharing across nodes (%v) should lose to 13 local procs (%v)", sBad, sLocal)
+	}
+}
+
+func TestSegmentShippingHelps(t *testing.T) {
+	durs := uniform(120, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	with := DefaultConfig()
+	without := with
+	without.SegmentShipping = false
+	cl := Cluster{Node0Procs: 13, RemoteProcs: 6}
+	sWith := Speedup(durs, cl, with, ov)
+	sWithout := Speedup(durs, cl, without, ov)
+	if sWith <= sWithout {
+		t.Errorf("segment shipping should improve speedup: with %v, without %v", sWith, sWithout)
+	}
+}
+
+func TestClusterTotal(t *testing.T) {
+	if (Cluster{Node0Procs: 13, RemoteProcs: 9}).Total() != 22 {
+		t.Error("total = 22")
+	}
+}
+
+func TestAbruptChangeAtNodeBoundary(t *testing.T) {
+	// Figure 9's shape: the curve changes abruptly when the first
+	// remote process is added — speedup(14 procs split) is close to or
+	// below speedup(13 local), then grows again.
+	durs := uniform(400, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	cfg := DefaultConfig()
+	s13 := Speedup(durs, Cluster{Node0Procs: 13}, cfg, ov)
+	s14 := Speedup(durs, Cluster{Node0Procs: 13, RemoteProcs: 1}, cfg, ov)
+	s15 := Speedup(durs, Cluster{Node0Procs: 13, RemoteProcs: 2}, cfg, ov)
+	gainAcross := s14 - s13
+	gainLocal := Speedup(durs, Cluster{Node0Procs: 13}, cfg, ov) -
+		Speedup(durs, Cluster{Node0Procs: 12}, cfg, ov)
+	if gainAcross >= gainLocal {
+		t.Errorf("first remote proc gain (%v) should be well below a local proc gain (%v)",
+			gainAcross, gainLocal)
+	}
+	if s15 <= s14 {
+		t.Errorf("second remote proc should still help: %v vs %v", s15, s14)
+	}
+}
+
+func TestSplitQueuesComparable(t *testing.T) {
+	// The paper's separate-queues experiment: per-Encore task queues
+	// do not change the results materially.
+	durs := varied(400, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 1000}
+	cfg := DefaultConfig()
+	cl := Cluster{Node0Procs: 13, RemoteProcs: 9}
+	shared := Run(durs, cl, cfg, ov).Makespan
+	split := RunSplitQueues(durs, cl, cfg, ov).Makespan
+	ratio := split / shared
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("split queues should be within ~10%% of shared: ratio %.3f", ratio)
+	}
+	// All tasks accounted for.
+	if got := len(RunSplitQueues(durs, cl, cfg, ov).PerTask); got != len(durs) {
+		t.Errorf("per-task records = %d, want %d", got, len(durs))
+	}
+	// With no remote processes, split falls back to shared.
+	one := Cluster{Node0Procs: 8}
+	if RunSplitQueues(durs, one, cfg, ov).Makespan != Run(durs, one, cfg, ov).Makespan {
+		t.Error("single-node split must equal shared")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	durs := uniform(50, taskInstr)
+	cl := Cluster{Node0Procs: 7, RemoteProcs: 3}
+	cfg := DefaultConfig()
+	ov := machine.Overheads{QueuePerTask: 500}
+	a := Run(durs, cl, cfg, ov)
+	b := Run(durs, cl, cfg, ov)
+	if a.Makespan != b.Makespan || fmt.Sprint(a.Busy) != fmt.Sprint(b.Busy) {
+		t.Error("SVM schedule must be deterministic")
+	}
+}

@@ -1,0 +1,197 @@
+// Package symtab provides the value currency of the OPS5 engine:
+// symbols, integers and floating-point numbers, with the comparison
+// semantics required by OPS5 predicate tests.
+//
+// OPS5 attribute values are dynamically typed scalars. Symbols compare
+// only for (in)equality; numbers compare numerically regardless of
+// integer/float representation; the <=> predicate tests whether two
+// values are of the same type.
+package symtab
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the representation of a Value.
+type Kind uint8
+
+const (
+	// KindNil is the zero Value; it matches nothing and compares equal
+	// only to itself. Unbound attributes hold KindNil.
+	KindNil Kind = iota
+	// KindSym is a symbolic atom.
+	KindSym
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindSym:
+		return "symbol"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a scalar OPS5 value. The zero Value is the nil value.
+type Value struct {
+	kind Kind
+	sym  string
+	num  int64   // integer payload
+	flt  float64 // float payload
+}
+
+// Nil is the nil (absent) value.
+var Nil = Value{}
+
+// Sym returns a symbol value.
+func Sym(s string) Value { return Value{kind: KindSym, sym: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, flt: f} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether v is the nil value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// IsNumber reports whether v is an integer or a float.
+func (v Value) IsNumber() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// SymVal returns the symbol payload; it is "" for non-symbols.
+func (v Value) SymVal() string {
+	if v.kind != KindSym {
+		return ""
+	}
+	return v.sym
+}
+
+// IntVal returns the value as an int64, truncating floats.
+func (v Value) IntVal() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.num
+	case KindFloat:
+		return int64(v.flt)
+	}
+	return 0
+}
+
+// FloatVal returns the value as a float64.
+func (v Value) FloatVal() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.num)
+	case KindFloat:
+		return v.flt
+	}
+	return 0
+}
+
+// Equal reports OPS5 value equality: symbols equal by name, numbers
+// equal numerically across integer/float representations.
+func (v Value) Equal(w Value) bool {
+	switch {
+	case v.kind == KindSym || w.kind == KindSym:
+		return v.kind == w.kind && v.sym == w.sym
+	case v.kind == KindNil || w.kind == KindNil:
+		return v.kind == w.kind
+	default:
+		return v.FloatVal() == w.FloatVal()
+	}
+}
+
+// SameType reports whether v and w have the same type in the OPS5
+// <=> sense (symbol vs number; integers and floats are distinct).
+func (v Value) SameType(w Value) bool { return v.kind == w.kind }
+
+// Compare orders two numeric values: -1, 0, or +1. The boolean result
+// is false when either value is non-numeric (OPS5 relational tests
+// fail, rather than error, on non-numbers).
+func (v Value) Compare(w Value) (int, bool) {
+	if !v.IsNumber() || !w.IsNumber() {
+		return 0, false
+	}
+	a, b := v.FloatVal(), w.FloatVal()
+	switch {
+	case a < b:
+		return -1, true
+	case a > b:
+		return 1, true
+	}
+	return 0, true
+}
+
+// String renders the value as OPS5 source text.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindSym:
+		return v.sym
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	}
+	return "?"
+}
+
+// Parse converts a token of OPS5 source text to a Value: integers and
+// floats parse as numbers, everything else is a symbol.
+func Parse(tok string) Value {
+	if tok == "" {
+		return Nil
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return Float(f)
+	}
+	return Sym(tok)
+}
+
+// Hash returns a stable hash of the value, for use in memory indexes.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	// Numeric kinds share a tag so Int(2) and Float(2), which are Equal,
+	// hash identically.
+	tag := byte(v.kind)
+	if v.IsNumber() {
+		tag = 0xfe
+	}
+	mix(tag)
+	switch v.kind {
+	case KindSym:
+		for i := 0; i < len(v.sym); i++ {
+			mix(v.sym[i])
+		}
+	case KindInt, KindFloat:
+		// Hash the numeric value so Int(2) and Float(2) collide into
+		// the same bucket (they are Equal, so they must).
+		bits := uint64(int64(v.FloatVal()*4096 + 0.5))
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	}
+	return h
+}

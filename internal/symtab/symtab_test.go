@@ -1,0 +1,180 @@
+package symtab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind Kind
+	}{
+		{"runway", KindSym},
+		{"42", KindInt},
+		{"-7", KindInt},
+		{"3.5", KindFloat},
+		{"-0.25", KindFloat},
+		{"1e3", KindFloat},
+		{"r-17", KindSym},
+		{"", KindNil},
+		{"<x>", KindSym},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in).Kind(); got != c.kind {
+			t.Errorf("Parse(%q).Kind() = %v, want %v", c.in, got, c.kind)
+		}
+	}
+}
+
+func TestEqualCrossNumeric(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not equal Float(2.5)")
+	}
+	if Int(2).Equal(Sym("2")) {
+		t.Error("Int(2) should not equal Sym(\"2\")")
+	}
+	if !Sym("abc").Equal(Sym("abc")) {
+		t.Error("identical symbols should be equal")
+	}
+	if Sym("abc").Equal(Sym("abd")) {
+		t.Error("distinct symbols should not be equal")
+	}
+	if !Nil.Equal(Nil) {
+		t.Error("nil equals nil")
+	}
+	if Nil.Equal(Int(0)) {
+		t.Error("nil should not equal 0")
+	}
+}
+
+func TestSameType(t *testing.T) {
+	if !Int(1).SameType(Int(9)) || !Float(1).SameType(Float(2)) || !Sym("a").SameType(Sym("b")) {
+		t.Error("same-kind values must be SameType")
+	}
+	if Int(1).SameType(Float(1)) {
+		t.Error("int and float are distinct types under <=>")
+	}
+	if Sym("1").SameType(Int(1)) {
+		t.Error("symbol and int are distinct types")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if c, ok := Int(1).Compare(Float(2)); !ok || c != -1 {
+		t.Errorf("1 vs 2.0: got (%d,%v)", c, ok)
+	}
+	if c, ok := Float(3).Compare(Int(3)); !ok || c != 0 {
+		t.Errorf("3.0 vs 3: got (%d,%v)", c, ok)
+	}
+	if c, ok := Int(5).Compare(Int(4)); !ok || c != 1 {
+		t.Errorf("5 vs 4: got (%d,%v)", c, ok)
+	}
+	if _, ok := Sym("a").Compare(Int(4)); ok {
+		t.Error("symbol comparison must report !ok")
+	}
+	if _, ok := Int(4).Compare(Nil); ok {
+		t.Error("nil comparison must report !ok")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Sym("x").SymVal() != "x" || Int(3).SymVal() != "" {
+		t.Error("SymVal payloads wrong")
+	}
+	if Int(7).IntVal() != 7 || Float(7.9).IntVal() != 7 {
+		t.Error("IntVal payloads wrong")
+	}
+	if Int(7).FloatVal() != 7.0 || Float(2.5).FloatVal() != 2.5 {
+		t.Error("FloatVal payloads wrong")
+	}
+	if !Nil.IsNil() || Int(0).IsNil() {
+		t.Error("IsNil wrong")
+	}
+	if !Int(0).IsNumber() || !Float(0).IsNumber() || Sym("0").IsNumber() {
+		t.Error("IsNumber wrong")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, v := range []Value{Sym("terminal-building"), Int(-12), Float(0.75), Nil} {
+		got := Parse(v.String())
+		if v.IsNil() {
+			// "nil" parses as a symbol; the nil value is not produced by
+			// source text, only by unbound attributes.
+			continue
+		}
+		if !got.Equal(v) || !got.SameType(v) {
+			t.Errorf("round trip of %v gave %v", v, got)
+		}
+	}
+}
+
+func TestHashEqualityConsistency(t *testing.T) {
+	// Equal values must hash identically, including across numeric kinds.
+	pairs := [][2]Value{
+		{Int(2), Float(2)},
+		{Sym("apron"), Sym("apron")},
+		{Float(-1.5), Float(-1.5)},
+		{Int(0), Int(0)},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("test pair %v not Equal", p)
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := map[uint64]Value{}
+	vals := []Value{Sym("a"), Sym("b"), Sym("ab"), Int(1), Int(2), Int(100), Float(1.5), Nil}
+	for _, v := range vals {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %v and %v", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Int(a).Compare(Int(b))
+		c2, ok2 := Int(b).Compare(Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualReflexiveSymmetric(t *testing.T) {
+	f := func(a int64, s string, useSym bool) bool {
+		var v Value
+		if useSym {
+			v = Sym(s)
+		} else {
+			v = Int(a)
+		}
+		return v.Equal(v) && (!v.Equal(Sym(s+"x")) || useSym && s == s+"x")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseNumbersNumeric(t *testing.T) {
+	f := func(n int64) bool {
+		v := Parse(Int(n).String())
+		return v.Kind() == KindInt && v.IntVal() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

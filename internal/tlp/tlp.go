@@ -1,0 +1,179 @@
+// Package tlp is the task-level-parallelism runtime of SPAM/PSM: a
+// control process, a shared task queue, and a set of task processes,
+// each a complete and independent OPS5 engine (working-memory
+// distribution). Production firing is asynchronous: task processes
+// never synchronize with each other, only with the queue.
+//
+// This package provides the *real* concurrent execution (goroutine
+// task processes pulling from a shared queue), used by the examples
+// and for correctness; the deterministic speedup measurements run the
+// same task logs through internal/machine, because reproducing the
+// paper's 14-processor curves requires more processors than the host
+// may have.
+package tlp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spampsm/internal/ops5"
+)
+
+// Task is one independent unit of SPAM work: Build constructs a fresh
+// engine loaded with the task's working memory (the task itself is
+// "just a working memory element, which initializes the production
+// system of the process").
+type Task struct {
+	ID    string
+	Label string
+	// Group names the task's aggregation unit (for SPAM: the focal
+	// object's class), used to roll task statistics up to coarser
+	// decomposition levels.
+	Group string
+	// EstSize is the scheduler's size estimate (SPAM "can provide the
+	// necessary information to identify the sizes of the tasks");
+	// LargestFirst uses it to fight the tail-end effect.
+	EstSize float64
+	Build   func() (*ops5.Engine, error)
+}
+
+// Result is the outcome of one executed task.
+type Result struct {
+	TaskID string
+	Stats  ops5.RunStats
+	Log    *ops5.CostLog
+	Engine *ops5.Engine // retained for result extraction
+	Err    error
+	Worker int // which task process executed it
+	SeqInQ int // position in the executed queue order
+}
+
+// QueuePolicy orders the task queue.
+type QueuePolicy uint8
+
+const (
+	// FIFO executes tasks in submission order (the paper's setup).
+	FIFO QueuePolicy = iota
+	// LargestFirst puts big tasks at the head of the queue, the
+	// scheduling improvement the paper proposes as future work to
+	// remove the tail-end effect.
+	LargestFirst
+)
+
+// Pool runs tasks on a fixed number of task processes.
+type Pool struct {
+	Workers    int
+	Policy     QueuePolicy
+	MaxFirings int // per-task firing limit; 0 = none
+	// DropEngines releases each task's engine (its Rete network and
+	// working memory) as soon as its statistics and cost log have been
+	// collected. Measurement runs over large queues use this to avoid
+	// pinning thousands of engines; leave it false when results are
+	// extracted from final working memories.
+	DropEngines bool
+}
+
+// order returns the queue order under the pool's policy.
+func (p *Pool) order(tasks []*Task) []*Task {
+	q := append([]*Task(nil), tasks...)
+	if p.Policy == LargestFirst {
+		sort.SliceStable(q, func(i, j int) bool { return q[i].EstSize > q[j].EstSize })
+	}
+	return q
+}
+
+// Run executes the tasks and returns results in queue order. Task
+// failures are reported in the Result, not as a Run error; Run fails
+// only on structural problems (no tasks, bad worker count).
+func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("tlp: empty task queue")
+	}
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	queue := p.order(tasks)
+	results := make([]*Result, len(queue))
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(queue) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				results[i] = p.runOne(queue[i], worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+func (p *Pool) runOne(t *Task, worker, seq int) *Result {
+	r := &Result{TaskID: t.ID, Worker: worker, SeqInQ: seq}
+	eng, err := t.Build()
+	if err != nil {
+		r.Err = fmt.Errorf("tlp: build %s: %w", t.ID, err)
+		return r
+	}
+	if _, err := eng.Run(p.MaxFirings); err != nil {
+		r.Err = fmt.Errorf("tlp: run %s: %w", t.ID, err)
+		return r
+	}
+	r.Stats = eng.Stats()
+	r.Log = eng.Log()
+	if !p.DropEngines {
+		r.Engine = eng
+	}
+	return r
+}
+
+// RunSerial executes the tasks on a single worker (the BASELINE
+// configuration of the paper's measurements).
+func RunSerial(tasks []*Task, maxFirings int) ([]*Result, error) {
+	p := &Pool{Workers: 1, MaxFirings: maxFirings}
+	return p.Run(tasks)
+}
+
+// TotalInstr sums the simulated instruction cost over results.
+func TotalInstr(results []*Result) float64 {
+	var t float64
+	for _, r := range results {
+		if r != nil && r.Err == nil {
+			t += r.Stats.TotalInstr()
+		}
+	}
+	return t
+}
+
+// TotalFirings sums production firings over results.
+func TotalFirings(results []*Result) int {
+	n := 0
+	for _, r := range results {
+		if r != nil && r.Err == nil {
+			n += r.Stats.Firings
+		}
+	}
+	return n
+}
+
+// FirstError returns the first task error, or nil.
+func FirstError(results []*Result) error {
+	for _, r := range results {
+		if r != nil && r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

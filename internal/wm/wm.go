@@ -1,0 +1,192 @@
+// Package wm implements OPS5 working memory: element classes declared
+// with literalize, working memory elements (WMEs) as attribute-value
+// records, and timetags.
+//
+// Vector attributes are not supported (SPAM's knowledge base uses
+// scalar attributes only); literalize declares a fixed set of scalar
+// attributes per class.
+package wm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spampsm/internal/symtab"
+)
+
+// ClassDef describes an element class: its name and attribute names in
+// declaration order.
+type ClassDef struct {
+	Name  string
+	Attrs []string
+	index map[string]int
+}
+
+// NewClassDef builds a class definition. Attribute names must be unique.
+func NewClassDef(name string, attrs ...string) (*ClassDef, error) {
+	c := &ClassDef{Name: name, Attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := c.index[a]; dup {
+			return nil, fmt.Errorf("wm: class %s: duplicate attribute %s", name, a)
+		}
+		c.index[a] = i
+	}
+	return c, nil
+}
+
+// AttrIndex returns the slot index of an attribute, or -1 if the class
+// has no such attribute.
+func (c *ClassDef) AttrIndex(attr string) int {
+	if i, ok := c.index[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumAttrs returns the number of declared attributes.
+func (c *ClassDef) NumAttrs() int { return len(c.Attrs) }
+
+// Classes is a registry of element classes.
+type Classes struct {
+	byName map[string]*ClassDef
+}
+
+// NewClasses returns an empty registry.
+func NewClasses() *Classes { return &Classes{byName: make(map[string]*ClassDef)} }
+
+// Declare registers a class (the literalize declaration). Re-declaring
+// an existing class name is an error.
+func (cs *Classes) Declare(name string, attrs ...string) (*ClassDef, error) {
+	if _, dup := cs.byName[name]; dup {
+		return nil, fmt.Errorf("wm: class %s already declared", name)
+	}
+	c, err := NewClassDef(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	cs.byName[name] = c
+	return c, nil
+}
+
+// Lookup returns the class with the given name, or nil.
+func (cs *Classes) Lookup(name string) *ClassDef { return cs.byName[name] }
+
+// Names returns all declared class names, sorted.
+func (cs *Classes) Names() []string {
+	out := make([]string, 0, len(cs.byName))
+	for n := range cs.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WME is a working memory element: an instance of a class with one
+// value per declared attribute and a creation timetag. WMEs are
+// immutable once asserted; OPS5 modify is remove-then-make.
+type WME struct {
+	Class   *ClassDef
+	Vals    []symtab.Value
+	TimeTag int
+}
+
+// Get returns the value of the named attribute (Nil for undeclared or
+// unset attributes).
+func (w *WME) Get(attr string) symtab.Value {
+	i := w.Class.AttrIndex(attr)
+	if i < 0 {
+		return symtab.Nil
+	}
+	return w.Vals[i]
+}
+
+// GetAt returns the value at slot index i.
+func (w *WME) GetAt(i int) symtab.Value {
+	if i < 0 || i >= len(w.Vals) {
+		return symtab.Nil
+	}
+	return w.Vals[i]
+}
+
+// String renders the WME in OPS5 display form.
+func (w *WME) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s", w.Class.Name)
+	for i, a := range w.Class.Attrs {
+		if !w.Vals[i].IsNil() {
+			fmt.Fprintf(&b, " ^%s %s", a, w.Vals[i])
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Memory is a working memory: the live set of WMEs keyed by timetag.
+type Memory struct {
+	classes *Classes
+	byTag   map[int]*WME
+	nextTag int
+}
+
+// NewMemory returns an empty working memory over the given classes.
+func NewMemory(classes *Classes) *Memory {
+	return &Memory{classes: classes, byTag: make(map[int]*WME), nextTag: 1}
+}
+
+// Classes returns the registry the memory was built over.
+func (m *Memory) Classes() *Classes { return m.classes }
+
+// Make asserts a new WME of the named class. Unset attributes are Nil.
+func (m *Memory) Make(class string, sets map[string]symtab.Value) (*WME, error) {
+	c := m.classes.Lookup(class)
+	if c == nil {
+		return nil, fmt.Errorf("wm: make of undeclared class %s", class)
+	}
+	w := &WME{Class: c, Vals: make([]symtab.Value, c.NumAttrs()), TimeTag: m.nextTag}
+	for a, v := range sets {
+		i := c.AttrIndex(a)
+		if i < 0 {
+			return nil, fmt.Errorf("wm: class %s has no attribute %s", class, a)
+		}
+		w.Vals[i] = v
+	}
+	m.nextTag++
+	m.byTag[w.TimeTag] = w
+	return w, nil
+}
+
+// Remove retracts a WME. Removing a WME not in memory is an error
+// (OPS5 signals this too).
+func (m *Memory) Remove(w *WME) error {
+	if _, ok := m.byTag[w.TimeTag]; !ok {
+		return fmt.Errorf("wm: remove of absent wme (timetag %d)", w.TimeTag)
+	}
+	delete(m.byTag, w.TimeTag)
+	return nil
+}
+
+// Size returns the number of live WMEs.
+func (m *Memory) Size() int { return len(m.byTag) }
+
+// Snapshot returns the live WMEs ordered by timetag.
+func (m *Memory) Snapshot() []*WME {
+	out := make([]*WME, 0, len(m.byTag))
+	for _, w := range m.byTag {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeTag < out[j].TimeTag })
+	return out
+}
+
+// OfClass returns the live WMEs of a class, ordered by timetag.
+func (m *Memory) OfClass(class string) []*WME {
+	var out []*WME
+	for _, w := range m.byTag {
+		if w.Class.Name == class {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeTag < out[j].TimeTag })
+	return out
+}
