@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+# check is the full verification gate: the tier-1 build and tests,
+# static analysis, and the race detector over every package.
+check: build test vet race

@@ -68,3 +68,14 @@ func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
 
 // BenchmarkFig9 regenerates the shared-virtual-memory experiment.
 func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkExtFaults regenerates the fault-injection recovery tables:
+// processor deaths on the Encore and message loss on the SVM cluster
+// and the message-passing machine (see docs/ROBUSTNESS.md). Fault
+// scenarios are skipped under -short.
+func BenchmarkExtFaults(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping fault scenarios in short mode")
+	}
+	runExperiment(b, "ext-faults")
+}

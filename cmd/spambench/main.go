@@ -4,9 +4,12 @@
 //
 //	spambench [-experiment NAME] [-full-scale F] [-subset-scale F]
 //	          [-task-procs N] [-match-procs N]
+//	          [-fault-seed N] [-crash-rate P]
 //
 // NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
-// fig7, table9, fig8, fig9, or "all" (the default).
+// fig7, table9, fig8, fig9, an extension experiment (ext-levels,
+// ext-sched, ext-sync, ext-queues, ext-msgpass, ext-suburban,
+// ext-scale, ext-faults), or "all" (the default).
 package main
 
 import (
@@ -21,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, "+strings.Join(bench.Names(), ", "))
+		"experiment to run: all, "+strings.Join(append(bench.Names(), bench.ExtNames()...), ", "))
 	fullScale := flag.Float64("full-scale", 3,
 		"scene scale factor for the full-dataset runs of Tables 1-3")
 	subsetScale := flag.Float64("subset-scale", 1,
@@ -29,6 +32,8 @@ func main() {
 	taskProcs := flag.Int("task-procs", 14, "maximum task processes (paper: 14)")
 	matchProcs := flag.Int("match-procs", 13, "maximum dedicated match processes (paper: 13)")
 	csvDir := flag.String("csv", "", "also write the figure experiments' data series as CSV files into this directory")
+	faultSeed := flag.Int64("fault-seed", 1990, "seed for the ext-faults chaos experiment")
+	crashRate := flag.Float64("crash-rate", 0.1, "per-processor death rate for ext-faults' plan-driven row")
 	flag.Parse()
 
 	opt := bench.Options{
@@ -36,6 +41,8 @@ func main() {
 		SubsetScale:   *subsetScale,
 		MaxTaskProcs:  *taskProcs,
 		MaxMatchProcs: *matchProcs,
+		FaultSeed:     *faultSeed,
+		CrashRate:     *crashRate,
 	}
 	suite := bench.NewSuite(opt)
 	var out string

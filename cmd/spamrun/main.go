@@ -6,13 +6,22 @@
 //
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
 //	        [-reentry] [-scale F] [-lisp]
+//	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
+//
+// The fault flags run the interpretation under deterministic chaos
+// (see docs/ROBUSTNESS.md): a fixed -fault-seed reproduces the exact
+// same failures and the exact same recovery report. If any task still
+// fails after its retries, spamrun prints a per-task error summary and
+// exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
 	"spampsm/internal/scene"
 	"spampsm/internal/spam"
@@ -27,6 +36,10 @@ func main() {
 	scale := flag.Float64("scale", 1, "scene scale factor")
 	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
+	crashRate := flag.Float64("crash-rate", 0, "probability a task's worker crashes mid-task (0 disables injection)")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
+	maxRetries := flag.Int("max-retries", 2, "failed-task re-executions before quarantine")
 	flag.Parse()
 
 	var d *spam.Dataset
@@ -55,15 +68,31 @@ func main() {
 	fmt.Println(d.Scene.Stats())
 	fmt.Printf("production memory: %d productions\n\n", d.Progs.NumProductions())
 
+	var plan *faults.Plan
+	if *crashRate > 0 {
+		// PermanentFraction stays 0: injected crashes are transient, so a
+		// retried task recovers and the run completes despite the chaos.
+		plan = faults.New(faults.Config{Seed: *faultSeed, CrashRate: *crashRate})
+	}
 	in, err := d.Interpret(spam.InterpretOptions{
-		Workers: *workers,
-		Level:   spam.Level(*level),
-		ReEntry: *reentry,
+		Workers:      *workers,
+		Level:        spam.Level(*level),
+		ReEntry:      *reentry,
+		Faults:       plan,
+		MaxRetries:   *maxRetries,
+		TaskTimeout:  *taskTimeout,
+		RetryBackoff: time.Millisecond,
 	})
 	if err != nil {
+		// The error aggregates every failed task; the reports break the
+		// failures down attempt by attempt.
 		fmt.Fprintln(os.Stderr, "spamrun:", err)
+		if in != nil {
+			printReports(in)
+		}
 		os.Exit(1)
 	}
+	printReports(in)
 
 	factor := 1.0
 	unit := "sec (simulated, C/ParaOPS5 baseline)"
@@ -94,6 +123,11 @@ func main() {
 		fmt.Println("no scene model produced")
 	}
 
+	if rec := in.Recovery(); rec.Retries > 0 {
+		fmt.Printf("recovery: %d retries, %d recovered, %d quarantined, %.3f sec wasted\n",
+			rec.Retries, rec.Recovered, rec.Quarantined, machine.InstrToSec(rec.WastedInstr))
+	}
+
 	if *svgOut != "" {
 		labels := map[int]string{}
 		best := map[int]int{}
@@ -114,5 +148,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+// printReports prints each phase's fault-handling report to stderr —
+// only the phases that actually needed recovery.
+func printReports(in *spam.Interpretation) {
+	for _, ph := range in.Phases {
+		if ph.Report != nil && !ph.Report.Clean() {
+			fmt.Fprintf(os.Stderr, "%s %s", ph.Phase, ph.Report)
+		}
 	}
 }

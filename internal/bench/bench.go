@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"spampsm/internal/core"
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
 	"spampsm/internal/matchbench"
 	"spampsm/internal/msgpass"
@@ -42,6 +43,12 @@ type Options struct {
 	// SubsetScale scales the representative subsets themselves; 1.0 is
 	// the calibrated paper scale. Tests use smaller values.
 	SubsetScale float64
+	// FaultSeed seeds the ext-faults chaos experiment's deterministic
+	// injection plan (0 picks the default seed).
+	FaultSeed int64
+	// CrashRate is the per-processor death probability for ext-faults'
+	// plan-driven processor-failure row.
+	CrashRate float64
 }
 
 // DefaultOptions mirror the paper's experimental setup.
@@ -672,6 +679,81 @@ func (s *Suite) ExtMsgpass() (string, error) {
 	return tb.String(), nil
 }
 
+
+// ExtFaults is the robustness experiment: what does recovery cost when
+// the hardware misbehaves? Table A degrades the paper's 14-processor
+// Encore configuration with mid-run processor deaths — the shared task
+// queue simply reissues the dead processor's task, so the speedup
+// degrades gracefully instead of the run dying. Table B degrades the
+// Section 7/9 networks with message loss and timeout-driven
+// retransmission. Both are driven by one deterministic fault plan, so
+// a fixed -fault-seed reproduces every number.
+func (s *Suite) ExtFaults() (string, error) {
+	m, err := s.Measurement("SF", core.LCC, spam.Level3, false)
+	if err != nil {
+		return "", err
+	}
+	durs := machine.Durations(m.Exp.Tasks, 0, m.Exp.Model)
+	ov := m.Exp.Overheads
+	base := machine.Run(durs, 1, ov).Makespan
+	var useful float64
+	for _, d := range durs {
+		useful += d
+	}
+	seed := s.Opt.FaultSeed
+	if seed == 0 {
+		seed = 1990
+	}
+	plan := faults.New(faults.Config{Seed: seed, CrashRate: s.Opt.CrashRate})
+	procs := s.Opt.MaxTaskProcs
+	clean := machine.Run(durs, procs, ov).Makespan
+
+	tbA := stats.Table{
+		Title: fmt.Sprintf("Extension: recovery overhead of processor deaths at %d task processes (SF Level 3, seed %d)",
+			procs, seed),
+		Headers: append([]string{"Deaths", "Speedup", "Overhead %"}, stats.RecoveryHeaders()...),
+	}
+	// Deaths staggered across the clean run: the k-th death kills
+	// processor k at (k+1)/(n+1) of the fault-free makespan.
+	for deaths := 0; deaths <= 3; deaths++ {
+		var fs []faults.ProcFailure
+		for k := 0; k < deaths; k++ {
+			fs = append(fs, faults.ProcFailure{Proc: k, At: clean * float64(k+1) / float64(deaths+1)})
+		}
+		sched, rec := machine.RunWithFailures(durs, procs, ov, fs)
+		row := []interface{}{deaths, base / sched.Makespan, rec.OverheadPercent(useful)}
+		tbA.AddRow(append(row, rec.Row(machine.MIPS*1e6)...)...)
+	}
+	if s.Opt.CrashRate > 0 {
+		fs := plan.ProcFailures(procs, s.Opt.CrashRate, clean)
+		sched, rec := machine.RunWithFailures(durs, procs, ov, fs)
+		row := []interface{}{fmt.Sprintf("plan p=%.2f", s.Opt.CrashRate),
+			base / sched.Makespan, rec.OverheadPercent(useful)}
+		tbA.AddRow(append(row, rec.Row(machine.MIPS*1e6)...)...)
+	}
+
+	tbB := stats.Table{
+		Title: "Extension: message loss with timeout-and-retransmit on the SVM cluster (13+9) and the message-passing machine (14 nodes, dynamic)",
+		Headers: []string{"Loss rate", "SVM speedup", "SVM retransmits", "SVM wasted (sec)",
+			"Msgpass speedup", "Msgpass retransmits", "Msgpass wasted (sec)"},
+	}
+	cl := svm.Cluster{Node0Procs: 13, RemoteProcs: 9}
+	svmCfg := svm.DefaultConfig()
+	svmCfg.RetryTimeoutInstr = 2 * svmCfg.FaultLatencyInstr
+	mpCfg := msgpass.DefaultConfig(14)
+	mpCfg.RetransmitTimeoutInstr = 4 * mpCfg.MsgLatencyInstr
+	for _, rate := range []float64{0, 0.01, 0.05, 0.10} {
+		svmCfg.LossRate, mpCfg.LossRate = rate, rate
+		svmCfg.FaultPlan, mpCfg.FaultPlan = plan, plan
+		svmSched, svmRec := svm.RunFaulty(durs, cl, svmCfg, ov)
+		mpSched, mpRec := msgpass.RunFaulty(durs, mpCfg, msgpass.Dynamic)
+		tbB.AddRow(fmt.Sprintf("%.0f%%", 100*rate),
+			base/svmSched.Makespan, svmRec.Retransmits, machine.InstrToSec(svmRec.WastedInstr),
+			base/mpSched.Makespan, mpRec.Retransmits, machine.InstrToSec(mpRec.WastedInstr))
+	}
+	return tbA.String() + "\n" + tbB.String(), nil
+}
+
 // ---------------------------------------------------------------------------
 // dispatch
 
@@ -682,7 +764,7 @@ func Names() []string {
 
 // ExtNames lists the extension/ablation experiments beyond the paper.
 func ExtNames() []string {
-	return []string{"ext-levels", "ext-sched", "ext-sync", "ext-queues", "ext-msgpass", "ext-suburban", "ext-scale"}
+	return []string{"ext-levels", "ext-sched", "ext-sync", "ext-queues", "ext-msgpass", "ext-suburban", "ext-scale", "ext-faults"}
 }
 
 // Run executes one experiment by name.
@@ -722,6 +804,8 @@ func (s *Suite) Run(name string) (string, error) {
 		return s.ExtSuburban()
 	case "ext-scale":
 		return s.ExtScale()
+	case "ext-faults":
+		return s.ExtFaults()
 	default:
 		return "", fmt.Errorf("bench: unknown experiment %q (want one of %s)", name,
 			strings.Join(append(Names(), ExtNames()...), ", "))

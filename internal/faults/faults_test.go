@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if f := p.TaskFault("t1", 1); f.Kind != None {
+		t.Errorf("nil plan injected %v", f)
+	}
+	if n := p.LossCount("msg", 0, 0.99, 8); n != 0 {
+		t.Errorf("nil plan lost %d messages", n)
+	}
+	if fs := p.ProcFailures(14, 0.99, 1e9); fs != nil {
+		t.Errorf("nil plan failed processors: %v", fs)
+	}
+	if d := p.Draw("x"); d != 1 {
+		t.Errorf("nil plan draw = %v, want 1", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, BuildFailRate: 0.1, PanicRate: 0.1, CrashRate: 0.1, PermanentFraction: 0.3}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("task-%d", i)
+		for attempt := 1; attempt <= 3; attempt++ {
+			if a.TaskFault(id, attempt) != b.TaskFault(id, attempt) {
+				t.Fatalf("plans disagree on %s attempt %d", id, attempt)
+			}
+		}
+		if a.LossCount("svm", i, 0.2, 8) != b.LossCount("svm", i, 0.2, 8) {
+			t.Fatalf("plans disagree on loss count %d", i)
+		}
+	}
+	fa := a.ProcFailures(14, 0.5, 1e8)
+	fb := b.ProcFailures(14, 0.5, 1e8)
+	if len(fa) != len(fb) {
+		t.Fatalf("proc failures differ: %v vs %v", fa, fb)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("proc failure %d differs: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1, CrashRate: 0.5})
+	b := New(Config{Seed: 2, CrashRate: 0.5})
+	same := 0
+	for i := 0; i < 256; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if a.TaskFault(id, 1) == b.TaskFault(id, 1) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestRateCalibration(t *testing.T) {
+	p := New(Config{Seed: 7, BuildFailRate: 0.05, PanicRate: 0.05, CrashRate: 0.10})
+	n := 20000
+	hit := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		f := p.TaskFault(fmt.Sprintf("task-%d", i), 1)
+		hit[f.Kind]++
+	}
+	frac := func(k Kind) float64 { return float64(hit[k]) / float64(n) }
+	for k, want := range map[Kind]float64{BuildFail: 0.05, Panic: 0.05, Crash: 0.10} {
+		if got := frac(k); math.Abs(got-want) > 0.01 {
+			t.Errorf("%v rate = %.3f, want ~%.2f", k, got, want)
+		}
+	}
+	if got := frac(None); math.Abs(got-0.80) > 0.02 {
+		t.Errorf("clean rate = %.3f, want ~0.80", got)
+	}
+}
+
+func TestTransientStrikesFirstAttemptOnly(t *testing.T) {
+	p := New(Config{Seed: 3, CrashRate: 1.0}) // PermanentFraction 0: all transient
+	f := p.TaskFault("t", 1)
+	if f.Kind != Crash || f.Class != Transient {
+		t.Fatalf("attempt 1 fault = %+v", f)
+	}
+	if f2 := p.TaskFault("t", 2); f2.Kind != None {
+		t.Errorf("transient fault recurred on attempt 2: %+v", f2)
+	}
+}
+
+func TestPermanentStrikesEveryAttempt(t *testing.T) {
+	p := New(Config{Seed: 3, PanicRate: 1.0, PermanentFraction: 1.0})
+	for attempt := 1; attempt <= 5; attempt++ {
+		f := p.TaskFault("poison", attempt)
+		if f.Kind != Panic || f.Class != Permanent {
+			t.Fatalf("attempt %d fault = %+v, want permanent panic", attempt, f)
+		}
+	}
+}
+
+func TestFaultErrMarkers(t *testing.T) {
+	tr := Fault{Kind: Crash, Class: Transient}.Err("boom")
+	if !errors.Is(tr, ErrInjected) || errors.Is(tr, ErrPermanent) {
+		t.Errorf("transient error markers wrong: %v", tr)
+	}
+	pe := Fault{Kind: Panic, Class: Permanent}.Err("boom")
+	if !errors.Is(pe, ErrInjected) || !errors.Is(pe, ErrPermanent) {
+		t.Errorf("permanent error markers wrong: %v", pe)
+	}
+}
+
+func TestCrashAfterFiringsBounds(t *testing.T) {
+	p := New(Config{Seed: 11, CrashRate: 1})
+	for i := 0; i < 100; i++ {
+		n := p.CrashAfterFirings(fmt.Sprintf("t%d", i), 8)
+		if n < 1 || n > 8 {
+			t.Fatalf("crash firings %d out of [1,8]", n)
+		}
+	}
+}
+
+func TestLossCountCapAndRate(t *testing.T) {
+	p := New(Config{Seed: 5})
+	if n := p.LossCount("m", 0, 1.0, 4); n != 4 {
+		t.Errorf("loss count at rate 1 = %d, want cap 4", n)
+	}
+	total := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		total += p.LossCount("m", i, 0.25, 8)
+	}
+	// Mean of a geometric with p=0.25 is 1/3 retransmissions.
+	mean := float64(total) / float64(n)
+	if math.Abs(mean-1.0/3) > 0.02 {
+		t.Errorf("mean loss count = %.3f, want ~0.333", mean)
+	}
+}
+
+func TestProcFailuresWithinHorizon(t *testing.T) {
+	p := New(Config{Seed: 9})
+	fs := p.ProcFailures(100, 0.3, 5e7)
+	if len(fs) == 0 {
+		t.Fatal("expected some failures at rate 0.3")
+	}
+	for _, f := range fs {
+		if f.At <= 0 || f.At > 5e7 {
+			t.Errorf("failure time %v outside (0, horizon]", f.At)
+		}
+		if f.Proc < 0 || f.Proc >= 100 {
+			t.Errorf("failure proc %d out of range", f.Proc)
+		}
+	}
+}

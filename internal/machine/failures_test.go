@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"spampsm/internal/faults"
+)
+
+func uniform(n int, d float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// TestOneDeathRecoveryCurve is the acceptance scenario: 140 uniform
+// tasks on P=14, processor 0 dies mid-run. The numbers are exact and
+// hand-derivable: without failure every processor runs 10 tasks
+// (makespan 10e6, speedup 14); with processor 0 dying at t=3.5e6 it
+// completes 3 tasks and wastes half a task, the remaining 137 tasks
+// spread over 13 survivors (7 of them run 11 tasks), so the makespan
+// is 11e6 and the speedup drops to 140/11 ≈ 12.73.
+func TestOneDeathRecoveryCurve(t *testing.T) {
+	durs := uniform(140, 1e6)
+	ov := Overheads{}
+	clean := Run(durs, 14, ov)
+	if clean.Makespan != 10e6 {
+		t.Fatalf("clean makespan = %v, want 10e6", clean.Makespan)
+	}
+	failures := []faults.ProcFailure{{Proc: 0, At: 3.5e6}}
+	sched, rec := RunWithFailures(durs, 14, ov, failures)
+	if sched.Makespan != 11e6 {
+		t.Errorf("degraded makespan = %v, want 11e6", sched.Makespan)
+	}
+	if got := 140e6 / sched.Makespan; math.Abs(got-140.0/11) > 1e-9 {
+		t.Errorf("speedup = %v, want %v", got, 140.0/11)
+	}
+	if rec.WastedInstr != 0.5e6 {
+		t.Errorf("wasted = %v, want 0.5e6", rec.WastedInstr)
+	}
+	if rec.Requeued != 1 || rec.DeadProcs != 1 || rec.Retries != 1 {
+		t.Errorf("recovery = %+v, want 1 requeue / 1 dead / 1 retry", rec)
+	}
+	// The dead processor's busy time includes its completed tasks plus
+	// the wasted partial work.
+	if sched.Busy[0] != 3.5e6 {
+		t.Errorf("dead proc busy = %v, want 3.5e6", sched.Busy[0])
+	}
+}
+
+func TestFailuresDeterministic(t *testing.T) {
+	durs := []float64{5e6, 1e6, 3e6, 2e6, 8e6, 1e6, 1e6, 4e6, 2e6, 6e6, 1e6, 2e6}
+	fs := []faults.ProcFailure{{Proc: 1, At: 4e6}, {Proc: 3, At: 9e6}}
+	a, ra := RunWithFailures(durs, 4, DefaultOverheads, fs)
+	b, rb := RunWithFailures(durs, 4, DefaultOverheads, fs)
+	if a.Makespan != b.Makespan || ra != rb {
+		t.Errorf("failure scheduling not deterministic: %v/%v vs %v/%v", a.Makespan, ra, b.Makespan, rb)
+	}
+	for i := range a.PerTask {
+		if a.PerTask[i] != b.PerTask[i] {
+			t.Fatalf("per-task completion %d differs", i)
+		}
+	}
+}
+
+// TestWorkConservation: total busy time equals the useful work of all
+// completed tasks plus the wasted partial work.
+func TestWorkConservation(t *testing.T) {
+	durs := []float64{5e6, 1e6, 3e6, 2e6, 8e6, 1e6, 7e6, 4e6, 2e6, 6e6}
+	ov := Overheads{QueuePerTask: 1e4}
+	fs := []faults.ProcFailure{{Proc: 0, At: 6e6}, {Proc: 2, At: 3e6}}
+	sched, rec := RunWithFailures(durs, 4, ov, fs)
+	var useful float64
+	for _, d := range durs {
+		useful += d + ov.QueuePerTask
+	}
+	var busy float64
+	for _, b := range sched.Busy {
+		busy += b
+	}
+	if math.Abs(busy-(useful+rec.WastedInstr)) > 1 {
+		t.Errorf("work not conserved: busy=%v useful=%v wasted=%v", busy, useful, rec.WastedInstr)
+	}
+	if rec.DeadProcs != 2 {
+		t.Errorf("dead procs = %d, want 2", rec.DeadProcs)
+	}
+}
+
+func TestNoFailuresMatchesRun(t *testing.T) {
+	durs := []float64{5e6, 1e6, 3e6, 2e6, 8e6, 1e6}
+	plain := Run(durs, 3, DefaultOverheads)
+	sched, rec := RunWithFailures(durs, 3, DefaultOverheads, nil)
+	if sched.Makespan != plain.Makespan {
+		t.Errorf("failure-free RunWithFailures diverges: %v vs %v", sched.Makespan, plain.Makespan)
+	}
+	if rec.WastedInstr != 0 || rec.Requeued != 0 || rec.DeadProcs != 0 {
+		t.Errorf("phantom recovery: %+v", rec)
+	}
+}
+
+func TestAllProcessorsDie(t *testing.T) {
+	durs := uniform(10, 1e6)
+	fs := []faults.ProcFailure{{Proc: 0, At: 1.5e6}, {Proc: 1, At: 0.5e6}}
+	sched, rec := RunWithFailures(durs, 2, Overheads{}, fs)
+	if !math.IsInf(sched.Makespan, 1) {
+		t.Errorf("dead cluster makespan = %v, want +Inf", sched.Makespan)
+	}
+	if rec.DeadProcs != 2 {
+		t.Errorf("dead procs = %d, want 2", rec.DeadProcs)
+	}
+	if !math.IsInf(sched.PerTask[len(sched.PerTask)-1], 1) {
+		t.Error("unfinished tasks must complete at +Inf")
+	}
+}
+
+// TestPlanDrivenFailures ties the faults plan to the simulator: the
+// plan's drawn failures degrade the speedup deterministically.
+func TestPlanDrivenFailures(t *testing.T) {
+	durs := uniform(140, 1e6)
+	clean := Run(durs, 14, Overheads{}).Makespan
+	plan := faults.New(faults.Config{Seed: 1990})
+	fs := plan.ProcFailures(14, 0.2, clean)
+	if len(fs) == 0 {
+		t.Skip("seed drew no failures at rate 0.2 (adjust seed)")
+	}
+	s1, r1 := RunWithFailures(durs, 14, Overheads{}, fs)
+	s2, r2 := RunWithFailures(durs, 14, Overheads{}, plan.ProcFailures(14, 0.2, clean))
+	if s1.Makespan != s2.Makespan || r1 != r2 {
+		t.Error("plan-driven failures not reproducible")
+	}
+	if s1.Makespan <= clean {
+		t.Errorf("dying processors cannot speed the run up: %v <= %v", s1.Makespan, clean)
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"container/heap"
 	"sort"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
+	"spampsm/internal/stats"
 )
 
 // Config parameterizes the message-passing machine.
@@ -37,6 +39,28 @@ type Config struct {
 	TaskShipInstr float64
 	// ResultShipInstr is the cost of shipping a task's results back.
 	ResultShipInstr float64
+
+	// LossRate is the probability one task-carrying message is lost in
+	// the interconnect and must be retransmitted after a timeout. 0
+	// models a reliable network.
+	LossRate float64
+	// RetransmitTimeoutInstr is the loss-detection timeout before a
+	// message is resent, in simulated instructions.
+	RetransmitTimeoutInstr float64
+	// FaultPlan drives the deterministic loss draws; nil disables loss
+	// regardless of LossRate, keeping chaos runs reproducible.
+	FaultPlan *faults.Plan
+}
+
+// lossOverhead returns the retransmission cost charged to task i (a
+// lost shipment costs the timeout plus a fresh message round), and the
+// number of lost transmissions.
+func (c Config) lossOverhead(i int) (float64, int) {
+	if c.FaultPlan == nil || c.LossRate <= 0 {
+		return 0, 0
+	}
+	n := c.FaultPlan.LossCount("msgpass", i, c.LossRate, 8)
+	return float64(n) * (c.RetransmitTimeoutInstr + c.MsgLatencyInstr), n
 }
 
 // DefaultConfig models a mid-80s multicomputer interconnect: ~5 ms
@@ -81,6 +105,32 @@ func (p Policy) String() string {
 // message-passing machine under the given policy and returns the
 // simulated schedule.
 func Run(durations []float64, cfg Config, policy Policy) machine.Schedule {
+	sched, _ := RunFaulty(durations, cfg, policy)
+	return sched
+}
+
+// RunFaulty is Run with recovery accounting: when the config carries a
+// loss rate and fault plan, each task's shipment may be lost and
+// resent after a timeout, and the recovery columns report the cost.
+// Losses are charged per task (by queue index) before dispatch, so
+// every distribution policy pays the same retransmission bill and the
+// policies stay comparable under identical fault plans.
+func RunFaulty(durations []float64, cfg Config, policy Policy) (machine.Schedule, stats.Recovery) {
+	var rec stats.Recovery
+	if cfg.FaultPlan != nil && cfg.LossRate > 0 {
+		costed := make([]float64, len(durations))
+		for i, d := range durations {
+			extra, lost := cfg.lossOverhead(i)
+			costed[i] = d + extra
+			rec.Retransmits += lost
+			rec.WastedInstr += extra
+		}
+		durations = costed
+	}
+	return run(durations, cfg, policy), rec
+}
+
+func run(durations []float64, cfg Config, policy Policy) machine.Schedule {
 	n := cfg.Nodes
 	if n < 1 {
 		n = 1

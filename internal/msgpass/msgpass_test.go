@@ -5,7 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
+	"spampsm/internal/stats"
 )
 
 func varied(n int, meanSec float64, seed uint64) []float64 {
@@ -165,4 +167,78 @@ func TestSpeedupMonotoneInNodes(t *testing.T) {
 	if math.IsNaN(prev) {
 		t.Error("NaN speedup")
 	}
+}
+
+func TestLossyNetworkCostsAndDeterminism(t *testing.T) {
+	durs := varied(100, 5, 42)
+	cfg := DefaultConfig(14)
+	lossy := cfg
+	lossy.LossRate = 0.10
+	lossy.RetransmitTimeoutInstr = 4 * cfg.MsgLatencyInstr
+	lossy.FaultPlan = faults.New(faults.Config{Seed: 1990})
+
+	for _, pol := range []Policy{StaticRoundRobin, StaticBalanced, Dynamic} {
+		clean := Run(durs, cfg, pol)
+		s1, r1 := RunFaulty(durs, lossy, pol)
+		s2, r2 := RunFaulty(durs, lossy, pol)
+		if s1.Makespan != s2.Makespan || r1 != r2 {
+			t.Errorf("%v: lossy run not deterministic", pol)
+		}
+		if r1.Retransmits == 0 || r1.WastedInstr <= 0 {
+			t.Errorf("%v: retransmissions not accounted: %+v", pol, r1)
+		}
+		// Work conservation: the retransmission bill lands in busy time
+		// exactly (makespan may shift either way under list-scheduling
+		// anomalies, but the total work cannot).
+		if got, want := sum(s1.Busy)-sum(clean.Busy), r1.WastedInstr; math.Abs(got-want) > 1 {
+			t.Errorf("%v: lossy busy grew by %v, want wasted %v", pol, got, want)
+		}
+	}
+}
+
+func TestPoliciesPaySameRetransmissionBill(t *testing.T) {
+	// Losses are charged per task before dispatch, so every policy sees
+	// the same retransmit count and wasted instructions — the policies
+	// remain comparable under identical fault plans.
+	durs := varied(80, 5, 7)
+	cfg := DefaultConfig(8)
+	cfg.LossRate = 0.15
+	cfg.RetransmitTimeoutInstr = 4 * cfg.MsgLatencyInstr
+	cfg.FaultPlan = faults.New(faults.Config{Seed: 3})
+	_, rRR := RunFaulty(durs, cfg, StaticRoundRobin)
+	_, rLPT := RunFaulty(durs, cfg, StaticBalanced)
+	_, rDyn := RunFaulty(durs, cfg, Dynamic)
+	if rRR != rLPT || rLPT != rDyn {
+		t.Errorf("retransmission bills differ: %+v / %+v / %+v", rRR, rLPT, rDyn)
+	}
+}
+
+func TestZeroLossMatchesReliableNetwork(t *testing.T) {
+	durs := varied(50, 5, 9)
+	cfg := DefaultConfig(6)
+	noPlan := cfg
+	noPlan.LossRate = 0.3
+	noPlan.RetransmitTimeoutInstr = 4 * cfg.MsgLatencyInstr
+	zeroRate := noPlan
+	zeroRate.LossRate = 0
+	zeroRate.FaultPlan = faults.New(faults.Config{Seed: 1})
+	for _, pol := range []Policy{StaticRoundRobin, StaticBalanced, Dynamic} {
+		base := Run(durs, cfg, pol).Makespan
+		s1, r1 := RunFaulty(durs, noPlan, pol)
+		s2, r2 := RunFaulty(durs, zeroRate, pol)
+		if s1.Makespan != base || s2.Makespan != base {
+			t.Errorf("%v: disabled loss must match reliable run", pol)
+		}
+		if (r1 != stats.Recovery{}) || (r2 != stats.Recovery{}) {
+			t.Errorf("%v: phantom recovery: %+v %+v", pol, r1, r2)
+		}
+	}
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }

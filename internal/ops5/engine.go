@@ -1,15 +1,21 @@
 package ops5
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"spampsm/internal/rete"
 	"spampsm/internal/symtab"
 	"spampsm/internal/wm"
 )
+
+// ErrInterrupted is returned by Run when Interrupt stops the
+// recognize-act loop before quiescence (e.g. a task-process deadline).
+var ErrInterrupted = errors.New("ops5: run interrupted")
 
 // Instruction costs of interpreter operations outside the match
 // (simulated NS32332 instructions).
@@ -130,7 +136,11 @@ type Engine struct {
 	capture   bool
 	halted    bool
 	running   bool
-	stats     RunStats
+	// interrupted is set asynchronously by Interrupt and polled once
+	// per recognize-act cycle, so a wall-clock watchdog can stop a
+	// runaway task without killing its goroutine.
+	interrupted atomic.Bool
+	stats       RunStats
 	// log is allocated separately from the Engine so that callers can
 	// retain the cost log while the engine itself (its Rete network and
 	// working memory) is garbage collected.
@@ -264,6 +274,11 @@ func (e *Engine) ProductionNames() []string {
 // Halted reports whether a (halt) action stopped the run.
 func (e *Engine) Halted() bool { return e.halted }
 
+// Interrupt asynchronously stops a running engine: the recognize-act
+// loop polls the flag between cycles and returns ErrInterrupted. Safe
+// to call from any goroutine; a subsequent Run clears the flag.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
 // Run executes the recognize-act loop until quiescence, halt, or
 // maxFirings productions have fired (0 means no limit). It returns the
 // number of firings performed by this call.
@@ -273,6 +288,7 @@ func (e *Engine) Run(maxFirings int) (int, error) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	e.interrupted.Store(false)
 	// Collect any activations pending from initialization.
 	initRoots := e.net.TakeBatch()
 	if len(initRoots) > 0 {
@@ -280,6 +296,10 @@ func (e *Engine) Run(maxFirings int) (int, error) {
 	}
 	fired := 0
 	for !e.halted && (maxFirings == 0 || fired < maxFirings) {
+		if e.interrupted.Load() {
+			e.stats.Halted = e.halted
+			return fired, ErrInterrupted
+		}
 		e.stats.Cycles++
 		// Resolve.
 		inst := e.cs.Resolve(e.strategy)

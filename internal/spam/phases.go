@@ -1,10 +1,14 @@
 package spam
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/ops5"
 	"spampsm/internal/scene"
+	"spampsm/internal/stats"
 	"spampsm/internal/tlp"
 )
 
@@ -60,6 +64,9 @@ type PhaseRun struct {
 	MatchInstr float64
 	Hypotheses int
 	Results    []*tlp.Result
+	// Report is the phase's fault-handling accounting: attempts,
+	// retries, quarantines. Clean phases have a clean report.
+	Report *tlp.RunReport
 }
 
 // MatchFraction returns the phase's match fraction of total time.
@@ -111,6 +118,17 @@ func (in *Interpretation) TotalInstr() float64 {
 	return t
 }
 
+// Recovery sums the phases' fault-handling accounting.
+func (in *Interpretation) Recovery() stats.Recovery {
+	var rec stats.Recovery
+	for _, p := range in.Phases {
+		if p.Report != nil {
+			rec.Add(p.Report.Recovery())
+		}
+	}
+	return rec
+}
+
 // InterpretOptions configure a full run.
 type InterpretOptions struct {
 	Workers  int   // task processes for the real pool (default 1)
@@ -121,10 +139,18 @@ type InterpretOptions struct {
 	// are then re-checked by the LCC rules.
 	ReEntry bool
 	Capture bool // per-activation capture for match-parallel simulation
+
+	// Fault tolerance (see docs/ROBUSTNESS.md). Zero values mean no
+	// injection, no timeout and no retries — the pre-fault behavior.
+	Faults       *faults.Plan  // deterministic fault injection; nil = none
+	MaxRetries   int           // failed-task re-executions before quarantine
+	TaskTimeout  time.Duration // per-attempt wall-clock deadline; 0 = none
+	RetryBackoff time.Duration // delay before the first retry (doubles after)
 }
 
-func phaseStats(name string, results []*tlp.Result, hypotheses int) PhaseRun {
-	p := PhaseRun{Phase: name, Tasks: len(results), Hypotheses: hypotheses, Results: results}
+func phaseStats(pool *tlp.Pool, name string, results []*tlp.Result, hypotheses int) PhaseRun {
+	p := PhaseRun{Phase: name, Tasks: len(results), Hypotheses: hypotheses, Results: results,
+		Report: pool.Report(results)}
 	for _, r := range results {
 		if r == nil || r.Err != nil {
 			continue
@@ -149,30 +175,38 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if opt.RTFBatch < 1 {
 		opt.RTFBatch = 3
 	}
-	pool := &tlp.Pool{Workers: opt.Workers}
+	pool := &tlp.Pool{
+		Workers:      opt.Workers,
+		Faults:       opt.Faults,
+		MaxRetries:   opt.MaxRetries,
+		TaskTimeout:  opt.TaskTimeout,
+		RetryBackoff: opt.RetryBackoff,
+	}
 	in := &Interpretation{Dataset: d}
 
 	// Phase 1: RTF.
 	rtfTasks := BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, opt.RTFBatch, opt.Capture)
 	rtfResults, err := pool.Run(rtfTasks)
 	if err != nil {
-		return nil, fmt.Errorf("spam: RTF: %w", err)
+		return in, fmt.Errorf("spam: RTF: %w", err)
 	}
-	if err := tlp.FirstError(rtfResults); err != nil {
-		return nil, fmt.Errorf("spam: RTF: %w", err)
+	if err := phaseError("RTF", rtfResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats(pool, "RTF", rtfResults, 0))
+		return in, err
 	}
 	in.Fragments = ExtractFragments(rtfResults)
 	releaseEngines(rtfResults)
-	in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, len(in.Fragments)))
+	in.Phases = append(in.Phases, phaseStats(pool, "RTF", rtfResults, len(in.Fragments)))
 
 	// Phase 2: LCC.
 	lccTasks := BuildLCCTasks(d.KB, d.Store, d.Progs.LCC, in.Fragments, opt.Level, opt.Capture)
 	lccResults, err := pool.Run(lccTasks)
 	if err != nil {
-		return nil, fmt.Errorf("spam: LCC: %w", err)
+		return in, fmt.Errorf("spam: LCC: %w", err)
 	}
-	if err := tlp.FirstError(lccResults); err != nil {
-		return nil, fmt.Errorf("spam: LCC: %w", err)
+	if err := phaseError("LCC", lccResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats(pool, "LCC", lccResults, 0))
+		return in, err
 	}
 	in.Pairs, in.Outcomes = ExtractLCC(lccResults)
 	releaseEngines(lccResults)
@@ -183,10 +217,11 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if len(faTasks) > 0 {
 		faResults, err = pool.Run(faTasks)
 		if err != nil {
-			return nil, fmt.Errorf("spam: FA: %w", err)
+			return in, fmt.Errorf("spam: FA: %w", err)
 		}
-		if err := tlp.FirstError(faResults); err != nil {
-			return nil, fmt.Errorf("spam: FA: %w", err)
+		if err := phaseError("FA", faResults); err != nil {
+			in.Phases = append(in.Phases, phaseStats(pool, "FA", faResults, 0))
+			return in, err
 		}
 	}
 	in.FAs, in.Predictions = ExtractFA(faResults)
@@ -205,10 +240,11 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 			if len(reTasks) > 0 {
 				reResults, err := pool.Run(reTasks)
 				if err != nil {
-					return nil, fmt.Errorf("spam: LCC re-entry: %w", err)
+					return in, fmt.Errorf("spam: LCC re-entry: %w", err)
 				}
-				if err := tlp.FirstError(reResults); err != nil {
-					return nil, fmt.Errorf("spam: LCC re-entry: %w", err)
+				if err := phaseError("LCC re-entry", reResults); err != nil {
+					in.Phases = append(in.Phases, phaseStats(pool, "LCC", reResults, 0))
+					return in, err
 				}
 				rePairs, reOuts := ExtractLCC(reResults)
 				releaseEngines(reResults)
@@ -219,17 +255,18 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 			}
 		}
 	}
-	in.Phases = append(in.Phases, phaseStats("LCC", lccResults, countConsistent(in.Outcomes)))
-	in.Phases = append(in.Phases, phaseStats("FA", faResults, countClosed(in.FAs)))
+	in.Phases = append(in.Phases, phaseStats(pool, "LCC", lccResults, countConsistent(in.Outcomes)))
+	in.Phases = append(in.Phases, phaseStats(pool, "FA", faResults, countClosed(in.FAs)))
 
 	// Phase 4: MODEL.
 	modelTask := BuildModelTask(d.KB, d.Store, d.Progs.Model, in.Fragments, in.FAs, opt.Capture)
 	modelResults, err := pool.Run([]*tlp.Task{modelTask})
 	if err != nil {
-		return nil, fmt.Errorf("spam: MODEL: %w", err)
+		return in, fmt.Errorf("spam: MODEL: %w", err)
 	}
-	if err := tlp.FirstError(modelResults); err != nil {
-		return nil, fmt.Errorf("spam: MODEL: %w", err)
+	if err := phaseError("MODEL", modelResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats(pool, "MODEL", modelResults, 0))
+		return in, err
 	}
 	in.Model, in.ModelFound = ExtractModel(modelResults)
 	releaseEngines(modelResults)
@@ -237,8 +274,20 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if in.ModelFound {
 		nModels = 1
 	}
-	in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, nModels))
+	in.Phases = append(in.Phases, phaseStats(pool, "MODEL", modelResults, nModels))
 	return in, nil
+}
+
+// phaseError aggregates every failed (quarantined) task of a phase
+// into one error, in queue order. A phase with retried-but-recovered
+// tasks is not an error — recovery is the point.
+func phaseError(name string, results []*tlp.Result) error {
+	errs := tlp.Errors(results)
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("spam: %s: %d of %d tasks failed: %w",
+		name, len(errs), len(results), errors.Join(errs...))
 }
 
 // reEntryFragments hypothesizes fragments for FA predictions over

@@ -1,0 +1,54 @@
+package stats
+
+// Recovery is the shared recovery-overhead accounting used by the
+// fault experiments: the real runtime's RunReport and the simulators'
+// processor-failure and message-loss runs all reduce to these columns,
+// so tables can compare recovery cost across execution substrates.
+type Recovery struct {
+	Attempts    int     // total task attempts (>= tasks)
+	Retries     int     // attempts beyond the first per task
+	Recovered   int     // tasks that failed then succeeded on retry
+	Quarantined int     // tasks that exhausted their attempts
+	Requeued    int     // simulator tasks requeued after processor death
+	DeadProcs   int     // simulated processors lost mid-run
+	Retransmits int     // lost messages / fault-service rounds resent
+	WastedInstr float64 // simulated instructions of lost work
+}
+
+// Add accumulates another recovery record.
+func (r *Recovery) Add(o Recovery) {
+	r.Attempts += o.Attempts
+	r.Retries += o.Retries
+	r.Recovered += o.Recovered
+	r.Quarantined += o.Quarantined
+	r.Requeued += o.Requeued
+	r.DeadProcs += o.DeadProcs
+	r.Retransmits += o.Retransmits
+	r.WastedInstr += o.WastedInstr
+}
+
+// OverheadPercent returns the wasted work as a percentage of the given
+// useful work (0 when useful is not positive).
+func (r Recovery) OverheadPercent(usefulInstr float64) float64 {
+	if usefulInstr <= 0 {
+		return 0
+	}
+	return 100 * r.WastedInstr / usefulInstr
+}
+
+// RecoveryHeaders returns the standard recovery-overhead column
+// headers, in the order Recovery.Row emits them.
+func RecoveryHeaders() []string {
+	return []string{"Retries", "Quarantined", "Requeued", "Dead procs", "Retransmits", "Wasted (sec)"}
+}
+
+// Row renders the standard recovery-overhead columns. instrPerSec
+// converts wasted instructions to seconds (pass the simulator's
+// instruction rate, e.g. machine.MIPS*1e6).
+func (r Recovery) Row(instrPerSec float64) []interface{} {
+	wasted := r.WastedInstr
+	if instrPerSec > 0 {
+		wasted /= instrPerSec
+	}
+	return []interface{}{r.Retries, r.Quarantined, r.Requeued, r.DeadProcs, r.Retransmits, wasted}
+}

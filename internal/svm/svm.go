@@ -15,7 +15,9 @@ package svm
 import (
 	"container/heap"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
+	"spampsm/internal/stats"
 )
 
 // Config parameterizes the shared virtual memory system.
@@ -44,6 +46,29 @@ type Config struct {
 	// fixed: unrelated objects share pages, so remote execution faults
 	// continuously and initialization effectively stalls.
 	FalseSharing bool
+
+	// LossRate is the probability that one cross-network page-fault
+	// service round is lost and must be retransmitted — the paper's
+	// Section 7 network is exactly where real deployments fail. 0
+	// models a reliable network.
+	LossRate float64
+	// RetryTimeoutInstr is the detection timeout before a lost service
+	// round is retried, in simulated instructions (a timeout is
+	// necessarily longer than the ~50 ms service time it guards).
+	RetryTimeoutInstr float64
+	// FaultPlan drives the deterministic loss draws; nil disables loss
+	// regardless of LossRate, keeping chaos runs reproducible.
+	FaultPlan *faults.Plan
+}
+
+// lossOverhead returns the retransmission cost charged to task i, and
+// the number of retransmitted rounds.
+func (c Config) lossOverhead(i int) (float64, int) {
+	if c.FaultPlan == nil || c.LossRate <= 0 {
+		return 0, 0
+	}
+	n := c.FaultPlan.LossCount("svm", i, c.LossRate, 8)
+	return float64(n) * (c.RetryTimeoutInstr + c.faultCost()), n
 }
 
 // DefaultConfig reflects the paper's measured system after the false
@@ -114,6 +139,16 @@ func (h *svmHeap) Pop() interface{} {
 // from the shared queue in order by whichever task process frees first,
 // exactly as in machine.Run, but with the SVM overheads applied.
 func Run(durations []float64, cl Cluster, cfg Config, ov machine.Overheads) machine.Schedule {
+	sched, _ := RunFaulty(durations, cl, cfg, ov)
+	return sched
+}
+
+// RunFaulty is Run with recovery accounting: when the config carries a
+// loss rate and fault plan, lost page-fault service rounds cost a
+// timeout plus a retransmission, and the recovery columns report how
+// much of the makespan they consumed.
+func RunFaulty(durations []float64, cl Cluster, cfg Config, ov machine.Overheads) (machine.Schedule, stats.Recovery) {
+	var rec stats.Recovery
 	n := cl.Total()
 	if n < 1 {
 		n = 1
@@ -130,14 +165,24 @@ func Run(durations []float64, cl Cluster, cfg Config, ov machine.Overheads) mach
 	for i, d := range durations {
 		p := heap.Pop(&h).(svmProc)
 		cost := d + ov.QueuePerTask
+		networked := false
 		if clusterActive {
 			cost += cfg.QueueBounceFaults * f
+			networked = true
 		}
 		if p.remote {
 			cost += (cfg.TaskFetchFaults + cfg.ResultFaults) * f
+			networked = true
 			if cfg.FalseSharing {
 				cost += d * (falseSharingFactor - 1)
 			}
+		}
+		// Message loss strikes only traffic that crosses the network.
+		if networked {
+			extra, lost := cfg.lossOverhead(i)
+			cost += extra
+			rec.Retransmits += lost
+			rec.WastedInstr += extra
 		}
 		p.free += cost
 		busy[p.idx] += cost
@@ -147,7 +192,7 @@ func Run(durations []float64, cl Cluster, cfg Config, ov machine.Overheads) mach
 		}
 		heap.Push(&h, p)
 	}
-	return machine.Schedule{Makespan: makespan, Busy: busy, PerTask: per}
+	return machine.Schedule{Makespan: makespan, Busy: busy, PerTask: per}, rec
 }
 
 // RunSplitQueues schedules with one task queue per node instead of the
@@ -182,7 +227,8 @@ func RunSplitQueues(durations []float64, cl Cluster, cfg Config, ov machine.Over
 	// on node 0, so every task pays the fetch/result faults.
 	remCosted := make([]float64, len(remote))
 	for i, d := range remote {
-		remCosted[i] = d + (cfg.TaskFetchFaults+cfg.ResultFaults)*f
+		extra, _ := cfg.lossOverhead(i)
+		remCosted[i] = d + (cfg.TaskFetchFaults+cfg.ResultFaults)*f + extra
 	}
 	sRemote := machine.Run(remCosted, cl.RemoteProcs, ov)
 	makespan := sLocal.Makespan

@@ -2,8 +2,10 @@ package svm
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/machine"
 )
 
@@ -189,4 +191,94 @@ func TestRunDeterministic(t *testing.T) {
 	if a.Makespan != b.Makespan || fmt.Sprint(a.Busy) != fmt.Sprint(b.Busy) {
 		t.Error("SVM schedule must be deterministic")
 	}
+}
+
+func TestMessageLossOverheadAndDeterminism(t *testing.T) {
+	durs := varied(120, taskInstr)
+	cl := Cluster{Node0Procs: 13, RemoteProcs: 9}
+	ov := machine.Overheads{QueuePerTask: 500}
+	reliable := DefaultConfig()
+	lossy := reliable
+	lossy.LossRate = 0.10
+	lossy.RetryTimeoutInstr = 2 * lossy.FaultLatencyInstr
+	lossy.FaultPlan = faults.New(faults.Config{Seed: 1990})
+
+	clean := Run(durs, cl, reliable, ov)
+	s1, r1 := RunFaulty(durs, cl, lossy, ov)
+	s2, r2 := RunFaulty(durs, cl, lossy, ov)
+	if s1.Makespan != s2.Makespan || r1 != r2 {
+		t.Error("lossy SVM schedule must be deterministic")
+	}
+	if r1.Retransmits == 0 || r1.WastedInstr <= 0 {
+		t.Errorf("retransmissions not accounted: %+v", r1)
+	}
+	// With remote processors every task fetch crosses the network, so
+	// the accounted waste must equal the plan's per-task loss overheads
+	// exactly. (The makespan itself may shift either way under
+	// list-scheduling anomalies, so it is not asserted.)
+	var wantWaste float64
+	wantLost := 0
+	for i := range durs {
+		extra, lost := lossy.lossOverhead(i)
+		wantWaste += extra
+		wantLost += lost
+	}
+	if math.Abs(r1.WastedInstr-wantWaste) > 1 || r1.Retransmits != wantLost {
+		t.Errorf("accounted %v instr / %d lost, want %v / %d", r1.WastedInstr, r1.Retransmits, wantWaste, wantLost)
+	}
+	if sum(s1.Busy) <= sum(clean.Busy) {
+		t.Error("retransmissions must show up as extra busy time")
+	}
+
+	// LossRate without a plan (or a plan with rate 0) is inert.
+	noPlan := lossy
+	noPlan.FaultPlan = nil
+	if Run(durs, cl, noPlan, ov).Makespan != clean.Makespan {
+		t.Error("loss without a fault plan must be disabled")
+	}
+	zero := lossy
+	zero.LossRate = 0
+	if Run(durs, cl, zero, ov).Makespan != clean.Makespan {
+		t.Error("zero loss rate must match the reliable network")
+	}
+}
+
+func TestMessageLossOnlyStrikesNetworkTraffic(t *testing.T) {
+	// A single-node cluster has no cross-network traffic, so loss
+	// cannot cost anything.
+	durs := varied(60, taskInstr)
+	ov := machine.Overheads{QueuePerTask: 500}
+	cfg := DefaultConfig()
+	lossy := cfg
+	lossy.LossRate = 0.5
+	lossy.RetryTimeoutInstr = 3 * cfg.FaultLatencyInstr
+	lossy.FaultPlan = faults.New(faults.Config{Seed: 7})
+	cl := Cluster{Node0Procs: 8}
+	if got, want := Run(durs, cl, lossy, ov).Makespan, Run(durs, cl, cfg, ov).Makespan; got != want {
+		t.Errorf("local-only cluster paid for message loss: %v vs %v", got, want)
+	}
+}
+
+func TestSplitQueueLossCharged(t *testing.T) {
+	durs := varied(120, taskInstr)
+	cl := Cluster{Node0Procs: 13, RemoteProcs: 9}
+	ov := machine.Overheads{QueuePerTask: 500}
+	lossy := DefaultConfig()
+	lossy.LossRate = 0.2
+	lossy.RetryTimeoutInstr = 2 * lossy.FaultLatencyInstr
+	lossy.FaultPlan = faults.New(faults.Config{Seed: 3})
+	clean := DefaultConfig()
+	sl := RunSplitQueues(durs, cl, lossy, ov)
+	sc := RunSplitQueues(durs, cl, clean, ov)
+	if sum(sl.Busy) <= sum(sc.Busy) {
+		t.Error("split-queue remote fetches must pay for loss")
+	}
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }

@@ -10,15 +10,63 @@
 // same task logs through internal/machine, because reproducing the
 // paper's 14-processor curves requires more processors than the host
 // may have.
+//
+// The runtime is fault-tolerant (see docs/ROBUSTNESS.md). The paper's
+// independence property — tasks share nothing and synchronize only
+// with the queue — makes recovery trivial by construction: a failed or
+// panicking task loses only its own working memory, and because
+// Task.Build constructs a fresh engine, re-execution is idempotent.
+// Pool therefore recovers panics into Result.Err, enforces per-task
+// firing budgets and wall-clock deadlines, retries transient failures
+// with exponential backoff, quarantines poison tasks after the retry
+// budget, and accounts for every attempt in a RunReport.
 package tlp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"spampsm/internal/faults"
 	"spampsm/internal/ops5"
 )
+
+// Sentinel errors classifying task failures.
+var (
+	// ErrTimeout marks a task that exceeded the pool's wall-clock
+	// deadline and was interrupted.
+	ErrTimeout = errors.New("tlp: task deadline exceeded")
+	// ErrBudgetExceeded marks a task that hit the pool's firing budget
+	// without reaching quiescence or halting.
+	ErrBudgetExceeded = errors.New("tlp: firing budget exceeded")
+	// ErrWorkerCrash marks a task whose worker (simulated) crashed
+	// mid-execution; the partial work is lost.
+	ErrWorkerCrash = errors.New("tlp: worker crashed")
+)
+
+// PanicError is a recovered task panic. Its message deliberately
+// excludes the stack trace so chaos-run reports are byte-identical
+// across runs; the stack is retained separately for debugging.
+type PanicError struct {
+	TaskID string
+	Value  interface{}
+	Stack  []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("tlp: task %s panicked: %v", e.TaskID, e.Value)
+}
+
+// Unwrap exposes an error panic value, so markers like
+// faults.ErrPermanent survive the recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Task is one independent unit of SPAM work: Build constructs a fresh
 // engine loaded with the task's working memory (the task itself is
@@ -38,16 +86,31 @@ type Task struct {
 	Build   func() (*ops5.Engine, error)
 }
 
-// Result is the outcome of one executed task.
+// Result is the outcome of one executed task (its final attempt).
 type Result struct {
 	TaskID string
 	Stats  ops5.RunStats
 	Log    *ops5.CostLog
 	Engine *ops5.Engine // retained for result extraction
 	Err    error
-	Worker int // which task process executed it
+	Worker int // which task process executed it (last attempt)
 	SeqInQ int // position in the executed queue order
+
+	// Attempts is the number of times the task was executed (1 for a
+	// clean first run). Stats/Log describe the final attempt; earlier
+	// attempts' costs are wasted work, visible in the RunReport.
+	Attempts int
+	// AttemptErrs records the error of every failed attempt in order
+	// (the final entry equals Err when the task ultimately failed).
+	AttemptErrs []error
+	// Quarantined marks a poison task: it failed every allowed attempt
+	// (or failed permanently) and was removed from further retrying.
+	Quarantined bool
 }
+
+// Recovered reports whether the task failed at least once but
+// ultimately succeeded.
+func (r *Result) Recovered() bool { return r.Err == nil && len(r.AttemptErrs) > 0 }
 
 // QueuePolicy orders the task queue.
 type QueuePolicy uint8
@@ -65,13 +128,35 @@ const (
 type Pool struct {
 	Workers    int
 	Policy     QueuePolicy
-	MaxFirings int // per-task firing limit; 0 = none
+	MaxFirings int // per-task firing limit; 0 = none (not an error to hit)
 	// DropEngines releases each task's engine (its Rete network and
 	// working memory) as soon as its statistics and cost log have been
 	// collected. Measurement runs over large queues use this to avoid
 	// pinning thousands of engines; leave it false when results are
 	// extracted from final working memories.
 	DropEngines bool
+
+	// FiringBudget is the per-task deadline in production firings: a
+	// task still short of quiescence when the budget runs out fails
+	// with ErrBudgetExceeded. 0 disables the budget. Unlike MaxFirings
+	// (a benign cap), exceeding the budget is a fault.
+	FiringBudget int
+	// TaskTimeout is the per-attempt wall-clock deadline; an attempt
+	// still running when it expires is interrupted and fails with
+	// ErrTimeout. 0 disables the deadline.
+	TaskTimeout time.Duration
+	// MaxRetries is how many times a failed task is re-executed (the
+	// engine is rebuilt from scratch each time, so re-execution is
+	// idempotent). After 1+MaxRetries failed attempts the task is
+	// quarantined. Failures wrapping faults.ErrPermanent skip retries
+	// and quarantine immediately.
+	MaxRetries int
+	// RetryBackoff is the wall-clock delay before the first retry;
+	// each further retry doubles it. 0 retries immediately.
+	RetryBackoff time.Duration
+	// Faults optionally injects deterministic failures (chaos runs);
+	// nil injects nothing.
+	Faults *faults.Plan
 }
 
 // order returns the queue order under the pool's policy.
@@ -84,7 +169,8 @@ func (p *Pool) order(tasks []*Task) []*Task {
 }
 
 // Run executes the tasks and returns results in queue order. Task
-// failures are reported in the Result, not as a Run error; Run fails
+// failures — including recovered panics, timeouts, and injected
+// faults — are reported in the Result, not as a Run error; Run fails
 // only on structural problems (no tasks, bad worker count).
 func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
 	if len(tasks) == 0 {
@@ -120,19 +206,125 @@ func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
 	return results, nil
 }
 
+// RunWithReport executes the tasks and additionally returns the
+// attempt/retry/quarantine accounting of the whole run.
+func (p *Pool) RunWithReport(tasks []*Task) ([]*Result, *RunReport, error) {
+	results, err := p.Run(tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, p.Report(results), nil
+}
+
+// runOne executes one task with bounded retries: a failed attempt is
+// re-run on a freshly built engine after an exponential backoff, up to
+// 1+MaxRetries attempts; permanent faults and exhausted budgets
+// quarantine the task.
 func (p *Pool) runOne(t *Task, worker, seq int) *Result {
-	r := &Result{TaskID: t.ID, Worker: worker, SeqInQ: seq}
-	eng, err := t.Build()
+	maxAttempts := 1 + p.MaxRetries
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var attemptErrs []error
+	for attempt := 1; ; attempt++ {
+		r := p.attempt(t, worker, seq, attempt)
+		r.Attempts = attempt
+		if r.Err == nil {
+			r.AttemptErrs = attemptErrs
+			return r
+		}
+		attemptErrs = append(attemptErrs, r.Err)
+		r.AttemptErrs = attemptErrs
+		// Permanent faults cannot succeed on retry; don't burn the
+		// budget re-proving it.
+		if attempt >= maxAttempts || errors.Is(r.Err, faults.ErrPermanent) {
+			r.Quarantined = true
+			return r
+		}
+		if p.RetryBackoff > 0 {
+			time.Sleep(p.RetryBackoff << (attempt - 1))
+		}
+	}
+}
+
+// attempt executes a single attempt of the task. Panics — whether from
+// Build, the engine, or injected — are recovered into Result.Err so a
+// poison task can never take down the worker or the process. Whatever
+// statistics and cost log the engine accumulated before failing are
+// attached to the Result, so failed-task cost stays visible in reports.
+func (p *Pool) attempt(t *Task, worker, seq, attempt int) (r *Result) {
+	r = &Result{TaskID: t.ID, Worker: worker, SeqInQ: seq}
+	var eng *ops5.Engine
+	defer func() {
+		if v := recover(); v != nil {
+			if eng != nil {
+				r.Stats = eng.Stats()
+				r.Log = eng.Log()
+			}
+			r.Engine = nil
+			r.Err = &PanicError{TaskID: t.ID, Value: v, Stack: stack()}
+		}
+	}()
+
+	f := p.Faults.TaskFault(t.ID, attempt)
+	if f.Kind == faults.BuildFail {
+		r.Err = f.Err(fmt.Sprintf("tlp: build %s: attempt %d", t.ID, attempt))
+		return r
+	}
+	var err error
+	eng, err = t.Build()
 	if err != nil {
 		r.Err = fmt.Errorf("tlp: build %s: %w", t.ID, err)
 		return r
 	}
-	if _, err := eng.Run(p.MaxFirings); err != nil {
-		r.Err = fmt.Errorf("tlp: run %s: %w", t.ID, err)
+	if f.Kind == faults.Panic {
+		panic(f.Err(fmt.Sprintf("tlp: task %s: attempt %d", t.ID, attempt)))
+	}
+
+	limit := p.MaxFirings
+	if p.FiringBudget > 0 && (limit == 0 || p.FiringBudget < limit) {
+		limit = p.FiringBudget
+	}
+
+	if f.Kind == faults.Crash {
+		// The worker dies mid-task after a deterministic number of
+		// firings: partial work is charged, then lost.
+		n := p.Faults.CrashAfterFirings(t.ID, 8)
+		if limit > 0 && n > limit {
+			n = limit
+		}
+		_, _ = eng.Run(n)
+		r.Stats = eng.Stats()
+		r.Log = eng.Log()
+		r.Err = fmt.Errorf("%w after %d firings: %w", ErrWorkerCrash, r.Stats.Firings,
+			f.Err(fmt.Sprintf("task %s: attempt %d", t.ID, attempt)))
 		return r
 	}
+
+	if p.TaskTimeout > 0 {
+		timer := time.AfterFunc(p.TaskTimeout, eng.Interrupt)
+		defer timer.Stop()
+	}
+	_, err = eng.Run(limit)
+	// Attach whatever the engine accumulated, even on failure: the
+	// cost of failed attempts is real work the reports must account.
 	r.Stats = eng.Stats()
 	r.Log = eng.Log()
+	if err != nil {
+		if errors.Is(err, ops5.ErrInterrupted) {
+			r.Err = fmt.Errorf("tlp: run %s: %w after %v (%d firings)",
+				t.ID, ErrTimeout, p.TaskTimeout, r.Stats.Firings)
+		} else {
+			r.Err = fmt.Errorf("tlp: run %s: %w", t.ID, err)
+		}
+		return r
+	}
+	if p.FiringBudget > 0 && r.Stats.Firings >= p.FiringBudget &&
+		!eng.Halted() && eng.ConflictSetSize() > 0 {
+		r.Err = fmt.Errorf("tlp: run %s: %w (%d firings without quiescence)",
+			t.ID, ErrBudgetExceeded, p.FiringBudget)
+		return r
+	}
 	if !p.DropEngines {
 		r.Engine = eng
 	}
@@ -176,4 +368,17 @@ func FirstError(results []*Result) error {
 		}
 	}
 	return nil
+}
+
+// Errors returns every task error in queue order (empty if the run was
+// clean). Each error is the task's final-attempt failure; per-attempt
+// detail lives in Result.AttemptErrs and the RunReport.
+func Errors(results []*Result) []error {
+	var errs []error
+	for _, r := range results {
+		if r != nil && r.Err != nil {
+			errs = append(errs, fmt.Errorf("task %s (after %d attempts): %w", r.TaskID, r.Attempts, r.Err))
+		}
+	}
+	return errs
 }

@@ -168,6 +168,59 @@ func TestRunErrorReported(t *testing.T) {
 	if completed != 2 {
 		t.Errorf("healthy tasks completed = %d, want 2", completed)
 	}
+	// Satellite: the failed task's partial cost must not be discarded —
+	// the engine fired its production before the external errored.
+	for _, r := range results {
+		if r.TaskID == "bad" {
+			if r.Log == nil || r.Stats.RHSActions == 0 {
+				t.Errorf("failed task lost its partial stats/log: stats=%+v log=%v", r.Stats, r.Log)
+			}
+		}
+	}
+}
+
+func TestLargestFirstStableOnEqualEstSize(t *testing.T) {
+	// Ties on EstSize must preserve submission order (stable sort), so
+	// schedules are reproducible.
+	tasks := []*Task{
+		countTask("big", 50),
+		countTask("tie-a", 10), countTask("tie-b", 10), countTask("tie-c", 10),
+		countTask("small", 1),
+	}
+	for _, t2 := range tasks[1:4] {
+		t2.EstSize = 10
+	}
+	p := &Pool{Workers: 1, Policy: LargestFirst}
+	results, err := p.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{results[1].TaskID, results[2].TaskID, results[3].TaskID}
+	want := []string{"tie-a", "tie-b", "tie-c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal-EstSize order not stable: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestErrorsAggregation(t *testing.T) {
+	bad1 := &Task{ID: "bad1", Build: func() (*ops5.Engine, error) { return nil, errors.New("e1") }}
+	bad2 := &Task{ID: "bad2", Build: func() (*ops5.Engine, error) { return nil, errors.New("e2") }}
+	results, err := (&Pool{Workers: 2}).Run([]*Task{bad1, countTask("ok", 2), bad2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Errors(results)
+	if len(errs) != 2 {
+		t.Fatalf("Errors() = %d errors, want 2", len(errs))
+	}
+	if !strings.Contains(errs[0].Error(), "bad1") || !strings.Contains(errs[1].Error(), "bad2") {
+		t.Errorf("errors not in queue order: %v", errs)
+	}
+	if Errors(results[1:2]) != nil {
+		t.Error("clean results must aggregate to nil")
+	}
 }
 
 func TestEmptyQueueRejected(t *testing.T) {
