@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# bench-json regenerates the perf-trajectory snapshot: Go benchmarks
+# over internal/rete, internal/ops5, internal/matchbench and an
+# end-to-end scaled-down interpretation, with indexed-vs-naive matcher
+# comparisons, written to BENCH_2.json (see docs/PERFORMANCE.md).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_2.json
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, and the race detector over every package.

@@ -1,0 +1,216 @@
+// Command benchjson runs the repository's Go benchmarks and writes a
+// machine-readable BENCH_<n>.json snapshot: per-benchmark ns/op,
+// allocs/op and throughput metrics (tokens/s, firings/s), plus
+// indexed-vs-naive comparisons where a benchmark provides both
+// variants. The naive variant is the unindexed reference matcher —
+// i.e. the pre-indexing baseline — so each comparison records the
+// optimisation's wall-clock win inside the same file.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_2.json] [-benchtime 1s] [-short]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is the fixed benchmark matrix: package × bench filter.
+var suite = []struct {
+	pkg     string
+	pattern string
+}{
+	{"./internal/rete", "BenchmarkJoinChurn|BenchmarkWideEqJoin"},
+	{"./internal/ops5", "BenchmarkRecognizeActCycle|BenchmarkJoinHeavyMatch|BenchmarkCompile"},
+	{"./internal/matchbench", "BenchmarkRubik|BenchmarkWeaver|BenchmarkTourney"},
+	{"./internal/spam", "BenchmarkInterpretDC"},
+}
+
+type result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type comparison struct {
+	Benchmark    string  `json:"benchmark"`
+	Package      string  `json:"package"`
+	NaiveNsOp    float64 `json:"naive_ns_op"`
+	IndexedNsOp  float64 `json:"indexed_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	NaiveAllocs  float64 `json:"naive_allocs_op,omitempty"`
+	IndexedAlloc float64 `json:"indexed_allocs_op,omitempty"`
+}
+
+type report struct {
+	Schema      string       `json:"schema"`
+	Issue       int          `json:"issue"`
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go"`
+	Benchtime   string       `json:"benchtime"`
+	Baseline    string       `json:"baseline"`
+	Results     []result     `json:"results"`
+	Comparisons []comparison `json:"comparisons"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+func parseMetrics(s string) map[string]float64 {
+	m := map[string]float64{}
+	fields := strings.Fields(s)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		m[fields[i+1]] = v
+	}
+	return m
+}
+
+func run(pkg, pattern, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v\n%s", pkg, err, out)
+	}
+	var rs []result
+	pkgName := ""
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "pkg: ") {
+			pkgName = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		rs = append(rs, result{
+			Package:    pkgName,
+			Name:       m[1],
+			Iterations: iters,
+			Metrics:    parseMetrics(m[3]),
+		})
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("benchjson: %s: no benchmark results parsed:\n%s", pkg, out)
+	}
+	return rs, nil
+}
+
+// procSuffix strips the trailing "-N" GOMAXPROCS marker.
+func procSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare pairs <base>/indexed with <base>/naive results.
+func compare(rs []result) []comparison {
+	type variant struct{ indexed, naive *result }
+	byBase := map[string]*variant{}
+	order := []string{}
+	for i := range rs {
+		name := procSuffix(rs[i].Name)
+		var base, kind string
+		switch {
+		case strings.HasSuffix(name, "/indexed"):
+			base, kind = strings.TrimSuffix(name, "/indexed"), "indexed"
+		case strings.HasSuffix(name, "/naive"):
+			base, kind = strings.TrimSuffix(name, "/naive"), "naive"
+		default:
+			continue
+		}
+		v := byBase[base]
+		if v == nil {
+			v = &variant{}
+			byBase[base] = v
+			order = append(order, base)
+		}
+		if kind == "indexed" {
+			v.indexed = &rs[i]
+		} else {
+			v.naive = &rs[i]
+		}
+	}
+	var cs []comparison
+	for _, base := range order {
+		v := byBase[base]
+		if v.indexed == nil || v.naive == nil {
+			continue
+		}
+		ni, ii := v.naive.Metrics["ns/op"], v.indexed.Metrics["ns/op"]
+		if ni == 0 || ii == 0 {
+			continue
+		}
+		cs = append(cs, comparison{
+			Benchmark:    base,
+			Package:      v.indexed.Package,
+			NaiveNsOp:    ni,
+			IndexedNsOp:  ii,
+			Speedup:      ni / ii,
+			NaiveAllocs:  v.naive.Metrics["allocs/op"],
+			IndexedAlloc: v.indexed.Metrics["allocs/op"],
+		})
+	}
+	return cs
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output file")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	flag.Parse()
+
+	rep := report{
+		Schema:    "spampsm-bench/v1",
+		Issue:     2,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Benchtime: *benchtime,
+		Baseline: "naive: unindexed full-scan matcher (the pre-indexing Rete, " +
+			"selectable via SetIndexing(false)/WithNaiveMatch/-naive); " +
+			"indexed: equality-hash-indexed memories (the default). " +
+			"Simulated instruction Counters are byte-identical between the two.",
+	}
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "benchjson: running %s (%s)\n", s.pkg, s.pattern)
+		rs, err := run(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, rs...)
+	}
+	rep.Comparisons = compare(rep.Results)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results, %d comparisons)\n",
+		*out, len(rep.Results), len(rep.Comparisons))
+	for _, c := range rep.Comparisons {
+		fmt.Fprintf(os.Stderr, "  %-40s %6.2fx\n", c.Benchmark, c.Speedup)
+	}
+}

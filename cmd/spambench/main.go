@@ -5,6 +5,7 @@
 //	spambench [-experiment NAME] [-full-scale F] [-subset-scale F]
 //	          [-task-procs N] [-match-procs N]
 //	          [-fault-seed N] [-crash-rate P]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
 // fig7, table9, fig8, fig9, an extension experiment (ext-levels,
@@ -20,9 +21,14 @@ import (
 	"strings"
 
 	"spampsm/internal/bench"
+	"spampsm/internal/prof"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	experiment := flag.String("experiment", "all",
 		"experiment to run: all, "+strings.Join(append(bench.Names(), bench.ExtNames()...), ", "))
 	fullScale := flag.Float64("full-scale", 3,
@@ -34,7 +40,20 @@ func main() {
 	csvDir := flag.String("csv", "", "also write the figure experiments' data series as CSV files into this directory")
 	faultSeed := flag.Int64("fault-seed", 1990, "seed for the ext-faults chaos experiment")
 	crashRate := flag.Float64("crash-rate", 0.1, "per-processor death rate for ext-faults' plan-driven row")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spambench:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "spambench:", err)
+		}
+	}()
 
 	opt := bench.Options{
 		FullScale:     *fullScale,
@@ -46,7 +65,6 @@ func main() {
 	}
 	suite := bench.NewSuite(opt)
 	var out string
-	var err error
 	if *experiment == "all" {
 		out, err = suite.RunAll()
 	} else {
@@ -55,7 +73,7 @@ func main() {
 	fmt.Print(out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spambench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *csvDir != "" {
 		names := []string{*experiment}
@@ -64,22 +82,23 @@ func main() {
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "spambench:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, n := range names {
 			files, err := suite.CSVFor(n)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spambench:", err)
-				os.Exit(1)
+				return 1
 			}
 			for fname, content := range files {
 				path := filepath.Join(*csvDir, fname)
 				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 					fmt.Fprintln(os.Stderr, "spambench:", err)
-					os.Exit(1)
+					return 1
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
 		}
 	}
+	return 0
 }

@@ -5,14 +5,19 @@
 // Usage:
 //
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
-//	        [-reentry] [-scale F] [-lisp]
+//	        [-reentry] [-scale F] [-lisp] [-naive]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // The fault flags run the interpretation under deterministic chaos
 // (see docs/ROBUSTNESS.md): a fixed -fault-seed reproduces the exact
 // same failures and the exact same recovery report. If any task still
 // fails after its retries, spamrun prints a per-task error summary and
 // exits non-zero.
+//
+// -naive selects the unindexed reference matcher (identical results
+// and simulated costs, slower wall-clock; see docs/PERFORMANCE.md),
+// and the profile flags write standard pprof files.
 package main
 
 import (
@@ -23,27 +28,47 @@ import (
 
 	"spampsm/internal/faults"
 	"spampsm/internal/machine"
+	"spampsm/internal/prof"
 	"spampsm/internal/scene"
 	"spampsm/internal/spam"
 	"spampsm/internal/stats"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	dataset := flag.String("dataset", "DC", "dataset: SF, DC, MOFF or suburban")
 	workers := flag.Int("workers", 1, "task processes (real goroutine pool)")
 	level := flag.Int("level", 3, "LCC decomposition level (1-4)")
 	reentry := flag.Bool("reentry", false, "enable FA->LCC re-entry")
 	scale := flag.Float64("scale", 1, "scene scale factor")
 	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
+	naive := flag.Bool("naive", false, "use the unindexed reference matcher (same results, slower wall-clock)")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
 	crashRate := flag.Float64("crash-rate", 0, "probability a task's worker crashes mid-task (0 disables injection)")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
 	maxRetries := flag.Int("max-retries", 2, "failed-task re-executions before quarantine")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamrun:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "spamrun:", err)
+		}
+	}()
+
+	spam.UseNaiveMatch(*naive)
+
 	var d *spam.Dataset
-	var err error
 	if *dataset == "suburban" {
 		d, err = spam.NewSuburbanDataset(scene.SuburbanParams{
 			Name: "suburban", Seed: 1990, Blocks: int(8 * *scale), HousesPerBlock: 6, Verts: 12,
@@ -53,7 +78,7 @@ func main() {
 		p, ok := params[*dataset]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "spamrun: unknown dataset %q\n", *dataset)
-			os.Exit(2)
+			return 2
 		}
 		if *scale != 1 {
 			p = p.Scale(*scale)
@@ -62,7 +87,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spamrun:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Println(d.Scene.Stats())
@@ -90,7 +115,7 @@ func main() {
 		if in != nil {
 			printReports(in)
 		}
-		os.Exit(1)
+		return 1
 	}
 	printReports(in)
 
@@ -140,15 +165,16 @@ func main() {
 		out, err := os.Create(*svgOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spamrun:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer out.Close()
 		if err := d.Scene.WriteSVG(out, labels); err != nil {
 			fmt.Fprintln(os.Stderr, "spamrun:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
+	return 0
 }
 
 // printReports prints each phase's fault-handling report to stderr —

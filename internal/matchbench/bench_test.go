@@ -1,0 +1,48 @@
+package matchbench
+
+import (
+	"testing"
+
+	"spampsm/internal/ops5"
+)
+
+// Engine-level benchmarks over the Figure 3 match-intensive systems,
+// indexed vs naive. These run complete recognize-act cycles (parse,
+// compile, assert, fire) with capture on, so they measure the matcher
+// inside its real engine harness.
+
+func benchSpec(b *testing.B, s Spec, opts ...ops5.Option) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tokens, sec float64
+	for i := 0; i < b.N; i++ {
+		e, err := Build(s, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		c := e.MatchCounters()
+		tokens += float64(c.TokensCreated + c.TokensDeleted)
+	}
+	b.StopTimer()
+	if sec = b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(tokens/sec, "tokens/s")
+	}
+}
+
+func BenchmarkRubik(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchSpec(b, Rubik) })
+	b.Run("naive", func(b *testing.B) { benchSpec(b, Rubik, ops5.WithNaiveMatch()) })
+}
+
+func BenchmarkWeaver(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchSpec(b, Weaver) })
+	b.Run("naive", func(b *testing.B) { benchSpec(b, Weaver, ops5.WithNaiveMatch()) })
+}
+
+func BenchmarkTourney(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchSpec(b, Tourney) })
+	b.Run("naive", func(b *testing.B) { benchSpec(b, Tourney, ops5.WithNaiveMatch()) })
+}

@@ -98,12 +98,14 @@ func Source(s Spec) string {
 }
 
 // Build compiles a spec into a loaded engine with capture enabled.
-func Build(s Spec) (*ops5.Engine, error) {
+// Extra engine options (e.g. ops5.WithNaiveMatch for the unindexed
+// reference matcher) are appended after capture.
+func Build(s Spec, opts ...ops5.Option) (*ops5.Engine, error) {
 	prog, err := ops5.Parse(Source(s))
 	if err != nil {
 		return nil, fmt.Errorf("matchbench %s: %w", s.Name, err)
 	}
-	e, err := ops5.NewEngine(prog, ops5.WithCapture())
+	e, err := ops5.NewEngine(prog, append([]ops5.Option{ops5.WithCapture()}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +141,8 @@ func Build(s Spec) (*ops5.Engine, error) {
 }
 
 // Run executes a spec and returns its cost log and stats.
-func Run(s Spec) (*ops5.CostLog, ops5.RunStats, error) {
-	e, err := Build(s)
+func Run(s Spec, opts ...ops5.Option) (*ops5.CostLog, ops5.RunStats, error) {
+	e, err := Build(s, opts...)
 	if err != nil {
 		return nil, ops5.RunStats{}, err
 	}

@@ -1,11 +1,13 @@
 package matchbench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"spampsm/internal/ops5"
 	"spampsm/internal/pmatch"
+	"spampsm/internal/rete"
 )
 
 func TestSourcesParse(t *testing.T) {
@@ -101,6 +103,31 @@ func TestSpeedupSeries(t *testing.T) {
 	}
 }
 
+// renderForest serializes an activation forest (labels, costs, tree
+// shape) so two captures can be compared exactly.
+func renderForest(roots []*rete.Activation, sb *strings.Builder) {
+	for _, a := range roots {
+		fmt.Fprintf(sb, "%s(%g)", a.Label, a.Cost)
+		if len(a.Children) > 0 {
+			sb.WriteString("[")
+			renderForest(a.Children, sb)
+			sb.WriteString("]")
+		}
+		sb.WriteString(";")
+	}
+}
+
+func renderLog(l *ops5.CostLog) string {
+	var sb strings.Builder
+	sb.WriteString("init:")
+	renderForest(l.InitRoots, &sb)
+	for i, c := range l.Cycles {
+		fmt.Fprintf(&sb, "\ncycle%d(%g,%g,%g):", i, c.Resolve, c.Act, c.Match)
+		renderForest(c.MatchRoots, &sb)
+	}
+	return sb.String()
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	l1, s1, err := Run(Tourney)
 	if err != nil {
@@ -112,5 +139,34 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	if s1.TotalInstr() != s2.TotalInstr() || l1.TotalInstr() != l2.TotalInstr() {
 		t.Error("runs must be deterministic")
+	}
+	// Strict reproducibility: the full captured activation forests —
+	// the schedulable workload of the match-parallelism studies — must
+	// be identical across runs, not just their totals.
+	if renderLog(l1) != renderLog(l2) {
+		t.Error("captured activation forests differ across identical runs")
+	}
+}
+
+// TestIndexedMatchesNaiveForests runs each benchmark spec under the
+// indexed and naive matchers and requires identical stats and captured
+// forests: indexing must not change the simulated workload the
+// parallel-match scheduler sees.
+func TestIndexedMatchesNaiveForests(t *testing.T) {
+	for _, s := range []Spec{Rubik, Weaver, Tourney} {
+		li, si, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, sn, err := Run(s, ops5.WithNaiveMatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si != sn {
+			t.Errorf("%s: stats differ: indexed %+v naive %+v", s.Name, si, sn)
+		}
+		if renderLog(li) != renderLog(ln) {
+			t.Errorf("%s: activation forests differ between indexed and naive matchers", s.Name)
+		}
 	}
 }

@@ -118,6 +118,13 @@ func WithCapture() Option { return func(e *Engine) { e.capture = true } }
 // logged as it happens.
 func WithTrace(w io.Writer) Option { return func(e *Engine) { e.trace = w } }
 
+// WithNaiveMatch disables the Rete network's equality-indexed memories
+// so every join scans its full memories. This is the reference matcher
+// the differential oracle compares against (the indexed matcher must
+// reproduce its Counters and firing sequence byte-for-byte); it also
+// serves as the pre-indexing wall-clock baseline in benchmarks.
+func WithNaiveMatch() Option { return func(e *Engine) { e.naiveMatch = true } }
+
 // Engine is one OPS5 interpreter instance: a production memory compiled
 // into a Rete network, a working memory, and a conflict set. Engines
 // are deliberately self-contained — the SPAM/PSM task processes each
@@ -131,9 +138,10 @@ type Engine struct {
 	strategy  Strategy
 	compiled  map[string]*compiledProd
 	externals map[string]ExternalFn
-	out       io.Writer
-	trace     io.Writer
-	capture   bool
+	out        io.Writer
+	trace      io.Writer
+	capture    bool
+	naiveMatch bool
 	halted    bool
 	running   bool
 	// interrupted is set asynchronously by Interrupt and polled once
@@ -170,6 +178,7 @@ func NewEngine(prog *Program, opts ...Option) (*Engine, error) {
 	e.mem = wm.NewMemory(e.classes)
 	e.net = rete.New(e.cs)
 	e.net.SetCapture(e.capture)
+	e.net.SetIndexing(!e.naiveMatch)
 	for _, p := range prog.Productions {
 		cp, err := compileProduction(p, e.classes)
 		if err != nil {
@@ -229,6 +238,11 @@ func (e *Engine) Stats() RunStats {
 
 // Log returns the engine's cost log.
 func (e *Engine) Log() *CostLog { return e.log }
+
+// MatchCounters returns the Rete network's aggregate match counters
+// (simulated instruction accounting). The differential oracle asserts
+// these are byte-identical between the indexed and naive matchers.
+func (e *Engine) MatchCounters() rete.Counters { return e.net.Totals() }
 
 // Memory exposes the working memory (for result extraction).
 func (e *Engine) Memory() *wm.Memory { return e.mem }

@@ -1,0 +1,156 @@
+package rete
+
+import (
+	"fmt"
+	"testing"
+
+	"spampsm/internal/symtab"
+	"spampsm/internal/wm"
+)
+
+// Network-level join benchmarks: assert/retract churn against
+// join-heavy productions, run under the indexed (default) and naive
+// matchers. The naive variant is the pre-indexing matcher, so the
+// indexed/naive ratio is the optimisation's wall-clock win at
+// identical simulated cost (see differential_test.go).
+
+// benchAgenda is a no-op agenda so the benchmark measures the network,
+// not conflict resolution.
+type benchAgenda struct{}
+
+func (benchAgenda) Activate(p *PNode, t *Token)   {}
+func (benchAgenda) Deactivate(p *PNode, t *Token) {}
+
+// buildJoinBenchNet builds a network with group-joined productions:
+// for each of eight focal groups, a 3-CE chain production whose CEs
+// join on ^group equality and discriminate on ^id. Equality-first
+// test lists make every join indexable.
+func buildJoinBenchNet(b *testing.B, indexed bool) (*Network, *wm.Classes) {
+	b.Helper()
+	cs := wm.NewClasses()
+	if _, err := cs.Declare("item", "id", "group", "val"); err != nil {
+		b.Fatal(err)
+	}
+	net := New(benchAgenda{})
+	net.SetIndexing(indexed)
+	gt := func(a, o symtab.Value) bool { return a.FloatVal() > o.FloatVal() }
+	for p := 0; p < 8; p++ {
+		pats := []Pattern{
+			{Class: "item", Signature: "item*"},
+			{Class: "item", Signature: "item*", Tests: []JoinTest{
+				{OwnAttr: 1, TokenLevel: 0, TokenAttr: 1, Pred: eqPred, Eq: true},
+				{OwnAttr: 0, TokenLevel: 0, TokenAttr: 0, Pred: gt},
+			}},
+			{Class: "item", Signature: "item*", Tests: []JoinTest{
+				{OwnAttr: 1, TokenLevel: 1, TokenAttr: 1, Pred: eqPred, Eq: true},
+				{OwnAttr: 0, TokenLevel: 1, TokenAttr: 0, Pred: gt},
+			}},
+		}
+		if _, err := net.AddProduction(fmt.Sprintf("chain%d", p), pats, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return net, cs
+}
+
+func benchJoinChurn(b *testing.B, indexed bool) {
+	const items, groups = 384, 64
+	net, cs := buildJoinBenchNet(b, indexed)
+	mem := wm.NewMemory(cs)
+	wmes := make([]*wm.WME, 0, items)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StartBatch()
+		wmes = wmes[:0]
+		for j := 0; j < items; j++ {
+			w, err := mem.Make("item", map[string]symtab.Value{
+				"id":    symtab.Int(int64(j)),
+				"group": symtab.Int(int64(j % groups)),
+				"val":   symtab.Int(int64(-j)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Add(w)
+			wmes = append(wmes, w)
+		}
+		for _, w := range wmes {
+			if err := mem.Remove(w); err != nil {
+				b.Fatal(err)
+			}
+			net.Remove(w)
+		}
+	}
+	b.StopTimer()
+	tot := net.Totals()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(tot.TokensCreated+tot.TokensDeleted)/sec, "tokens/s")
+	}
+}
+
+// BenchmarkJoinChurn measures assert/retract churn over 8 three-CE
+// group-joined productions and 384 WMEs in 64 groups.
+func BenchmarkJoinChurn(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchJoinChurn(b, true) })
+	b.Run("naive", func(b *testing.B) { benchJoinChurn(b, false) })
+}
+
+func benchWideEqJoin(b *testing.B, indexed bool) {
+	// One wide equality join: every asserted item pairs with the items
+	// of its group. Bucket size stays small while the memory is large,
+	// so the naive right-activation scan dominates its runtime.
+	cs := wm.NewClasses()
+	if _, err := cs.Declare("item", "id", "group", "val"); err != nil {
+		b.Fatal(err)
+	}
+	net := New(benchAgenda{})
+	net.SetIndexing(indexed)
+	pats := []Pattern{
+		{Class: "item", Signature: "item*"},
+		{Class: "item", Signature: "item*", Tests: []JoinTest{
+			{OwnAttr: 1, TokenLevel: 0, TokenAttr: 1, Pred: eqPred, Eq: true},
+		}},
+	}
+	if _, err := net.AddProduction("pairs", pats, nil); err != nil {
+		b.Fatal(err)
+	}
+	const items, groups = 1024, 128
+	mem := wm.NewMemory(cs)
+	wmes := make([]*wm.WME, 0, items)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.StartBatch()
+		wmes = wmes[:0]
+		for j := 0; j < items; j++ {
+			w, err := mem.Make("item", map[string]symtab.Value{
+				"id":    symtab.Int(int64(j)),
+				"group": symtab.Int(int64(j % groups)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Add(w)
+			wmes = append(wmes, w)
+		}
+		for _, w := range wmes {
+			if err := mem.Remove(w); err != nil {
+				b.Fatal(err)
+			}
+			net.Remove(w)
+		}
+	}
+	b.StopTimer()
+	tot := net.Totals()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(tot.TokensCreated+tot.TokensDeleted)/sec, "tokens/s")
+	}
+}
+
+// BenchmarkWideEqJoin measures a single two-CE equality join over 1024
+// WMEs in 128 groups — the purest index-vs-scan comparison.
+func BenchmarkWideEqJoin(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchWideEqJoin(b, true) })
+	b.Run("naive", func(b *testing.B) { benchWideEqJoin(b, false) })
+}

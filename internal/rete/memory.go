@@ -1,0 +1,418 @@
+// Memory structures of the Rete network: insertion-ordered WME and
+// token lists with O(1) unlink, and the equality hash indexes that let
+// join and negative nodes activate only the bucket of a memory that
+// can possibly pass their first variable-consistency test (Doorenbos,
+// "Production Matching for Large Learning Systems", ch. 2.3).
+//
+// Two invariants govern everything in this file:
+//
+//  1. Iteration order is insertion order, always. The network's
+//     activation order — and through it the conflict set's tie-breaking
+//     sequence and every captured activation forest — must be
+//     reproducible across runs, which rules out Go map iteration over
+//     memory contents. Bucket lists are appended on insert, so a bucket
+//     walk visits its members in the same relative order a full memory
+//     scan would.
+//
+//  2. Indexing must not perturb the simulated cost model. The paper's
+//     curves are calibrated to the 1990 interpreted matcher, so the
+//     pairs an index lets us skip are still charged: each skipped pair
+//     would have failed the node's first equality test after exactly
+//     one CostJoinTest, and the activation charges that amount
+//     arithmetically from |memory| − |bucket| without iterating.
+package rete
+
+import (
+	"math"
+
+	"spampsm/internal/symtab"
+	"spampsm/internal/wm"
+)
+
+// indexKey is the canonical hash key of an attribute value. Two values
+// map to the same key if and only if symtab.Value.Equal holds (with the
+// single exception of NaN, which is never Equal to anything, including
+// itself; NaN bucket members are rejected by the join test like any
+// other non-matching pair). Numbers collapse to their float64 image
+// because OPS5 equality compares numerically across the integer/float
+// representations.
+type indexKey struct {
+	kind uint8 // 0 = nil, 1 = symbol, 2 = number
+	sym  string
+	bits uint64
+}
+
+// keyOf computes the canonical index key of a value.
+func keyOf(v symtab.Value) indexKey {
+	switch {
+	case v.IsNil():
+		return indexKey{kind: 0}
+	case v.Kind() == symtab.KindSym:
+		return indexKey{kind: 1, sym: v.SymVal()}
+	default:
+		f := v.FloatVal()
+		if f == 0 {
+			f = 0 // fold -0.0 into +0.0: they compare Equal
+		}
+		return indexKey{kind: 2, bits: math.Float64bits(f)}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// WME lists and alpha-memory indexes
+
+// wmeEntry is one membership of a WME in a wmeList.
+type wmeEntry struct {
+	w          *wm.WME
+	prev, next *wmeEntry
+	list       *wmeList
+}
+
+// wmeList is an insertion-ordered list of WMEs with O(1) unlink.
+type wmeList struct {
+	head, tail *wmeEntry
+	size       int
+}
+
+func (l *wmeList) pushBack(w *wm.WME, n *Network) *wmeEntry {
+	e := n.getWMEEntry()
+	e.w = w
+	e.list = l
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.size++
+	return e
+}
+
+func (l *wmeList) unlink(e *wmeEntry, n *Network) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	l.size--
+	n.putWMEEntry(e)
+}
+
+// wmeIndex buckets a wme list's members by the value of one attribute.
+// Indexes are materialized lazily: until the first bucket lookup,
+// inserts skip the index entirely (built=false), so memories whose
+// indexed side never activates — e.g. feeding a join whose opposite
+// memory stays empty — pay nothing for registration. The first lookup
+// backfills from the insertion-ordered item list, which preserves the
+// bucket-order-equals-insertion-order invariant.
+type wmeIndex struct {
+	attr    int
+	built   bool
+	buckets map[indexKey]*wmeList
+}
+
+// alphaRef records one WME's membership in an alpha memory: its entry
+// in the ordered item list plus its entry in each registered index
+// bucket (parallel to the memory's index list).
+type alphaRef struct {
+	am      *alphaMem
+	entry   *wmeEntry
+	buckets []*wmeEntry
+}
+
+// registerIndex ensures the alpha memory maintains a bucket index over
+// the given attribute and returns its position in am.indexes. Indexes
+// are registered during production compilation, before the first WME
+// is asserted, so no backfill of items is ever needed (the network
+// freezes production additions at the first Add).
+func (am *alphaMem) registerIndex(attr int) int {
+	for i, ix := range am.indexes {
+		if ix.attr == attr {
+			return i
+		}
+	}
+	am.indexes = append(am.indexes, &wmeIndex{attr: attr, buckets: map[indexKey]*wmeList{}})
+	return len(am.indexes) - 1
+}
+
+// insert adds a WME to the memory's item list and every built index,
+// and returns the membership record for later O(1) removal. Bucket
+// slots of unbuilt indexes stay nil until buildIndex patches them.
+func (am *alphaMem) insert(w *wm.WME, n *Network) alphaRef {
+	ref := alphaRef{am: am, entry: am.items.pushBack(w, n)}
+	if len(am.indexes) > 0 {
+		ref.buckets = make([]*wmeEntry, len(am.indexes))
+		for i, ix := range am.indexes {
+			if ix.built {
+				ref.buckets[i] = ix.push(w, n)
+			}
+		}
+	}
+	return ref
+}
+
+// push adds one WME to its bucket and returns the bucket entry.
+func (ix *wmeIndex) push(w *wm.WME, n *Network) *wmeEntry {
+	k := keyOf(w.GetAt(ix.attr))
+	b := ix.buckets[k]
+	if b == nil {
+		b = &wmeList{}
+		ix.buckets[k] = b
+	}
+	return b.pushBack(w, n)
+}
+
+// removeRef unlinks one WME membership (item list and all buckets).
+// Emptied bucket lists stay in their index map: attribute values recur,
+// and reusing the list beats a delete-and-reallocate cycle.
+func (am *alphaMem) removeRef(ref alphaRef, n *Network) {
+	am.items.unlink(ref.entry, n)
+	for _, be := range ref.buckets {
+		if be != nil { // nil: index not yet materialized at insert time
+			be.list.unlink(be, n)
+		}
+	}
+}
+
+// bucket returns the WMEs whose indexed attribute equals the key
+// (nil when the bucket is empty), materializing the index on first
+// use.
+func (am *alphaMem) bucket(idx int, k indexKey, n *Network) *wmeList {
+	ix := am.indexes[idx]
+	if !ix.built {
+		am.buildIndex(idx, ix, n)
+	}
+	return ix.buckets[k]
+}
+
+// buildIndex backfills a lazily-registered index from the item list,
+// patching each member's membership record (held in its wmeState's
+// alphaRef for this memory) so removal stays O(1).
+func (am *alphaMem) buildIndex(idx int, ix *wmeIndex, n *Network) {
+	ix.built = true
+	for e := am.items.head; e != nil; e = e.next {
+		be := ix.push(e.w, n)
+		st := n.states[e.w]
+		for i := range st.alphaRefs {
+			if st.alphaRefs[i].am == am {
+				st.alphaRefs[i].buckets[idx] = be
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Token lists and beta-memory indexes
+
+// tokenEntry is one membership of a token in a tokenList.
+type tokenEntry struct {
+	t          *Token
+	prev, next *tokenEntry
+	list       *tokenList
+}
+
+// tokenList is an insertion-ordered list of tokens with O(1) unlink.
+type tokenList struct {
+	head, tail *tokenEntry
+	size       int
+}
+
+func (l *tokenList) pushBack(t *Token, n *Network) *tokenEntry {
+	e := n.getTokenEntry()
+	e.t = t
+	e.list = l
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.size++
+	return e
+}
+
+func (l *tokenList) unlink(e *tokenEntry, n *Network) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	l.size--
+	n.putTokenEntry(e)
+}
+
+// levelAttr identifies one (condition-element level, attribute slot)
+// binding a token index hashes on.
+type levelAttr struct{ level, attr int }
+
+// tokenIndex buckets a token store's members by the value their token
+// binds at one (level, attr) location. Tokens with no WME at that
+// level (the level belongs to a negated CE, or the token is the dummy)
+// appear in the item list but in no bucket: they can never pass an
+// equality test against that location, so a bucket walk correctly
+// treats them as first-test failures.
+//
+// Like wmeIndex, token indexes are materialized lazily on the first
+// bucket lookup (see wmeIndex), except in eager stores.
+type tokenIndex struct {
+	at      levelAttr
+	built   bool
+	buckets map[indexKey]*tokenList
+}
+
+// tokenStore is the item storage shared by beta memories, negative
+// nodes and production nodes: the ordered token list plus any equality
+// indexes registered by the join work that iterates the store.
+//
+// eager forces indexes to be maintained from registration. It is set
+// on negative-node adapter memories, whose membership records live in
+// the token's adapterRefs and so cannot be patched by a lazy backfill
+// (the node-owned membership of ordinary stores is reachable through
+// Token.storeBuckets, which backfill patches in place).
+type tokenStore struct {
+	items   tokenList
+	indexes []*tokenIndex
+	eager   bool
+}
+
+// registerIndex ensures the store maintains a bucket index over the
+// token value bound at (level, attr) and returns its position in
+// s.indexes. Registration happens during production compilation; the
+// only token that can already exist is the network's dummy token,
+// which binds no WME at any level and so belongs in no bucket — but
+// its membership record must still grow so that it stays parallel
+// with the index list.
+func (s *tokenStore) registerIndex(level, attr int) int {
+	at := levelAttr{level, attr}
+	for i, ix := range s.indexes {
+		if ix.at == at {
+			return i
+		}
+	}
+	s.indexes = append(s.indexes, &tokenIndex{at: at, built: s.eager, buckets: map[indexKey]*tokenList{}})
+	// Keep existing members' bucket records parallel with the index
+	// list. Registration precedes the first WME, so the only member a
+	// store can have here is the network's dummy token, which binds no
+	// WME at any level and lands in no bucket.
+	for e := s.items.head; e != nil; e = e.next {
+		e.t.storeBuckets = append(e.t.storeBuckets, nil)
+	}
+	return len(s.indexes) - 1
+}
+
+// insert adds a token to the item list and every index bucket whose
+// (level, attr) location the token binds, returning the membership
+// records. The bucket slice is parallel to s.indexes; entries are nil
+// for locations the token does not bind. The caller provides the
+// bucket slice to fill (so the token's own storage can be reused).
+func (s *tokenStore) insert(t *Token, buckets []*tokenEntry, n *Network) (*tokenEntry, []*tokenEntry) {
+	entry := s.items.pushBack(t, n)
+	if len(s.indexes) > 0 {
+		for _, ix := range s.indexes {
+			var be *tokenEntry
+			if ix.built {
+				be = ix.push(t, n)
+			}
+			buckets = append(buckets, be)
+		}
+	}
+	return entry, buckets
+}
+
+// push adds one token to its bucket (none when the token binds no WME
+// at the indexed level) and returns the bucket entry.
+func (ix *tokenIndex) push(t *Token, n *Network) *tokenEntry {
+	bound := t.WMEAt(ix.at.level)
+	if bound == nil {
+		return nil
+	}
+	k := keyOf(bound.GetAt(ix.at.attr))
+	b := ix.buckets[k]
+	if b == nil {
+		b = &tokenList{}
+		ix.buckets[k] = b
+	}
+	return b.pushBack(t, n)
+}
+
+// removeEntries unlinks one token membership (item entry plus bucket
+// entries) from the store's lists.
+func (s *tokenStore) removeEntries(entry *tokenEntry, buckets []*tokenEntry, n *Network) {
+	s.items.unlink(entry, n)
+	for _, be := range buckets {
+		if be != nil {
+			be.list.unlink(be, n)
+		}
+	}
+}
+
+// bucket returns the tokens whose bound value at the index's location
+// equals the key (nil when the bucket is empty), materializing the
+// index on first use.
+func (s *tokenStore) bucket(idx int, k indexKey, n *Network) *tokenList {
+	ix := s.indexes[idx]
+	if !ix.built {
+		s.buildIndex(idx, ix, n)
+	}
+	return ix.buckets[k]
+}
+
+// buildIndex backfills a lazily-registered index from the item list,
+// patching each member token's storeBuckets record so removal stays
+// O(1). Only node-owned memberships can exist in a lazy store (eager
+// stores never reach here), so storeBuckets is always the right
+// record to patch.
+func (s *tokenStore) buildIndex(idx int, ix *tokenIndex, n *Network) {
+	ix.built = true
+	for e := s.items.head; e != nil; e = e.next {
+		if be := ix.push(e.t, n); be != nil {
+			e.t.storeBuckets[idx] = be
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Entry free lists
+
+func (n *Network) getWMEEntry() *wmeEntry {
+	if len(n.wmeEntryPool) > 0 {
+		e := n.wmeEntryPool[len(n.wmeEntryPool)-1]
+		n.wmeEntryPool = n.wmeEntryPool[:len(n.wmeEntryPool)-1]
+		return e
+	}
+	return &wmeEntry{}
+}
+
+func (n *Network) putWMEEntry(e *wmeEntry) {
+	*e = wmeEntry{}
+	n.wmeEntryPool = append(n.wmeEntryPool, e)
+}
+
+func (n *Network) getTokenEntry() *tokenEntry {
+	if len(n.tokenEntryPool) > 0 {
+		e := n.tokenEntryPool[len(n.tokenEntryPool)-1]
+		n.tokenEntryPool = n.tokenEntryPool[:len(n.tokenEntryPool)-1]
+		return e
+	}
+	return &tokenEntry{}
+}
+
+func (n *Network) putTokenEntry(e *tokenEntry) {
+	*e = tokenEntry{}
+	n.tokenEntryPool = append(n.tokenEntryPool, e)
+}

@@ -11,6 +11,14 @@
 // as an Activation with its instruction cost and its child activations.
 // The per-cycle forest of activations is the schedulable workload for
 // the match-parallelism studies.
+//
+// Memories are equality-indexed (memory.go): when a join or negative
+// node's first variable-consistency test is an equality, activations
+// walk only the hash bucket that can pass it. The simulated cost model
+// is unaffected — skipped pairs are charged arithmetically, and the
+// differential oracle (differential_test.go) proves the indexed and
+// unindexed matchers produce byte-identical Counters and identical
+// firing sequences. See docs/PERFORMANCE.md.
 package rete
 
 import (
@@ -80,6 +88,13 @@ type JoinTest struct {
 	TokenLevel int
 	TokenAttr  int
 	Pred       PredFn
+	// Eq declares that Pred implements OPS5 value equality
+	// (symtab.Value.Equal semantics). A node whose test list begins
+	// with an equality test activates through hash-indexed memories
+	// instead of full scans. Setting Eq on any other predicate
+	// produces wrong matches; leaving it unset merely loses the
+	// speedup.
+	Eq bool
 }
 
 // Pattern is the compiled form of one condition element.
@@ -99,19 +114,50 @@ type Pattern struct {
 
 // Token is a partial instantiation: a chain of WMEs, one level per
 // condition element (negated CEs and production nodes hold nil WMEs).
+//
+// Tokens carry intrusive links for every list they belong to, so that
+// deletion — the retraction hot path — is O(1) per membership instead
+// of a linear scan: the sibling list of their parent token, the token
+// list of the WME they bind, and the membership records of their
+// holder's store and any bridge (adapter) memories. Deleted tokens are
+// recycled through the network's free list; recycling is deferred to
+// the next StartBatch so that an engine firing a production can still
+// read the (already retracted) instantiation token's bindings.
 type Token struct {
-	parent   *Token
-	W        *wm.WME
-	level    int // condition-element index; -1 for the dummy token
-	node     tokenHolder
-	children []*Token
-	// joinResults, for tokens owned by negative nodes: the WMEs
-	// currently blocking the negated condition.
-	joinResults []*negJoinResult
-	// adapters: bridge memories the token is currently a member of
+	parent *Token
+	W      *wm.WME
+	level  int // condition-element index; -1 for the dummy token
+	node   tokenHolder
+
+	// Intrusive child list; children are deleted newest-first, which
+	// preserves the deletion order of the original slice-based
+	// implementation.
+	firstChild, lastChild *Token
+	prevSib, nextSib      *Token
+
+	// Intrusive membership of the binding WME's token list.
+	wmePrev, wmeNext *Token
+
+	// Membership records in the holder's token store (memory.go).
+	storeEntry   *tokenEntry
+	storeBuckets []*tokenEntry
+
+	// adapterRefs: bridge memories the token is currently a member of
 	// (tokens of negative nodes flow into an adapter memory that feeds
-	// the next join level).
-	adapters []*betaMemory
+	// the next join level), with their membership records.
+	adapterRefs []tokenRef
+
+	// Join results, for tokens owned by negative nodes: the intrusive
+	// list of WMEs currently blocking the negated condition.
+	jrHead, jrTail *negJoinResult
+	nJoinResults   int
+}
+
+// tokenRef is one token membership in a bridge memory.
+type tokenRef struct {
+	mem     *betaMemory
+	entry   *tokenEntry
+	buckets []*tokenEntry
 }
 
 // WMEAt returns the WME bound at condition-element level k (nil for
@@ -140,21 +186,137 @@ func (t *Token) WMEs() []*wm.WME {
 	return out
 }
 
-type negJoinResult struct {
-	owner *Token
-	wme   *wm.WME
+func (t *Token) appendChild(c *Token) {
+	c.prevSib = t.lastChild
+	c.nextSib = nil
+	if t.lastChild != nil {
+		t.lastChild.nextSib = c
+	} else {
+		t.firstChild = c
+	}
+	t.lastChild = c
 }
 
-// wmeState tracks the network's per-WME bookkeeping.
+func (t *Token) removeChild(c *Token) {
+	if c.prevSib != nil {
+		c.prevSib.nextSib = c.nextSib
+	} else {
+		t.firstChild = c.nextSib
+	}
+	if c.nextSib != nil {
+		c.nextSib.prevSib = c.prevSib
+	} else {
+		t.lastChild = c.prevSib
+	}
+	c.prevSib, c.nextSib = nil, nil
+}
+
+func (t *Token) pushJR(jr *negJoinResult) {
+	jr.ownerPrev = t.jrTail
+	jr.ownerNext = nil
+	if t.jrTail != nil {
+		t.jrTail.ownerNext = jr
+	} else {
+		t.jrHead = jr
+	}
+	t.jrTail = jr
+	t.nJoinResults++
+}
+
+func (t *Token) unlinkJR(jr *negJoinResult) {
+	if jr.ownerPrev != nil {
+		jr.ownerPrev.ownerNext = jr.ownerNext
+	} else {
+		t.jrHead = jr.ownerNext
+	}
+	if jr.ownerNext != nil {
+		jr.ownerNext.ownerPrev = jr.ownerPrev
+	} else {
+		t.jrTail = jr.ownerPrev
+	}
+	jr.ownerPrev, jr.ownerNext = nil, nil
+	t.nJoinResults--
+}
+
+// reset clears a recycled token, keeping slice capacity.
+func (t *Token) reset() {
+	adapterRefs := t.adapterRefs[:0]
+	storeBuckets := t.storeBuckets[:0]
+	*t = Token{adapterRefs: adapterRefs, storeBuckets: storeBuckets}
+}
+
+// negJoinResult records one WME blocking one negative-node token. It
+// is a member of two intrusive lists: the owner token's join-result
+// list and the blocking WME's per-state list.
+type negJoinResult struct {
+	owner                *Token
+	wme                  *wm.WME
+	ownerPrev, ownerNext *negJoinResult
+	wmePrev, wmeNext     *negJoinResult
+}
+
+// wmeState tracks the network's per-WME bookkeeping: the WME's alpha
+// memory memberships, the tokens binding it (intrusive list), and the
+// negative join results it blocks (intrusive list).
 type wmeState struct {
-	alphaMems      []*alphaMem
-	tokens         []*Token
-	negJoinResults []*negJoinResult
+	alphaRefs        []alphaRef
+	tokHead, tokTail *Token
+	jrHead, jrTail   *negJoinResult
+}
+
+func (st *wmeState) pushToken(t *Token) {
+	t.wmePrev = st.tokTail
+	t.wmeNext = nil
+	if st.tokTail != nil {
+		st.tokTail.wmeNext = t
+	} else {
+		st.tokHead = t
+	}
+	st.tokTail = t
+}
+
+func (st *wmeState) unlinkToken(t *Token) {
+	if t.wmePrev != nil {
+		t.wmePrev.wmeNext = t.wmeNext
+	} else {
+		st.tokHead = t.wmeNext
+	}
+	if t.wmeNext != nil {
+		t.wmeNext.wmePrev = t.wmePrev
+	} else {
+		st.tokTail = t.wmePrev
+	}
+	t.wmePrev, t.wmeNext = nil, nil
+}
+
+func (st *wmeState) pushJR(jr *negJoinResult) {
+	jr.wmePrev = st.jrTail
+	jr.wmeNext = nil
+	if st.jrTail != nil {
+		st.jrTail.wmeNext = jr
+	} else {
+		st.jrHead = jr
+	}
+	st.jrTail = jr
+}
+
+func (st *wmeState) unlinkJR(jr *negJoinResult) {
+	if jr.wmePrev != nil {
+		jr.wmePrev.wmeNext = jr.wmeNext
+	} else {
+		st.jrHead = jr.wmeNext
+	}
+	if jr.wmeNext != nil {
+		jr.wmeNext.wmePrev = jr.wmePrev
+	} else {
+		st.jrTail = jr.wmePrev
+	}
+	jr.wmePrev, jr.wmeNext = nil, nil
 }
 
 // tokenHolder is any node that stores tokens.
 type tokenHolder interface {
-	removeToken(t *Token)
+	removeToken(t *Token, n *Network)
 }
 
 // tokenChild receives a bare token from a memory-ish parent.
@@ -165,31 +327,35 @@ type tokenChild interface {
 // rightChild receives alpha-memory deltas.
 type rightChild interface {
 	rightActivate(w *wm.WME, n *Network)
-	rightRetract(w *wm.WME, n *Network)
 }
 
-// alphaMem stores the WMEs passing one CE's constant tests.
+// alphaMem stores the WMEs passing one CE's constant tests, in
+// insertion order, plus the equality indexes its successor nodes
+// registered (memory.go).
 type alphaMem struct {
 	signature  string
 	class      string
 	filter     func(*wm.WME) bool
 	filterCost float64
-	items      map[*wm.WME]bool
+	items      wmeList
+	indexes    []*wmeIndex
 	successors []rightChild
 }
 
 // betaMemory stores the tokens matching a prefix of positive CEs.
 type betaMemory struct {
-	items    map[*Token]bool
+	tokenStore
 	children []tokenChild
 	label    string
 }
 
-func (m *betaMemory) removeToken(t *Token) { delete(m.items, t) }
+func (m *betaMemory) removeToken(t *Token, n *Network) {
+	m.removeEntries(t.storeEntry, t.storeBuckets, n)
+}
 
 func (m *betaMemory) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
 	tok := n.newToken(m, t, w, level)
-	m.items[tok] = true
+	tok.storeEntry, tok.storeBuckets = m.insert(tok, tok.storeBuckets[:0], n)
 	for _, c := range m.children {
 		c.leftActivateToken(tok, n)
 	}
@@ -203,6 +369,11 @@ type joinNode struct {
 	child  joinTarget
 	level  int
 	label  string
+	// pidx/aidx are the positions of the equality index the node's
+	// first test registered on the parent memory and the alpha memory,
+	// or -1 when the node activates by full scan (no tests, first test
+	// not an equality, or indexing disabled).
+	pidx, aidx int
 }
 
 // joinTarget is what a join node feeds: the next beta memory, a
@@ -230,9 +401,33 @@ func (j *joinNode) passes(t *Token, w *wm.WME, n *Network) bool {
 func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 	n.begin("join:" + j.label)
 	defer n.end()
-	for w := range j.amem.items {
-		if j.passes(t, w, n) {
-			j.child.leftActivatePair(t, w, j.level, n)
+	if j.aidx >= 0 {
+		if j.amem.items.size == 0 {
+			return // no pairs, no misses: nothing to charge
+		}
+		ts := &j.tests[0]
+		bound := t.WMEAt(ts.TokenLevel)
+		if bound == nil {
+			// The referenced level binds no WME: every pair fails the
+			// first test; charge them without iterating.
+			n.chargeSkippedJoinTests(j.amem.items.size)
+			return
+		}
+		bucket := j.amem.bucket(j.aidx, keyOf(bound.GetAt(ts.TokenAttr)), n)
+		n.chargeSkippedJoinTests(j.amem.items.size - wmeBucketSize(bucket))
+		if bucket == nil {
+			return
+		}
+		for e := bucket.head; e != nil; e = e.next {
+			if j.passes(t, e.w, n) {
+				j.child.leftActivatePair(t, e.w, j.level, n)
+			}
+		}
+		return
+	}
+	for e := j.amem.items.head; e != nil; e = e.next {
+		if j.passes(t, e.w, n) {
+			j.child.leftActivatePair(t, e.w, j.level, n)
 		}
 	}
 }
@@ -240,16 +435,41 @@ func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 func (j *joinNode) rightActivate(w *wm.WME, n *Network) {
 	n.begin("join:" + j.label)
 	defer n.end()
-	for t := range j.parent.items {
-		if j.passes(t, w, n) {
-			j.child.leftActivatePair(t, w, j.level, n)
+	if j.pidx >= 0 {
+		if j.parent.items.size == 0 {
+			return // no pairs, no misses: nothing to charge
+		}
+		bucket := j.parent.bucket(j.pidx, keyOf(w.GetAt(j.tests[0].OwnAttr)), n)
+		n.chargeSkippedJoinTests(j.parent.items.size - tokenBucketSize(bucket))
+		if bucket == nil {
+			return
+		}
+		for e := bucket.head; e != nil; e = e.next {
+			if j.passes(e.t, w, n) {
+				j.child.leftActivatePair(e.t, w, j.level, n)
+			}
+		}
+		return
+	}
+	for e := j.parent.items.head; e != nil; e = e.next {
+		if j.passes(e.t, w, n) {
+			j.child.leftActivatePair(e.t, w, j.level, n)
 		}
 	}
 }
 
-func (j *joinNode) rightRetract(w *wm.WME, n *Network) {
-	// Tokens referencing w are deleted through the WME's token list;
-	// nothing to do on the join node itself.
+func wmeBucketSize(l *wmeList) int {
+	if l == nil {
+		return 0
+	}
+	return l.size
+}
+
+func tokenBucketSize(l *tokenList) int {
+	if l == nil {
+		return 0
+	}
+	return l.size
 }
 
 // negativeNode implements a negated CE. It stores the tokens that have
@@ -257,16 +477,20 @@ func (j *joinNode) rightRetract(w *wm.WME, n *Network) {
 // the negated condition (join results). A token flows on to the
 // children only while its join-result set is empty.
 type negativeNode struct {
-	parent   *betaMemory
+	tokenStore
 	amem     *alphaMem
 	tests    []JoinTest
 	children []tokenChild
-	items    map[*Token]bool
 	level    int
 	label    string
+	// sidx/aidx are the equality index positions on the node's own
+	// token store and its alpha memory, or -1 (see joinNode).
+	sidx, aidx int
 }
 
-func (g *negativeNode) removeToken(t *Token) { delete(g.items, t) }
+func (g *negativeNode) removeToken(t *Token, n *Network) {
+	g.removeEntries(t.storeEntry, t.storeBuckets, n)
+}
 
 func (g *negativeNode) passes(t *Token, w *wm.WME, n *Network) bool {
 	for _, ts := range g.tests {
@@ -283,21 +507,44 @@ func (g *negativeNode) passes(t *Token, w *wm.WME, n *Network) bool {
 	return true
 }
 
+// block records w as a join result blocking tok.
+func (g *negativeNode) block(tok *Token, w *wm.WME, n *Network) {
+	jr := &negJoinResult{owner: tok, wme: w}
+	tok.pushJR(jr)
+	n.state(w).pushJR(jr)
+}
+
 func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
 	n.begin("neg:" + g.label)
 	tok := n.newToken(g, t, nil, g.level)
-	g.items[tok] = true
-	for w := range g.amem.items {
-		if g.passes(tok, w, n) {
-			n.charge(CostNegJoinResult)
-			jr := &negJoinResult{owner: tok, wme: w}
-			tok.joinResults = append(tok.joinResults, jr)
-			st := n.state(w)
-			st.negJoinResults = append(st.negJoinResults, jr)
+	tok.storeEntry, tok.storeBuckets = g.insert(tok, tok.storeBuckets[:0], n)
+	if g.aidx >= 0 && g.amem.items.size > 0 {
+		ts := &g.tests[0]
+		bound := tok.WMEAt(ts.TokenLevel)
+		if bound == nil {
+			n.chargeSkippedJoinTests(g.amem.items.size)
+		} else {
+			bucket := g.amem.bucket(g.aidx, keyOf(bound.GetAt(ts.TokenAttr)), n)
+			n.chargeSkippedJoinTests(g.amem.items.size - wmeBucketSize(bucket))
+			if bucket != nil {
+				for e := bucket.head; e != nil; e = e.next {
+					if g.passes(tok, e.w, n) {
+						n.charge(CostNegJoinResult)
+						g.block(tok, e.w, n)
+					}
+				}
+			}
+		}
+	} else if g.aidx < 0 {
+		for e := g.amem.items.head; e != nil; e = e.next {
+			if g.passes(tok, e.w, n) {
+				n.charge(CostNegJoinResult)
+				g.block(tok, e.w, n)
+			}
 		}
 	}
 	n.end()
-	if len(tok.joinResults) == 0 {
+	if tok.nJoinResults == 0 {
 		for _, c := range g.children {
 			c.leftActivateToken(tok, n)
 		}
@@ -307,31 +554,45 @@ func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
 func (g *negativeNode) rightActivate(w *wm.WME, n *Network) {
 	n.begin("neg:" + g.label)
 	defer n.end()
-	for tok := range g.items {
-		if g.passes(tok, w, n) {
-			n.charge(CostNegJoinResult)
-			if len(tok.joinResults) == 0 {
-				// The negation just became false: retract downstream and
-				// withdraw the token from the bridge memories feeding the
-				// next join level.
-				for len(tok.children) > 0 {
-					n.deleteToken(tok.children[len(tok.children)-1])
-				}
-				for _, ad := range tok.adapters {
-					delete(ad.items, tok)
-				}
-				tok.adapters = nil
-			}
-			jr := &negJoinResult{owner: tok, wme: w}
-			tok.joinResults = append(tok.joinResults, jr)
-			st := n.state(w)
-			st.negJoinResults = append(st.negJoinResults, jr)
+	if g.sidx >= 0 {
+		if g.items.size == 0 {
+			return // no pairs, no misses: nothing to charge
 		}
+		bucket := g.bucket(g.sidx, keyOf(w.GetAt(g.tests[0].OwnAttr)), n)
+		n.chargeSkippedJoinTests(g.items.size - tokenBucketSize(bucket))
+		if bucket == nil {
+			return
+		}
+		for e := bucket.head; e != nil; e = e.next {
+			g.rightPair(e.t, w, n)
+		}
+		return
+	}
+	for e := g.items.head; e != nil; e = e.next {
+		g.rightPair(e.t, w, n)
 	}
 }
 
-func (g *negativeNode) rightRetract(w *wm.WME, n *Network) {
-	// Handled via the WME's negJoinResults list in Network.Remove.
+// rightPair applies one (stored token, new WME) pair of a negative
+// node's right activation.
+func (g *negativeNode) rightPair(tok *Token, w *wm.WME, n *Network) {
+	if !g.passes(tok, w, n) {
+		return
+	}
+	n.charge(CostNegJoinResult)
+	if tok.nJoinResults == 0 {
+		// The negation just became false: retract downstream and
+		// withdraw the token from the bridge memories feeding the
+		// next join level.
+		for tok.lastChild != nil {
+			n.deleteToken(tok.lastChild)
+		}
+		for _, ar := range tok.adapterRefs {
+			ar.mem.removeEntries(ar.entry, ar.buckets, n)
+		}
+		tok.adapterRefs = tok.adapterRefs[:0]
+	}
+	g.block(tok, w, n)
 }
 
 // PNode is a production node: its tokens are the instantiations of one
@@ -340,16 +601,18 @@ type PNode struct {
 	Name string
 	// Data carries the production object of the owning engine.
 	Data  interface{}
-	items map[*Token]bool
+	store tokenStore
 	level int
 }
 
-func (p *PNode) removeToken(t *Token) { delete(p.items, t) }
+func (p *PNode) removeToken(t *Token, n *Network) {
+	p.store.removeEntries(t.storeEntry, t.storeBuckets, n)
+}
 
 func (p *PNode) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
 	n.begin("p:" + p.Name)
 	tok := n.newToken(p, t, w, level)
-	p.items[tok] = true
+	tok.storeEntry, tok.storeBuckets = p.store.insert(tok, tok.storeBuckets[:0], n)
 	n.charge(CostAgendaOp)
 	n.end()
 	n.agenda.Activate(p, tok)
@@ -365,7 +628,10 @@ type Agenda interface {
 	Deactivate(p *PNode, t *Token)
 }
 
-// Counters aggregates network-wide match statistics.
+// Counters aggregates network-wide match statistics. The differential
+// oracle requires these to be byte-identical between the indexed and
+// naive matchers: wall-clock optimisations must never perturb the
+// simulated-instruction accounting.
 type Counters struct {
 	ConstTests    int
 	JoinTests     int
@@ -386,26 +652,47 @@ type Network struct {
 	dummyTok  *Token
 	states    map[*wm.WME]*wmeState
 	frozen    bool
+	indexing  bool
 	prods     []*PNode
 	totals    Counters
 	batch     []*Activation
 	stack     []*Activation
 	capturing bool
+
+	// Free lists. Deleted tokens rest in the graveyard until the next
+	// StartBatch: an engine may read a fired instantiation's (already
+	// retracted) token until its recognize-act cycle ends.
+	tokenPool      []*Token
+	graveyard      []*Token
+	wmeEntryPool   []*wmeEntry
+	tokenEntryPool []*tokenEntry
 }
 
 // New builds an empty network reporting to the given agenda.
 func New(agenda Agenda) *Network {
 	n := &Network{
-		agenda:  agenda,
-		amems:   map[string]*alphaMem{},
-		byClass: map[string][]*alphaMem{},
-		states:  map[*wm.WME]*wmeState{},
+		agenda:   agenda,
+		amems:    map[string]*alphaMem{},
+		byClass:  map[string][]*alphaMem{},
+		states:   map[*wm.WME]*wmeState{},
+		indexing: true,
 	}
-	n.dummyTop = &betaMemory{items: map[*Token]bool{}, label: "top"}
+	n.dummyTop = &betaMemory{label: "top"}
 	n.dummyTok = &Token{level: -1, node: n.dummyTop}
-	n.dummyTop.items[n.dummyTok] = true
+	n.dummyTok.storeEntry, n.dummyTok.storeBuckets = n.dummyTop.insert(n.dummyTok, nil, n)
 	return n
 }
+
+// SetIndexing enables or disables equality-indexed memory activation.
+// It must be called before AddProduction — nodes choose their
+// activation strategy at compile time. The unindexed mode is the
+// reference matcher: the differential oracle runs every scenario
+// through both and requires byte-identical Counters and firing
+// sequences.
+func (n *Network) SetIndexing(on bool) { n.indexing = on }
+
+// Indexing reports whether equality-indexed activation is enabled.
+func (n *Network) Indexing() bool { return n.indexing }
 
 // Totals returns the aggregate match counters.
 func (n *Network) Totals() Counters { return n.totals }
@@ -422,7 +709,19 @@ func (n *Network) SetCapture(on bool) { n.capturing = on }
 
 // StartBatch clears the pending activation forest; the activations
 // produced by subsequent Add/Remove calls accumulate until TakeBatch.
-func (n *Network) StartBatch() { n.batch = n.batch[:0]; n.stack = n.stack[:0] }
+// It is also the recycling point: tokens deleted since the previous
+// batch return to the free list, so a caller holding a retracted
+// token (the engine reading a fired instantiation's bindings) must
+// not keep it across StartBatch.
+func (n *Network) StartBatch() {
+	n.batch = n.batch[:0]
+	n.stack = n.stack[:0]
+	for _, tok := range n.graveyard {
+		tok.reset()
+		n.tokenPool = append(n.tokenPool, tok)
+	}
+	n.graveyard = n.graveyard[:0]
+}
 
 // TakeBatch returns the activation forest accumulated since StartBatch.
 func (n *Network) TakeBatch() []*Activation {
@@ -465,6 +764,20 @@ func (n *Network) charge(cost float64) {
 	}
 }
 
+// chargeSkippedJoinTests accounts for the pairs an index walk skips:
+// in the unindexed matcher each of them would have been offered to the
+// node, failed its first equality test, and cost exactly one
+// CostJoinTest. The charge is computed arithmetically from the skip
+// count — never by iterating — which is what makes indexed activation
+// faster at byte-identical simulated cost.
+func (n *Network) chargeSkippedJoinTests(skipped int) {
+	if skipped <= 0 {
+		return
+	}
+	n.charge(CostJoinTest * float64(skipped))
+	n.totals.JoinTests += skipped
+}
+
 func (n *Network) state(w *wm.WME) *wmeState {
 	st := n.states[w]
 	if st == nil {
@@ -477,13 +790,22 @@ func (n *Network) state(w *wm.WME) *wmeState {
 func (n *Network) newToken(holder tokenHolder, parent *Token, w *wm.WME, level int) *Token {
 	n.charge(CostTokenOp)
 	n.totals.TokensCreated++
-	tok := &Token{parent: parent, W: w, level: level, node: holder}
+	var tok *Token
+	if k := len(n.tokenPool); k > 0 {
+		tok = n.tokenPool[k-1]
+		n.tokenPool = n.tokenPool[:k-1]
+	} else {
+		tok = &Token{}
+	}
+	tok.parent = parent
+	tok.W = w
+	tok.level = level
+	tok.node = holder
 	if parent != nil {
-		parent.children = append(parent.children, tok)
+		parent.appendChild(tok)
 	}
 	if w != nil {
-		st := n.state(w)
-		st.tokens = append(st.tokens, tok)
+		n.state(w).pushToken(tok)
 	}
 	return tok
 }
@@ -504,19 +826,28 @@ func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (
 	for i, pat := range pats {
 		am := n.alpha(pat)
 		last := i == len(pats)-1
+		// The node is index-accelerated when its first test is an
+		// equality: the token-side store buckets on the (level, attr)
+		// the test reads, the alpha memory on the WME attribute.
+		indexable := n.indexing && len(pat.Tests) > 0 && pat.Tests[0].Eq
 		if pat.Negated {
 			neg := &negativeNode{
-				parent: mem, amem: am, tests: pat.Tests,
-				items: map[*Token]bool{}, level: i,
+				amem: am, tests: pat.Tests, level: i,
 				label: fmt.Sprintf("%s/%d", name, i+1),
+				sidx:  -1, aidx: -1,
+			}
+			if indexable {
+				neg.sidx = neg.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
+				neg.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
 			}
 			mem.children = append(mem.children, neg)
-			// Prepend: when one alpha memory feeds several levels of the
-			// same chain, descendants must be right-activated before
-			// ancestors or new-WME pairings are produced twice.
-			am.successors = append([]rightChild{neg}, am.successors...)
+			// Successors append in ancestor-before-descendant order per
+			// chain; Add right-activates them in reverse, so descendants
+			// run first (required when one alpha memory feeds several
+			// levels of the same chain, or new-WME pairings double).
+			am.successors = append(am.successors, neg)
 			if last {
-				p := &PNode{Name: name, Data: data, items: map[*Token]bool{}, level: i + 1}
+				p := &PNode{Name: name, Data: data, level: i + 1}
 				neg.children = append(neg.children, p)
 				n.prods = append(n.prods, p)
 				return p, nil
@@ -527,18 +858,20 @@ func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (
 			continue
 		}
 		j := &joinNode{parent: mem, amem: am, tests: pat.Tests, level: i,
-			label: fmt.Sprintf("%s/%d", name, i+1)}
+			label: fmt.Sprintf("%s/%d", name, i+1), pidx: -1, aidx: -1}
+		if indexable {
+			j.pidx = mem.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
+			j.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
+		}
 		mem.children = append(mem.children, j)
-		// Prepend so descendants right-activate before ancestors (see the
-		// negative-node case above).
-		am.successors = append([]rightChild{j}, am.successors...)
+		am.successors = append(am.successors, j)
 		if last {
-			p := &PNode{Name: name, Data: data, items: map[*Token]bool{}, level: i + 1}
+			p := &PNode{Name: name, Data: data, level: i + 1}
 			j.child = p
 			n.prods = append(n.prods, p)
 			return p, nil
 		}
-		next := &betaMemory{items: map[*Token]bool{}, label: fmt.Sprintf("%s/%d", name, i+1)}
+		next := &betaMemory{label: fmt.Sprintf("%s/%d", name, i+1)}
 		j.child = next
 		mem = next
 	}
@@ -551,7 +884,8 @@ func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (
 func negAdapter(g *negativeNode) *betaMemory {
 	// A thin real memory fed by the negative node keeps join-node logic
 	// uniform: tokens whose negation holds are copied into it.
-	m := &betaMemory{items: map[*Token]bool{}, label: g.label + "/adapter"}
+	m := &betaMemory{label: g.label + "/adapter"}
+	m.eager = true // adapterRefs records cannot be patched by lazy backfill
 	g.children = append(g.children, (*negBridge)(m))
 	return m
 }
@@ -564,8 +898,8 @@ func (b *negBridge) leftActivateToken(t *Token, n *Network) {
 	m := (*betaMemory)(b)
 	// Reuse the token itself: store and fan out. The token's holder
 	// remains the negative node; the adapter tracks membership only.
-	m.items[t] = true
-	t.adapters = append(t.adapters, m)
+	entry, buckets := m.insert(t, nil, n)
+	t.adapterRefs = append(t.adapterRefs, tokenRef{mem: m, entry: entry, buckets: buckets})
 	for _, c := range m.children {
 		c.leftActivateToken(t, n)
 	}
@@ -580,7 +914,6 @@ func (n *Network) alpha(pat Pattern) *alphaMem {
 		class:      pat.Class,
 		filter:     pat.Filter,
 		filterCost: pat.FilterCost,
-		items:      map[*wm.WME]bool{},
 	}
 	n.amems[pat.Signature] = am
 	n.byClass[pat.Class] = append(n.byClass[pat.Class], am)
@@ -603,17 +936,19 @@ func (n *Network) Add(w *wm.WME) {
 		ok := am.filter == nil || am.filter(w)
 		if ok {
 			n.charge(CostAlphaMemOp)
-			am.items[w] = true
 			st := n.state(w)
-			st.alphaMems = append(st.alphaMems, am)
+			st.alphaRefs = append(st.alphaRefs, am.insert(w, n))
 		}
 		n.end()
 		if ok {
 			// Right-activate before the next alpha memory sees w (see
 			// the duplicate-pairing note above); the cascades are
 			// independent root activations for the match scheduler.
-			for _, s := range am.successors {
-				s.rightActivate(w, n)
+			// Successors run newest-first so that within a chain
+			// descendants right-activate before ancestors (see
+			// AddProduction).
+			for i := len(am.successors) - 1; i >= 0; i-- {
+				am.successors[i].rightActivate(w, n)
 			}
 		}
 	}
@@ -626,33 +961,30 @@ func (n *Network) Remove(w *wm.WME) {
 		return
 	}
 	n.begin("retract:" + w.Class.Name)
-	for _, am := range st.alphaMems {
+	for _, ref := range st.alphaRefs {
 		n.charge(CostAlphaMemOp)
-		delete(am.items, w)
+		ref.am.removeRef(ref, n)
 	}
 	n.end()
 	// Delete tokens referencing w (the token trees rooted at each).
 	// Each root deletion is a schedulable node activation: ParaOPS5
 	// parallelizes retraction the same way as assertion.
-	for len(st.tokens) > 0 {
-		tok := st.tokens[len(st.tokens)-1]
+	for st.tokTail != nil {
+		tok := st.tokTail
 		n.begin("retract-tok:" + w.Class.Name)
 		n.deleteToken(tok)
 		n.end()
 	}
 	// Negative join results: conditions that were blocked by w may now
-	// succeed.
-	for _, jr := range st.negJoinResults {
+	// succeed. No join result can be added to w here (it is gone from
+	// every alpha memory) and the unblock cascades only create tokens,
+	// so walking the intrusive list is safe.
+	for jr := st.jrHead; jr != nil; jr = jr.wmeNext {
 		owner := jr.owner
-		for i, r := range owner.joinResults {
-			if r == jr {
-				owner.joinResults = append(owner.joinResults[:i], owner.joinResults[i+1:]...)
-				break
-			}
-		}
+		owner.unlinkJR(jr)
 		n.begin("neg-unblock:" + w.Class.Name)
 		n.charge(CostNegJoinResult)
-		if len(owner.joinResults) == 0 {
+		if owner.nJoinResults == 0 {
 			if g, ok := owner.node.(*negativeNode); ok {
 				for _, c := range g.children {
 					c.leftActivateToken(owner, n)
@@ -665,8 +997,8 @@ func (n *Network) Remove(w *wm.WME) {
 }
 
 func (n *Network) deleteToken(tok *Token) {
-	for len(tok.children) > 0 {
-		n.deleteToken(tok.children[len(tok.children)-1])
+	for tok.lastChild != nil {
+		n.deleteToken(tok.lastChild)
 	}
 	n.charge(CostTokenOp)
 	n.totals.TokensDeleted++
@@ -674,42 +1006,31 @@ func (n *Network) deleteToken(tok *Token) {
 		n.charge(CostAgendaOp)
 		n.agenda.Deactivate(p, tok)
 	}
-	tok.node.removeToken(tok)
-	for _, ad := range tok.adapters {
-		delete(ad.items, tok)
+	tok.node.removeToken(tok, n)
+	for _, ar := range tok.adapterRefs {
+		ar.mem.removeEntries(ar.entry, ar.buckets, n)
 	}
-	tok.adapters = nil
+	tok.adapterRefs = tok.adapterRefs[:0]
 	if tok.W != nil {
-		st := n.states[tok.W]
-		if st != nil {
-			for i, t := range st.tokens {
-				if t == tok {
-					st.tokens = append(st.tokens[:i], st.tokens[i+1:]...)
-					break
-				}
-			}
+		if st := n.states[tok.W]; st != nil {
+			st.unlinkToken(tok)
 		}
 	}
 	if _, ok := tok.node.(*negativeNode); ok {
-		for _, jr := range tok.joinResults {
-			st := n.states[jr.wme]
-			if st != nil {
-				for i, r := range st.negJoinResults {
-					if r == jr {
-						st.negJoinResults = append(st.negJoinResults[:i], st.negJoinResults[i+1:]...)
-						break
-					}
-				}
+		for jr := tok.jrHead; jr != nil; {
+			next := jr.ownerNext
+			if st := n.states[jr.wme]; st != nil {
+				st.unlinkJR(jr)
 			}
+			jr = next
 		}
-		tok.joinResults = nil
+		tok.jrHead, tok.jrTail, tok.nJoinResults = nil, nil, 0
 	}
 	if tok.parent != nil {
-		for i, c := range tok.parent.children {
-			if c == tok {
-				tok.parent.children = append(tok.parent.children[:i], tok.parent.children[i+1:]...)
-				break
-			}
-		}
+		tok.parent.removeChild(tok)
 	}
+	// Rest in the graveyard until the next StartBatch: the engine may
+	// still read this (fired) instantiation's bindings while its RHS
+	// executes.
+	n.graveyard = append(n.graveyard, tok)
 }

@@ -103,7 +103,7 @@ func TestTwoCEJoin(t *testing.T) {
 	p, err := f.net.AddProduction("want-block", []Pattern{
 		{Class: "goal", Signature: "goal*"},
 		{Class: "block", Signature: "block*",
-			Tests: []JoinTest{{OwnAttr: 1 /*color*/, TokenLevel: 0, TokenAttr: 0 /*want*/, Pred: eqPred}}},
+			Tests: []JoinTest{{OwnAttr: 1 /*color*/, TokenLevel: 0, TokenAttr: 0 /*want*/, Pred: eqPred, Eq: true}}},
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -196,9 +196,9 @@ func TestNegativeMiddleCE(t *testing.T) {
 		{Class: "goal", Signature: "goal*"},
 		{Negated: true, Class: "block", Signature: "block^on=table",
 			Filter: classEq(2, symtab.Sym("table")), FilterCost: CostAlphaFilterTerm,
-			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred}}},
+			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred, Eq: true}}},
 		{Class: "block", Signature: "block*",
-			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred}}},
+			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred, Eq: true}}},
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -345,7 +345,7 @@ func TestDeepChainRetraction(t *testing.T) {
 	pats := []Pattern{{Class: "goal", Signature: "goal*"}}
 	for i := 0; i < 3; i++ {
 		pats = append(pats, Pattern{Class: "block", Signature: "block*",
-			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred}}})
+			Tests: []JoinTest{{OwnAttr: 1, TokenLevel: 0, TokenAttr: 0, Pred: eqPred, Eq: true}}})
 	}
 	p, err := f.net.AddProduction("chain", pats, nil)
 	if err != nil {

@@ -1,0 +1,60 @@
+package spam
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSPAMDifferentialIndexedVsNaive is the full-rule-set differential
+// oracle: a complete four-phase interpretation (RTF, LCC, FA, MODEL)
+// over the scaled DC scene must be observably identical under the
+// indexed (default) and naive matchers — same firings, same simulated
+// instruction counts per phase, same fragments, consistent pairs,
+// outcomes, functional areas, and final model.
+func TestSPAMDifferentialIndexedVsNaive(t *testing.T) {
+	run := func(naive bool) *Interpretation {
+		t.Helper()
+		UseNaiveMatch(naive)
+		defer UseNaiveMatch(false)
+		d := smallDC(t)
+		in, err := d.Interpret(InterpretOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	indexed := run(false)
+	naive := run(true)
+
+	if len(indexed.Phases) != len(naive.Phases) {
+		t.Fatalf("phase count: indexed %d naive %d", len(indexed.Phases), len(naive.Phases))
+	}
+	for i := range indexed.Phases {
+		ip, np := &indexed.Phases[i], &naive.Phases[i]
+		if ip.Phase != np.Phase || ip.Firings != np.Firings || ip.Tasks != np.Tasks {
+			t.Errorf("phase %s: firings/tasks differ: indexed %+v naive %+v", ip.Phase, ip, np)
+		}
+		if ip.Instr != np.Instr || ip.MatchInstr != np.MatchInstr {
+			t.Errorf("phase %s: simulated instructions differ: indexed (%.0f, %.0f) naive (%.0f, %.0f)",
+				ip.Phase, ip.Instr, ip.MatchInstr, np.Instr, np.MatchInstr)
+		}
+	}
+	if !reflect.DeepEqual(indexed.Fragments, naive.Fragments) {
+		t.Errorf("fragments differ: indexed %d naive %d", len(indexed.Fragments), len(naive.Fragments))
+	}
+	if !reflect.DeepEqual(indexed.Pairs, naive.Pairs) {
+		t.Errorf("consistent pairs differ: indexed %d naive %d", len(indexed.Pairs), len(naive.Pairs))
+	}
+	if !reflect.DeepEqual(indexed.Outcomes, naive.Outcomes) {
+		t.Errorf("LCC outcomes differ: indexed %d naive %d", len(indexed.Outcomes), len(naive.Outcomes))
+	}
+	if !reflect.DeepEqual(indexed.FAs, naive.FAs) {
+		t.Errorf("functional areas differ: indexed %d naive %d", len(indexed.FAs), len(naive.FAs))
+	}
+	if indexed.ModelFound != naive.ModelFound || !reflect.DeepEqual(indexed.Model, naive.Model) {
+		t.Errorf("final models differ: indexed %+v naive %+v", indexed.Model, naive.Model)
+	}
+	if indexed.TotalFirings() == 0 {
+		t.Fatal("interpretation fired nothing: differential test is vacuous")
+	}
+}

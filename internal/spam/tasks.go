@@ -3,6 +3,7 @@ package spam
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"spampsm/internal/ops5"
 	"spampsm/internal/scene"
@@ -26,12 +27,30 @@ const (
 // sym shortens symbol construction in WM assembly.
 func sym(s string) symtab.Value { return symtab.Sym(s) }
 
+// naiveMatch selects the unindexed reference matcher for every engine
+// the package builds (see UseNaiveMatch).
+var naiveMatch atomic.Bool
+
+// UseNaiveMatch switches all subsequently built task engines between
+// the default equality-indexed Rete matcher (false) and the unindexed
+// reference matcher (true). The two are observably identical — the
+// differential oracle proves byte-identical Counters and firing
+// sequences on the full SPAM rule set — so the toggle exists for that
+// oracle and for benchmarking the indexed matcher's wall-clock win.
+// It is process-global because task builders capture engine
+// construction in closures that run on worker pools.
+func UseNaiveMatch(on bool) { naiveMatch.Store(on) }
+
 // engineOpts builds the engine options for a task.
 func engineOpts(capture bool) []ops5.Option {
+	var opts []ops5.Option
 	if capture {
-		return []ops5.Option{ops5.WithCapture()}
+		opts = append(opts, ops5.WithCapture())
 	}
-	return nil
+	if naiveMatch.Load() {
+		opts = append(opts, ops5.WithNaiveMatch())
+	}
+	return opts
 }
 
 // assertFragment adds a fragment hypothesis to an engine's WM.
