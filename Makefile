@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check
+.PHONY: build test vet race bench bench-json oracle check
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,25 @@ bench:
 	$(GO) test -bench . -benchtime 1x .
 
 # bench-json regenerates the perf-trajectory snapshot: Go benchmarks
-# over internal/rete, internal/ops5, internal/matchbench and an
-# end-to-end scaled-down interpretation, with indexed-vs-naive matcher
-# comparisons, written to BENCH_2.json (see docs/PERFORMANCE.md).
+# over internal/rete, internal/ops5, internal/tlp, internal/matchbench
+# and an end-to-end scaled-down interpretation, with indexed-vs-naive
+# matcher and instantiate-vs-recompile engine-construction comparisons,
+# written to BENCH_3.json (see docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_2.json
+	$(GO) run ./cmd/benchjson -out BENCH_3.json
+
+# oracle runs the differential oracles — indexed vs naive matcher, and
+# template-instantiated vs fresh-compiled engines — at all three
+# levels (rete scripts, ops5 engines, full-SPAM interpretations),
+# under the race detector. These are the byte-identity guarantees of
+# docs/PERFORMANCE.md; everything here also runs as part of `race`,
+# but this target names the contract and fails fast on it.
+oracle:
+	$(GO) test -race \
+		-run 'Differential|Template|Concurrent|MatcherToggles|VariantCache' \
+		./internal/rete/ ./internal/ops5/ ./internal/spam/
 
 # check is the full verification gate: the tier-1 build and tests,
-# static analysis, and the race detector over every package.
-check: build test vet race
+# static analysis, the differential oracles, and the race detector
+# over every package.
+check: build test vet oracle race

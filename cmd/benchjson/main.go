@@ -1,14 +1,22 @@
 // Command benchjson runs the repository's Go benchmarks and writes a
 // machine-readable BENCH_<n>.json snapshot: per-benchmark ns/op,
 // allocs/op and throughput metrics (tokens/s, firings/s), plus
-// indexed-vs-naive comparisons where a benchmark provides both
-// variants. The naive variant is the unindexed reference matcher —
-// i.e. the pre-indexing baseline — so each comparison records the
-// optimisation's wall-clock win inside the same file.
+// paired baseline-vs-optimized comparisons where a benchmark provides
+// both variants. Two pairings are recognised:
+//
+//   - <base>/naive vs <base>/indexed — the unindexed reference matcher
+//     against the equality-hash-indexed default (the pre-indexing
+//     baseline), and
+//   - <base>/recompile vs <base>/instantiate — per-engine Rete
+//     recompilation against O(nodes) instantiation from the Program's
+//     shared compiled template (the pre-template baseline).
+//
+// Each comparison records the optimisation's wall-clock win inside the
+// same file.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_2.json] [-benchtime 1s] [-short]
+//	benchjson [-out BENCH_3.json] [-benchtime 1s]
 package main
 
 import (
@@ -30,9 +38,18 @@ var suite = []struct {
 	pattern string
 }{
 	{"./internal/rete", "BenchmarkJoinChurn|BenchmarkWideEqJoin"},
-	{"./internal/ops5", "BenchmarkRecognizeActCycle|BenchmarkJoinHeavyMatch|BenchmarkCompile"},
+	{"./internal/ops5", "BenchmarkRecognizeActCycle|BenchmarkJoinHeavyMatch|BenchmarkCompile|BenchmarkEngineBuild"},
+	{"./internal/tlp", "BenchmarkPoolDispatch"},
 	{"./internal/matchbench", "BenchmarkRubik|BenchmarkWeaver|BenchmarkTourney"},
 	{"./internal/spam", "BenchmarkInterpretDC"},
+}
+
+// pairings maps a benchmark's baseline sub-variant to its optimized
+// counterpart; compare() emits one comparison per <base> that reports
+// both.
+var pairings = []struct{ baseline, optimized string }{
+	{"naive", "indexed"},
+	{"recompile", "instantiate"},
 }
 
 type result struct {
@@ -43,13 +60,15 @@ type result struct {
 }
 
 type comparison struct {
-	Benchmark    string  `json:"benchmark"`
-	Package      string  `json:"package"`
-	NaiveNsOp    float64 `json:"naive_ns_op"`
-	IndexedNsOp  float64 `json:"indexed_ns_op"`
-	Speedup      float64 `json:"speedup"`
-	NaiveAllocs  float64 `json:"naive_allocs_op,omitempty"`
-	IndexedAlloc float64 `json:"indexed_allocs_op,omitempty"`
+	Benchmark       string  `json:"benchmark"`
+	Package         string  `json:"package"`
+	Baseline        string  `json:"baseline_variant"`
+	Optimized       string  `json:"optimized_variant"`
+	BaselineNsOp    float64 `json:"baseline_ns_op"`
+	OptimizedNsOp   float64 `json:"optimized_ns_op"`
+	Speedup         float64 `json:"speedup"`
+	BaselineAllocs  float64 `json:"baseline_allocs_op,omitempty"`
+	OptimizedAllocs float64 `json:"optimized_allocs_op,omitempty"`
 }
 
 type report struct {
@@ -120,72 +139,87 @@ func procSuffix(name string) string {
 	return name
 }
 
-// compare pairs <base>/indexed with <base>/naive results.
+// compare pairs each benchmark's baseline sub-variant with its
+// optimized counterpart (see pairings).
 func compare(rs []result) []comparison {
-	type variant struct{ indexed, naive *result }
-	byBase := map[string]*variant{}
-	order := []string{}
+	type variant struct{ baseline, optimized *result }
+	type key struct {
+		base string
+		pair int
+	}
+	byKey := map[key]*variant{}
+	order := []key{}
 	for i := range rs {
 		name := procSuffix(rs[i].Name)
-		var base, kind string
-		switch {
-		case strings.HasSuffix(name, "/indexed"):
-			base, kind = strings.TrimSuffix(name, "/indexed"), "indexed"
-		case strings.HasSuffix(name, "/naive"):
-			base, kind = strings.TrimSuffix(name, "/naive"), "naive"
-		default:
-			continue
-		}
-		v := byBase[base]
-		if v == nil {
-			v = &variant{}
-			byBase[base] = v
-			order = append(order, base)
-		}
-		if kind == "indexed" {
-			v.indexed = &rs[i]
-		} else {
-			v.naive = &rs[i]
+		for pi, p := range pairings {
+			var base string
+			var opt bool
+			switch {
+			case strings.HasSuffix(name, "/"+p.baseline):
+				base = strings.TrimSuffix(name, "/"+p.baseline)
+			case strings.HasSuffix(name, "/"+p.optimized):
+				base, opt = strings.TrimSuffix(name, "/"+p.optimized), true
+			default:
+				continue
+			}
+			k := key{base, pi}
+			v := byKey[k]
+			if v == nil {
+				v = &variant{}
+				byKey[k] = v
+				order = append(order, k)
+			}
+			if opt {
+				v.optimized = &rs[i]
+			} else {
+				v.baseline = &rs[i]
+			}
 		}
 	}
 	var cs []comparison
-	for _, base := range order {
-		v := byBase[base]
-		if v.indexed == nil || v.naive == nil {
+	for _, k := range order {
+		v := byKey[k]
+		if v.baseline == nil || v.optimized == nil {
 			continue
 		}
-		ni, ii := v.naive.Metrics["ns/op"], v.indexed.Metrics["ns/op"]
-		if ni == 0 || ii == 0 {
+		bn, on := v.baseline.Metrics["ns/op"], v.optimized.Metrics["ns/op"]
+		if bn == 0 || on == 0 {
 			continue
 		}
 		cs = append(cs, comparison{
-			Benchmark:    base,
-			Package:      v.indexed.Package,
-			NaiveNsOp:    ni,
-			IndexedNsOp:  ii,
-			Speedup:      ni / ii,
-			NaiveAllocs:  v.naive.Metrics["allocs/op"],
-			IndexedAlloc: v.indexed.Metrics["allocs/op"],
+			Benchmark:       k.base,
+			Package:         v.optimized.Package,
+			Baseline:        pairings[k.pair].baseline,
+			Optimized:       pairings[k.pair].optimized,
+			BaselineNsOp:    bn,
+			OptimizedNsOp:   on,
+			Speedup:         bn / on,
+			BaselineAllocs:  v.baseline.Metrics["allocs/op"],
+			OptimizedAllocs: v.optimized.Metrics["allocs/op"],
 		})
 	}
 	return cs
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output file")
+	out := flag.String("out", "BENCH_3.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	flag.Parse()
 
 	rep := report{
-		Schema:    "spampsm-bench/v1",
-		Issue:     2,
+		Schema:    "spampsm-bench/v2",
+		Issue:     3,
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Benchtime: *benchtime,
 		Baseline: "naive: unindexed full-scan matcher (the pre-indexing Rete, " +
 			"selectable via SetIndexing(false)/WithNaiveMatch/-naive); " +
 			"indexed: equality-hash-indexed memories (the default). " +
-			"Simulated instruction Counters are byte-identical between the two.",
+			"recompile: per-engine Rete compilation (the pre-template NewEngine, " +
+			"selectable via WithFreshCompile/UseFreshCompile); " +
+			"instantiate: O(nodes) instantiation of the Program's shared compiled " +
+			"template (the default). Simulated instruction Counters are " +
+			"byte-identical across all variants.",
 	}
 	for _, s := range suite {
 		fmt.Fprintf(os.Stderr, "benchjson: running %s (%s)\n", s.pkg, s.pattern)
@@ -211,6 +245,6 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results, %d comparisons)\n",
 		*out, len(rep.Results), len(rep.Comparisons))
 	for _, c := range rep.Comparisons {
-		fmt.Fprintf(os.Stderr, "  %-40s %6.2fx\n", c.Benchmark, c.Speedup)
+		fmt.Fprintf(os.Stderr, "  %-40s %s->%s %6.2fx\n", c.Benchmark, c.Baseline, c.Optimized, c.Speedup)
 	}
 }

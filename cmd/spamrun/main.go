@@ -5,7 +5,7 @@
 // Usage:
 //
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
-//	        [-reentry] [-scale F] [-lisp] [-naive]
+//	        [-reentry] [-scale F] [-lisp] [-naive] [-prebuild]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -17,7 +17,9 @@
 //
 // -naive selects the unindexed reference matcher (identical results
 // and simulated costs, slower wall-clock; see docs/PERFORMANCE.md),
-// and the profile flags write standard pprof files.
+// -prebuild constructs each phase's task engines in parallel before
+// the pool runs them (identical results, less wall-clock), and the
+// profile flags write standard pprof files.
 package main
 
 import (
@@ -46,6 +48,7 @@ func realMain() int {
 	scale := flag.Float64("scale", 1, "scene scale factor")
 	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
 	naive := flag.Bool("naive", false, "use the unindexed reference matcher (same results, slower wall-clock)")
+	prebuild := flag.Bool("prebuild", false, "build each phase's task engines in parallel before running them")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
 	crashRate := flag.Float64("crash-rate", 0, "probability a task's worker crashes mid-task (0 disables injection)")
@@ -103,6 +106,7 @@ func realMain() int {
 		Workers:      *workers,
 		Level:        spam.Level(*level),
 		ReEntry:      *reentry,
+		Prebuild:     *prebuild,
 		Faults:       plan,
 		MaxRetries:   *maxRetries,
 		TaskTimeout:  *taskTimeout,

@@ -145,7 +145,7 @@ func (s *Suite) Tables123() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		in, err := d.Interpret(spam.InterpretOptions{Workers: 1, ReEntry: true})
+		in, err := d.Interpret(spam.InterpretOptions{Workers: 1, ReEntry: true, Prebuild: true})
 		if err != nil {
 			return "", err
 		}

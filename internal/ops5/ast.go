@@ -14,6 +14,7 @@ package ops5
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"spampsm/internal/symtab"
 )
@@ -356,11 +357,20 @@ type ClassDecl struct {
 }
 
 // Program is a parsed OPS5 source unit.
+//
+// A Program memoizes its compiled variants (see CompiledProgram), so
+// it must not be copied by value once engines have been built from it;
+// the parser and all call sites handle Programs by pointer.
 type Program struct {
 	Classes     []ClassDecl
 	Productions []*Production
 	Strategy    string   // "lex" (default) or "mea"
 	Externals   []string // declared external function names
+
+	// Compiled-variant cache, keyed on the compile-time switches
+	// (naive match, capture). Guarded by compileMu; see compiled.go.
+	compileMu sync.Mutex
+	variants  map[compileKey]*CompiledProgram
 }
 
 // Production looks up a production by name, or nil.

@@ -60,9 +60,9 @@ func BenchmarkJoinHeavyMatch(b *testing.B) {
 	}
 }
 
-// BenchmarkCompile measures production-memory compilation (parse +
-// Rete network construction) for a mid-sized program.
-func BenchmarkCompile(b *testing.B) {
+// benchProgram returns the mid-sized 40-rule program used by the
+// engine-construction benchmarks.
+func benchProgram() *Program {
 	src := `
 (literalize a x y z)
 (literalize b u v w)
@@ -77,12 +77,50 @@ func BenchmarkCompile(b *testing.B) {
    (make a ^x (compute <x> + 1)))
 `
 	}
-	prog := MustParse(src)
+	return MustParse(src)
+}
+
+// BenchmarkCompile measures production-memory compilation (Rete
+// template construction) for a mid-sized program. WithFreshCompile
+// bypasses the Program's compiled-variant cache, so every iteration
+// pays the full compile — the pre-template cost of NewEngine.
+func BenchmarkCompile(b *testing.B) {
+	prog := benchProgram()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewEngine(prog); err != nil {
+		if _, err := NewEngine(prog, WithFreshCompile()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineBuild contrasts the two ways a task engine comes into
+// existence: "recompile" builds the Rete network from scratch per
+// engine (the pre-template behavior, kept reachable through
+// WithFreshCompile), while "instantiate" reuses the Program's cached
+// compiled template and pays only O(nodes) state setup. The ratio is
+// the per-task saving of the compile-once design.
+func BenchmarkEngineBuild(b *testing.B) {
+	prog := benchProgram()
+	b.Run("recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewEngine(prog, WithFreshCompile()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instantiate", func(b *testing.B) {
+		if _, err := NewEngine(prog); err != nil { // warm the variant cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewEngine(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,170 @@
+package ops5
+
+import (
+	"fmt"
+	"io"
+
+	"spampsm/internal/rete"
+	"spampsm/internal/wm"
+)
+
+// Compile-once engine instantiation. A CompiledProgram is the
+// immutable compiled form of one Program variant: the class registry,
+// the shared Rete template, and the lowered productions. Building one
+// pays the full compilation (compileProduction + template
+// construction) once; every engine created from it afterwards is
+// O(nodes) pointer setup — fresh working memory, conflict set and
+// per-instance network state over the shared topology.
+//
+// Variants are keyed on the two compile-time switches: the matcher
+// mode (WithNaiveMatch selects the full-scan reference matcher, which
+// changes the compiled node strategy) and activation capture. Each
+// Program memoizes its variants, so the ~1k task builds of a full
+// SPAM interpretation share one compile per variant in use.
+
+// compileKey identifies one compiled variant of a Program.
+type compileKey struct {
+	naive   bool
+	capture bool
+}
+
+// CompiledProgram is an immutable compiled Program variant. It is
+// safe for concurrent use: any number of goroutines may call NewEngine
+// on the same CompiledProgram simultaneously.
+type CompiledProgram struct {
+	prog     *Program
+	classes  *wm.Classes
+	tmpl     *rete.Template
+	compiled map[string]*compiledProd
+	naive    bool
+	capture  bool
+}
+
+// Scratch holds recyclable engine allocations; see WithScratch and
+// Engine.Reclaim. It is rete.Scratch re-exported at the engine layer
+// so runtime code need not import internal/rete.
+type Scratch = rete.Scratch
+
+// compileVariant performs the full compilation of one Program variant,
+// bypassing the cache.
+func compileVariant(prog *Program, naive, capture bool) (*CompiledProgram, error) {
+	classes := wm.NewClasses()
+	for _, c := range prog.Classes {
+		if _, err := classes.Declare(c.Name, c.Attrs...); err != nil {
+			return nil, err
+		}
+	}
+	tmpl := rete.NewTemplate()
+	tmpl.SetIndexing(!naive)
+	compiled := make(map[string]*compiledProd, len(prog.Productions))
+	for _, p := range prog.Productions {
+		cp, err := compileProduction(p, classes)
+		if err != nil {
+			return nil, err
+		}
+		pn, err := tmpl.AddProduction(p.Name, cp.patterns, cp)
+		if err != nil {
+			return nil, err
+		}
+		cp.pnode = pn
+		compiled[p.Name] = cp
+	}
+	// Freeze before the template escapes the compiler, so concurrent
+	// first instantiations never race on the freeze flag.
+	tmpl.Freeze()
+	return &CompiledProgram{
+		prog:     prog,
+		classes:  classes,
+		tmpl:     tmpl,
+		compiled: compiled,
+		naive:    naive,
+		capture:  capture,
+	}, nil
+}
+
+// CompileProgram compiles a Program into a reusable CompiledProgram,
+// bypassing the Program's variant cache (ops5.NewEngine consults the
+// cache; use WithFreshCompile there to force a private compile). Only
+// the compile-time options matter here: WithNaiveMatch and
+// WithCapture select the variant; others are ignored.
+func CompileProgram(prog *Program, opts ...Option) (*CompiledProgram, error) {
+	probe := &Engine{}
+	for _, opt := range opts {
+		opt(probe)
+	}
+	return compileVariant(prog, probe.naiveMatch, probe.capture)
+}
+
+// compiledVariant returns the Program's memoized compiled variant,
+// compiling it on first use. Concurrent callers serialize on the
+// compile; all receive the same CompiledProgram.
+func (pr *Program) compiledVariant(naive, capture bool) (*CompiledProgram, error) {
+	key := compileKey{naive: naive, capture: capture}
+	pr.compileMu.Lock()
+	defer pr.compileMu.Unlock()
+	if cp, ok := pr.variants[key]; ok {
+		return cp, nil
+	}
+	cp, err := compileVariant(pr, naive, capture)
+	if err != nil {
+		return nil, err
+	}
+	if pr.variants == nil {
+		pr.variants = map[compileKey]*CompiledProgram{}
+	}
+	pr.variants[key] = cp
+	return cp, nil
+}
+
+// NewEngine instantiates an engine over the compiled program in
+// O(nodes): no production is recompiled. Options selecting a different
+// compile-time variant (WithNaiveMatch or WithCapture disagreeing with
+// the compile) are an error; use ops5.NewEngine to pick a variant by
+// option.
+func (cp *CompiledProgram) NewEngine(opts ...Option) (*Engine, error) {
+	e := newEngineShell(cp.prog)
+	e.naiveMatch = cp.naive
+	e.capture = cp.capture
+	for _, opt := range opts {
+		opt(e)
+	}
+	return cp.finish(e)
+}
+
+// newEngineShell builds an Engine with everything that is per-engine
+// and option-independent; finish wires in the compiled parts.
+func newEngineShell(prog *Program) *Engine {
+	return &Engine{
+		prog:      prog,
+		cs:        newConflictSet(),
+		strategy:  ParseStrategy(prog.Strategy),
+		externals: map[string]ExternalFn{},
+		out:       io.Discard,
+		log:       &CostLog{},
+	}
+}
+
+// finish instantiates the compiled program into an option-applied
+// engine shell.
+func (cp *CompiledProgram) finish(e *Engine) (*Engine, error) {
+	if e.naiveMatch != cp.naive {
+		return nil, fmt.Errorf("ops5: engine requests naive=%v but program was compiled with naive=%v", e.naiveMatch, cp.naive)
+	}
+	if e.capture != cp.capture {
+		return nil, fmt.Errorf("ops5: engine requests capture=%v but program was compiled with capture=%v", e.capture, cp.capture)
+	}
+	e.classes = cp.classes
+	e.compiled = cp.compiled
+	e.mem = wm.NewMemory(cp.classes)
+	e.net = cp.tmpl.NewNetworkScratch(e.cs, e.scratch)
+	e.scratch = nil
+	e.net.SetCapture(cp.capture)
+	e.net.StartBatch()
+	return e, nil
+}
+
+// Reclaim moves the engine's recyclable allocations into s for reuse
+// by the next engine built with WithScratch(s). Call only when
+// discarding an engine that finished running normally; the engine must
+// not be used afterwards.
+func (e *Engine) Reclaim(s *Scratch) { e.net.Reclaim(s) }

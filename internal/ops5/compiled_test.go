@@ -1,0 +1,206 @@
+package ops5
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spampsm/internal/rete"
+	"spampsm/internal/symtab"
+)
+
+// Differential oracle for the compile-once template path: an engine
+// instantiated from a Program's cached CompiledProgram must be
+// byte-identical — firing trace, final working memory, match counters
+// and run statistics — to an engine that recompiles the program from
+// scratch (WithFreshCompile), for both matchers.
+
+// runDiffOn builds one engine on prog with the given options, seeds
+// the differential working memory, runs it to quiescence and returns
+// the observables.
+func runDiffOn(t *testing.T, prog *Program, opts ...Option) (string, string, rete.Counters, RunStats) {
+	t.Helper()
+	var trace bytes.Buffer
+	opts = append(opts, WithTrace(&trace))
+	e, err := NewEngine(prog, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDiffWM(t, e)
+	if _, err := e.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	var dump bytes.Buffer
+	e.DumpWM(&dump)
+	return trace.String(), dump.String(), e.MatchCounters(), e.Stats()
+}
+
+func TestEngineDifferentialTemplateVsFreshCompile(t *testing.T) {
+	for _, tc := range diffPrograms {
+		for _, naive := range []bool{false, true} {
+			name := tc.name + "/indexed"
+			if naive {
+				name = tc.name + "/naive"
+			}
+			t.Run(name, func(t *testing.T) {
+				prog, err := Parse(tc.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matcher := func(extra ...Option) []Option {
+					if naive {
+						return append(extra, WithNaiveMatch())
+					}
+					return extra
+				}
+				fTrace, fWM, fCtr, fStats := runDiffOn(t, prog, matcher(WithFreshCompile())...)
+				if fTrace == "" {
+					t.Fatal("trace empty: program did not fire")
+				}
+				// Two successive instantiations of the same cached template:
+				// both must match the fresh compile — the second also proves
+				// the first run left no state behind in the shared template.
+				for inst := 0; inst < 2; inst++ {
+					cTrace, cWM, cCtr, cStats := runDiffOn(t, prog, matcher()...)
+					if cTrace != fTrace {
+						t.Errorf("instance %d: firing traces differ:\ntemplate:\n%s\nfresh:\n%s", inst, cTrace, fTrace)
+					}
+					if cWM != fWM {
+						t.Errorf("instance %d: final working memories differ:\ntemplate:\n%s\nfresh:\n%s", inst, cWM, fWM)
+					}
+					if cCtr != fCtr {
+						t.Errorf("instance %d: match counters differ:\ntemplate: %+v\nfresh:    %+v", inst, cCtr, fCtr)
+					}
+					if cStats != fStats {
+						t.Errorf("instance %d: run stats differ:\ntemplate: %+v\nfresh:    %+v", inst, cStats, fStats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledProgramVariantCache checks that NewEngine reuses one
+// compiled variant per (naive, capture) combination instead of
+// recompiling, and that WithFreshCompile bypasses the cache.
+func TestCompiledProgramVariantCache(t *testing.T) {
+	prog, err := Parse(diffPrograms[0].src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := [][]Option{
+		nil,
+		{WithNaiveMatch()},
+		{WithCapture()},
+		{WithNaiveMatch(), WithCapture()},
+	}
+	for _, opts := range combos {
+		a := mustNewEngine(t, prog, opts...)
+		b := mustNewEngine(t, prog, opts...)
+		if a.net.Template() != b.net.Template() {
+			t.Errorf("opts %v: two engines did not share one template", opts)
+		}
+		fresh := mustNewEngine(t, prog, append([]Option{WithFreshCompile()}, opts...)...)
+		if fresh.net.Template() == a.net.Template() {
+			t.Errorf("opts %v: WithFreshCompile reused the cached template", opts)
+		}
+	}
+	if len(prog.variants) != len(combos) {
+		t.Errorf("program caches %d variants, want %d", len(prog.variants), len(combos))
+	}
+	indexed := mustNewEngine(t, prog)
+	naive := mustNewEngine(t, prog, WithNaiveMatch())
+	if indexed.net.Template() == naive.net.Template() {
+		t.Error("indexed and naive engines share one template; keys must separate them")
+	}
+}
+
+func mustNewEngine(t *testing.T, prog *Program, opts ...Option) *Engine {
+	t.Helper()
+	e, err := NewEngine(prog, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestConcurrentEngineInstantiation hammers one shared Program from
+// many goroutines — mixed matchers, so both cached variants are
+// instantiated concurrently — and checks every run reproduces the
+// single-threaded reference byte for byte. Run under -race this also
+// proves templates are data-race-free across instances.
+func TestConcurrentEngineInstantiation(t *testing.T) {
+	prog, err := Parse(diffPrograms[0].src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		trace, wm string
+		ctr       rete.Counters
+		stats     RunStats
+	}
+	ref := map[bool]obs{}
+	for _, naive := range []bool{false, true} {
+		opts := []Option{}
+		if naive {
+			opts = append(opts, WithNaiveMatch())
+		}
+		trace, wm, ctr, stats := runDiffOn(t, prog, opts...)
+		ref[naive] = obs{trace, wm, ctr, stats}
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		naive := g%2 == 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := []Option{}
+			if naive {
+				opts = append(opts, WithNaiveMatch())
+			}
+			var trace bytes.Buffer
+			e, err := NewEngine(prog, append(opts, WithTrace(&trace))...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			colors := []string{"blue", "red", "blue", "green", "blue", "red"}
+			for i := 0; i < 6; i++ {
+				if _, err := e.Assert("node", map[string]symtab.Value{
+					"id": symtab.Int(int64(i)), "color": symtab.Sym(colors[i]),
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for _, l := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}, {2, 0}} {
+				if _, err := e.Assert("link", map[string]symtab.Value{
+					"from": symtab.Int(int64(l[0])), "to": symtab.Int(int64(l[1])),
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := e.Run(5000); err != nil {
+				errs <- err
+				return
+			}
+			var dump bytes.Buffer
+			e.DumpWM(&dump)
+			want := ref[naive]
+			if trace.String() != want.trace || dump.String() != want.wm ||
+				e.MatchCounters() != want.ctr || e.Stats() != want.stats {
+				errs <- fmt.Errorf("naive=%v: concurrent run diverged from reference", naive)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

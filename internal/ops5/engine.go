@@ -125,6 +125,18 @@ func WithTrace(w io.Writer) Option { return func(e *Engine) { e.trace = w } }
 // serves as the pre-indexing wall-clock baseline in benchmarks.
 func WithNaiveMatch() Option { return func(e *Engine) { e.naiveMatch = true } }
 
+// WithFreshCompile forces NewEngine to compile the program privately,
+// bypassing the Program's compiled-variant cache. The template/instance
+// differential oracle uses it to compare fresh-compiled engines against
+// template-instantiated ones.
+func WithFreshCompile() Option { return func(e *Engine) { e.freshCompile = true } }
+
+// WithScratch seeds the engine's internal free lists from s (emptying
+// it); pair with Engine.Reclaim to recycle allocations across the
+// short-lived engines of a drop-after-run task worker. A Scratch is
+// single-owner and not safe for concurrent use.
+func WithScratch(s *Scratch) Option { return func(e *Engine) { e.scratch = s } }
+
 // Engine is one OPS5 interpreter instance: a production memory compiled
 // into a Rete network, a working memory, and a conflict set. Engines
 // are deliberately self-contained — the SPAM/PSM task processes each
@@ -138,12 +150,16 @@ type Engine struct {
 	strategy  Strategy
 	compiled  map[string]*compiledProd
 	externals map[string]ExternalFn
-	out        io.Writer
-	trace      io.Writer
-	capture    bool
-	naiveMatch bool
-	halted    bool
-	running   bool
+	out          io.Writer
+	trace        io.Writer
+	capture      bool
+	naiveMatch   bool
+	freshCompile bool
+	// scratch seeds the network's free lists at construction; consumed
+	// (and cleared) by finish.
+	scratch *Scratch
+	halted  bool
+	running bool
 	// interrupted is set asynchronously by Interrupt and polled once
 	// per recognize-act cycle, so a wall-clock watchdog can stop a
 	// runaway task without killing its goroutine.
@@ -155,44 +171,28 @@ type Engine struct {
 	log *CostLog
 }
 
-// NewEngine compiles a program into a ready engine.
+// NewEngine returns a ready engine over the program. The compilation
+// (production lowering and Rete template construction) is memoized on
+// the Program per (naive-match, capture) variant: the first engine of
+// a variant pays the full compile, every later one is O(nodes)
+// instantiation of the shared template. WithFreshCompile bypasses the
+// cache.
 func NewEngine(prog *Program, opts ...Option) (*Engine, error) {
-	e := &Engine{
-		prog:      prog,
-		classes:   wm.NewClasses(),
-		cs:        newConflictSet(),
-		strategy:  ParseStrategy(prog.Strategy),
-		compiled:  map[string]*compiledProd{},
-		externals: map[string]ExternalFn{},
-		out:       io.Discard,
-		log:       &CostLog{},
-	}
+	e := newEngineShell(prog)
 	for _, opt := range opts {
 		opt(e)
 	}
-	for _, c := range prog.Classes {
-		if _, err := e.classes.Declare(c.Name, c.Attrs...); err != nil {
-			return nil, err
-		}
+	var cp *CompiledProgram
+	var err error
+	if e.freshCompile {
+		cp, err = compileVariant(prog, e.naiveMatch, e.capture)
+	} else {
+		cp, err = prog.compiledVariant(e.naiveMatch, e.capture)
 	}
-	e.mem = wm.NewMemory(e.classes)
-	e.net = rete.New(e.cs)
-	e.net.SetCapture(e.capture)
-	e.net.SetIndexing(!e.naiveMatch)
-	for _, p := range prog.Productions {
-		cp, err := compileProduction(p, e.classes)
-		if err != nil {
-			return nil, err
-		}
-		pn, err := e.net.AddProduction(p.Name, cp.patterns, cp)
-		if err != nil {
-			return nil, err
-		}
-		cp.pnode = pn
-		e.compiled[p.Name] = cp
+	if err != nil {
+		return nil, err
 	}
-	e.net.StartBatch()
-	return e, nil
+	return cp.finish(e)
 }
 
 // Register installs an external function. Functions must be registered

@@ -113,19 +113,40 @@ type diffRun struct {
 	forests  string
 }
 
-// replay runs the script on a fresh network. Each step is one batch so
-// captured forests line up step-for-step.
+// replay runs the script on a fresh owned network (New +
+// AddProduction). Each step is one batch so captured forests line up
+// step-for-step.
 func (s *diffScript) replay(t *testing.T, indexed bool) *diffRun {
 	t.Helper()
 	rec := &seqRecorder{}
 	net := New(rec)
 	net.SetIndexing(indexed)
-	net.SetCapture(true)
 	for pi, pats := range s.prods {
 		if _, err := net.AddProduction(fmt.Sprintf("p%d", pi), pats, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
+	return s.replayOn(t, net, rec)
+}
+
+// template compiles the script's productions into a shared Template.
+func (s *diffScript) template(t *testing.T, indexed bool) *Template {
+	t.Helper()
+	tmpl := NewTemplate()
+	tmpl.SetIndexing(indexed)
+	for pi, pats := range s.prods {
+		if _, err := tmpl.AddProduction(fmt.Sprintf("p%d", pi), pats, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tmpl
+}
+
+// replayOn runs the script on an already-compiled network whose agenda
+// is rec.
+func (s *diffScript) replayOn(t *testing.T, net *Network, rec *seqRecorder) *diffRun {
+	t.Helper()
+	net.SetCapture(true)
 	mem := wm.NewMemory(s.classes)
 	var live []*wm.WME
 	run := &diffRun{}

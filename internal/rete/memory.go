@@ -4,6 +4,14 @@
 // can possibly pass their first variable-consistency test (Doorenbos,
 // "Production Matching for Large Learning Systems", ch. 2.3).
 //
+// The template/instance split puts the *declarations* (which
+// attributes and (level, attr) locations are indexed) on the template
+// nodes in rete.go and the *contents* (item lists, bucket maps) in the
+// per-instance state structs here: alphaState for alpha memories,
+// storeInst for token stores. Template nodes reach their state through
+// the Network's state arrays, indexed by the dense ids assigned at
+// compile time.
+//
 // Two invariants govern everything in this file:
 //
 //  1. Iteration order is insertion order, always. The network's
@@ -59,7 +67,7 @@ func keyOf(v symtab.Value) indexKey {
 }
 
 // ---------------------------------------------------------------------------
-// WME lists and alpha-memory indexes
+// WME lists and alpha-memory state
 
 // wmeEntry is one membership of a WME in a wmeList.
 type wmeEntry struct {
@@ -105,17 +113,26 @@ func (l *wmeList) unlink(e *wmeEntry, n *Network) {
 	n.putWMEEntry(e)
 }
 
-// wmeIndex buckets a wme list's members by the value of one attribute.
-// Indexes are materialized lazily: until the first bucket lookup,
-// inserts skip the index entirely (built=false), so memories whose
-// indexed side never activates — e.g. feeding a join whose opposite
-// memory stays empty — pay nothing for registration. The first lookup
-// backfills from the insertion-ordered item list, which preserves the
+// wmeIndex is the per-instance half of one alpha-memory equality
+// index: the bucket map over one attribute's values. Indexes are
+// materialized lazily: until the first bucket lookup, inserts skip the
+// index entirely (built=false), so memories whose indexed side never
+// activates — e.g. feeding a join whose opposite memory stays empty —
+// pay nothing for registration. The first lookup backfills from the
+// insertion-ordered item list, which preserves the
 // bucket-order-equals-insertion-order invariant.
 type wmeIndex struct {
 	attr    int
 	built   bool
 	buckets map[indexKey]*wmeList
+}
+
+// alphaState is the per-instance contents of one alpha memory: the
+// insertion-ordered WME list and the bucket maps of the registered
+// indexes (parallel to the template's indexAttrs).
+type alphaState struct {
+	items   wmeList
+	indexes []wmeIndex
 }
 
 // alphaRef records one WME's membership in an alpha memory: its entry
@@ -127,31 +144,17 @@ type alphaRef struct {
 	buckets []*wmeEntry
 }
 
-// registerIndex ensures the alpha memory maintains a bucket index over
-// the given attribute and returns its position in am.indexes. Indexes
-// are registered during production compilation, before the first WME
-// is asserted, so no backfill of items is ever needed (the network
-// freezes production additions at the first Add).
-func (am *alphaMem) registerIndex(attr int) int {
-	for i, ix := range am.indexes {
-		if ix.attr == attr {
-			return i
-		}
-	}
-	am.indexes = append(am.indexes, &wmeIndex{attr: attr, buckets: map[indexKey]*wmeList{}})
-	return len(am.indexes) - 1
-}
-
 // insert adds a WME to the memory's item list and every built index,
 // and returns the membership record for later O(1) removal. Bucket
 // slots of unbuilt indexes stay nil until buildIndex patches them.
 func (am *alphaMem) insert(w *wm.WME, n *Network) alphaRef {
-	ref := alphaRef{am: am, entry: am.items.pushBack(w, n)}
-	if len(am.indexes) > 0 {
-		ref.buckets = make([]*wmeEntry, len(am.indexes))
-		for i, ix := range am.indexes {
-			if ix.built {
-				ref.buckets[i] = ix.push(w, n)
+	st := am.state(n)
+	ref := alphaRef{am: am, entry: st.items.pushBack(w, n)}
+	if len(st.indexes) > 0 {
+		ref.buckets = make([]*wmeEntry, len(st.indexes))
+		for i := range st.indexes {
+			if st.indexes[i].built {
+				ref.buckets[i] = st.indexes[i].push(w, n)
 			}
 		}
 	}
@@ -161,6 +164,9 @@ func (am *alphaMem) insert(w *wm.WME, n *Network) alphaRef {
 // push adds one WME to its bucket and returns the bucket entry.
 func (ix *wmeIndex) push(w *wm.WME, n *Network) *wmeEntry {
 	k := keyOf(w.GetAt(ix.attr))
+	if ix.buckets == nil {
+		ix.buckets = map[indexKey]*wmeList{}
+	}
 	b := ix.buckets[k]
 	if b == nil {
 		b = &wmeList{}
@@ -173,7 +179,7 @@ func (ix *wmeIndex) push(w *wm.WME, n *Network) *wmeEntry {
 // Emptied bucket lists stay in their index map: attribute values recur,
 // and reusing the list beats a delete-and-reallocate cycle.
 func (am *alphaMem) removeRef(ref alphaRef, n *Network) {
-	am.items.unlink(ref.entry, n)
+	am.state(n).items.unlink(ref.entry, n)
 	for _, be := range ref.buckets {
 		if be != nil { // nil: index not yet materialized at insert time
 			be.list.unlink(be, n)
@@ -185,9 +191,10 @@ func (am *alphaMem) removeRef(ref alphaRef, n *Network) {
 // (nil when the bucket is empty), materializing the index on first
 // use.
 func (am *alphaMem) bucket(idx int, k indexKey, n *Network) *wmeList {
-	ix := am.indexes[idx]
+	st := am.state(n)
+	ix := &st.indexes[idx]
 	if !ix.built {
-		am.buildIndex(idx, ix, n)
+		am.buildIndex(idx, ix, st, n)
 	}
 	return ix.buckets[k]
 }
@@ -195,14 +202,17 @@ func (am *alphaMem) bucket(idx int, k indexKey, n *Network) *wmeList {
 // buildIndex backfills a lazily-registered index from the item list,
 // patching each member's membership record (held in its wmeState's
 // alphaRef for this memory) so removal stays O(1).
-func (am *alphaMem) buildIndex(idx int, ix *wmeIndex, n *Network) {
+func (am *alphaMem) buildIndex(idx int, ix *wmeIndex, st *alphaState, n *Network) {
 	ix.built = true
-	for e := am.items.head; e != nil; e = e.next {
+	for e := st.items.head; e != nil; e = e.next {
 		be := ix.push(e.w, n)
-		st := n.states[e.w]
-		for i := range st.alphaRefs {
-			if st.alphaRefs[i].am == am {
-				st.alphaRefs[i].buckets[idx] = be
+		ws := n.states[e.w]
+		for i := range ws.alphaRefs {
+			if ws.alphaRefs[i].am == am {
+				if ws.alphaRefs[i].buckets == nil {
+					ws.alphaRefs[i].buckets = make([]*wmeEntry, len(st.indexes))
+				}
+				ws.alphaRefs[i].buckets[idx] = be
 				break
 			}
 		}
@@ -210,7 +220,7 @@ func (am *alphaMem) buildIndex(idx int, ix *wmeIndex, n *Network) {
 }
 
 // ---------------------------------------------------------------------------
-// Token lists and beta-memory indexes
+// Token lists and store state
 
 // tokenEntry is one membership of a token in a tokenList.
 type tokenEntry struct {
@@ -260,76 +270,45 @@ func (l *tokenList) unlink(e *tokenEntry, n *Network) {
 // binding a token index hashes on.
 type levelAttr struct{ level, attr int }
 
-// tokenIndex buckets a token store's members by the value their token
-// binds at one (level, attr) location. Tokens with no WME at that
-// level (the level belongs to a negated CE, or the token is the dummy)
-// appear in the item list but in no bucket: they can never pass an
-// equality test against that location, so a bucket walk correctly
-// treats them as first-test failures.
+// tokenIndex is the per-instance half of one token-store equality
+// index: the bucket map over the value tokens bind at one (level,
+// attr) location. Tokens with no WME at that level (the level belongs
+// to a negated CE, or the token is the dummy) appear in the item list
+// but in no bucket: they can never pass an equality test against that
+// location, so a bucket walk correctly treats them as first-test
+// failures.
 //
 // Like wmeIndex, token indexes are materialized lazily on the first
-// bucket lookup (see wmeIndex), except in eager stores.
+// bucket lookup, except in eager stores (built is preset at
+// instantiation from the template's eager flag).
 type tokenIndex struct {
 	at      levelAttr
 	built   bool
 	buckets map[indexKey]*tokenList
 }
 
-// tokenStore is the item storage shared by beta memories, negative
-// nodes and production nodes: the ordered token list plus any equality
-// indexes registered by the join work that iterates the store.
-//
-// eager forces indexes to be maintained from registration. It is set
-// on negative-node adapter memories, whose membership records live in
-// the token's adapterRefs and so cannot be patched by a lazy backfill
-// (the node-owned membership of ordinary stores is reachable through
-// Token.storeBuckets, which backfill patches in place).
-type tokenStore struct {
+// storeInst is the per-instance contents of one token store (beta
+// memory, negative node or production node): the ordered token list
+// plus the bucket maps of any equality indexes registered by the join
+// work that iterates the store.
+type storeInst struct {
 	items   tokenList
-	indexes []*tokenIndex
-	eager   bool
-}
-
-// registerIndex ensures the store maintains a bucket index over the
-// token value bound at (level, attr) and returns its position in
-// s.indexes. Registration happens during production compilation; the
-// only token that can already exist is the network's dummy token,
-// which binds no WME at any level and so belongs in no bucket — but
-// its membership record must still grow so that it stays parallel
-// with the index list.
-func (s *tokenStore) registerIndex(level, attr int) int {
-	at := levelAttr{level, attr}
-	for i, ix := range s.indexes {
-		if ix.at == at {
-			return i
-		}
-	}
-	s.indexes = append(s.indexes, &tokenIndex{at: at, built: s.eager, buckets: map[indexKey]*tokenList{}})
-	// Keep existing members' bucket records parallel with the index
-	// list. Registration precedes the first WME, so the only member a
-	// store can have here is the network's dummy token, which binds no
-	// WME at any level and lands in no bucket.
-	for e := s.items.head; e != nil; e = e.next {
-		e.t.storeBuckets = append(e.t.storeBuckets, nil)
-	}
-	return len(s.indexes) - 1
+	indexes []tokenIndex
 }
 
 // insert adds a token to the item list and every index bucket whose
 // (level, attr) location the token binds, returning the membership
-// records. The bucket slice is parallel to s.indexes; entries are nil
-// for locations the token does not bind. The caller provides the
+// records. The bucket slice is parallel to the index list; entries are
+// nil for locations the token does not bind. The caller provides the
 // bucket slice to fill (so the token's own storage can be reused).
-func (s *tokenStore) insert(t *Token, buckets []*tokenEntry, n *Network) (*tokenEntry, []*tokenEntry) {
+func (s *storeInst) insert(t *Token, buckets []*tokenEntry, n *Network) (*tokenEntry, []*tokenEntry) {
 	entry := s.items.pushBack(t, n)
-	if len(s.indexes) > 0 {
-		for _, ix := range s.indexes {
-			var be *tokenEntry
-			if ix.built {
-				be = ix.push(t, n)
-			}
-			buckets = append(buckets, be)
+	for i := range s.indexes {
+		var be *tokenEntry
+		if s.indexes[i].built {
+			be = s.indexes[i].push(t, n)
 		}
+		buckets = append(buckets, be)
 	}
 	return entry, buckets
 }
@@ -342,6 +321,9 @@ func (ix *tokenIndex) push(t *Token, n *Network) *tokenEntry {
 		return nil
 	}
 	k := keyOf(bound.GetAt(ix.at.attr))
+	if ix.buckets == nil {
+		ix.buckets = map[indexKey]*tokenList{}
+	}
 	b := ix.buckets[k]
 	if b == nil {
 		b = &tokenList{}
@@ -352,7 +334,7 @@ func (ix *tokenIndex) push(t *Token, n *Network) *tokenEntry {
 
 // removeEntries unlinks one token membership (item entry plus bucket
 // entries) from the store's lists.
-func (s *tokenStore) removeEntries(entry *tokenEntry, buckets []*tokenEntry, n *Network) {
+func (s *storeInst) removeEntries(entry *tokenEntry, buckets []*tokenEntry, n *Network) {
 	s.items.unlink(entry, n)
 	for _, be := range buckets {
 		if be != nil {
@@ -364,8 +346,8 @@ func (s *tokenStore) removeEntries(entry *tokenEntry, buckets []*tokenEntry, n *
 // bucket returns the tokens whose bound value at the index's location
 // equals the key (nil when the bucket is empty), materializing the
 // index on first use.
-func (s *tokenStore) bucket(idx int, k indexKey, n *Network) *tokenList {
-	ix := s.indexes[idx]
+func (s *storeInst) bucket(idx int, k indexKey, n *Network) *tokenList {
+	ix := &s.indexes[idx]
 	if !ix.built {
 		s.buildIndex(idx, ix, n)
 	}
@@ -377,7 +359,7 @@ func (s *tokenStore) bucket(idx int, k indexKey, n *Network) *tokenList {
 // O(1). Only node-owned memberships can exist in a lazy store (eager
 // stores never reach here), so storeBuckets is always the right
 // record to patch.
-func (s *tokenStore) buildIndex(idx int, ix *tokenIndex, n *Network) {
+func (s *storeInst) buildIndex(idx int, ix *tokenIndex, n *Network) {
 	ix.built = true
 	for e := s.items.head; e != nil; e = e.next {
 		if be := ix.push(e.t, n); be != nil {

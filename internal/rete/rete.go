@@ -19,6 +19,15 @@
 // differential oracle (differential_test.go) proves the indexed and
 // unindexed matchers produce byte-identical Counters and identical
 // firing sequences. See docs/PERFORMANCE.md.
+//
+// The network is split into an immutable compiled Template (node
+// topology, test lists, production data — built once per rule set) and
+// lightweight per-engine instances (Network: memories, hash indexes,
+// counters, capture state). Template.NewNetwork instantiates a shared
+// template in O(nodes) pointer setup, so a task runtime spawning
+// hundreds of engines over one rule set compiles it exactly once; the
+// template/instance differential oracle (template_test.go) proves
+// instantiated networks byte-identical to fresh-compiled ones.
 package rete
 
 import (
@@ -314,7 +323,8 @@ func (st *wmeState) unlinkJR(jr *negJoinResult) {
 	jr.wmePrev, jr.wmeNext = nil, nil
 }
 
-// tokenHolder is any node that stores tokens.
+// tokenHolder is any node that stores tokens. Nodes are immutable
+// template objects; the instance the token lives in is passed in.
 type tokenHolder interface {
 	removeToken(t *Token, n *Network)
 }
@@ -329,39 +339,93 @@ type rightChild interface {
 	rightActivate(w *wm.WME, n *Network)
 }
 
-// alphaMem stores the WMEs passing one CE's constant tests, in
-// insertion order, plus the equality indexes its successor nodes
-// registered (memory.go).
+// alphaMem is the compiled (template) form of one alpha memory: the
+// constant-test filter shared by equivalent condition elements, the
+// attributes its successor nodes registered equality indexes on, and
+// the successor list. Per-instance contents (the WME list and the
+// index buckets) live in the Network's alphaState slot at id.
 type alphaMem struct {
 	signature  string
 	class      string
 	filter     func(*wm.WME) bool
 	filterCost float64
-	items      wmeList
-	indexes    []*wmeIndex
+	indexAttrs []int // registered equality-index attributes
 	successors []rightChild
+	id         int // index into Network.alphaStates
+}
+
+func (am *alphaMem) state(n *Network) *alphaState { return &n.alphaStates[am.id] }
+
+// registerIndex ensures the template maintains a bucket index over the
+// given attribute and returns its position in the index list. Indexes
+// are registered during production compilation, before any instance
+// holds a WME, so instances never need backfill at registration time.
+func (am *alphaMem) registerIndex(attr int) int {
+	for i, a := range am.indexAttrs {
+		if a == attr {
+			return i
+		}
+	}
+	am.indexAttrs = append(am.indexAttrs, attr)
+	return len(am.indexAttrs) - 1
+}
+
+// storeT is the compiled (template) half of a token store: which
+// (level, attr) equality indexes the join work iterating the store
+// registered, and whether indexes must be maintained eagerly. The
+// per-instance half (the token list and buckets) is the Network's
+// storeInst slot at sid.
+//
+// eager forces indexes to be maintained from instantiation. It is set
+// on negative-node adapter memories, whose membership records live in
+// the token's adapterRefs and so cannot be patched by a lazy backfill
+// (the node-owned membership of ordinary stores is reachable through
+// Token.storeBuckets, which backfill patches in place).
+type storeT struct {
+	sid      int // index into Network.stores
+	indexAts []levelAttr
+	eager    bool
+}
+
+func (s *storeT) store(n *Network) *storeInst { return &n.stores[s.sid] }
+
+// registerIndex ensures the store maintains a bucket index over the
+// token value bound at (level, attr) and returns its position in the
+// index list. Registration happens during production compilation,
+// before instances exist; instance index slots (and the dummy token's
+// parallel bucket records) are synchronized at instantiation.
+func (s *storeT) registerIndex(level, attr int) int {
+	at := levelAttr{level, attr}
+	for i, a := range s.indexAts {
+		if a == at {
+			return i
+		}
+	}
+	s.indexAts = append(s.indexAts, at)
+	return len(s.indexAts) - 1
 }
 
 // betaMemory stores the tokens matching a prefix of positive CEs.
 type betaMemory struct {
-	tokenStore
+	storeT
 	children []tokenChild
 	label    string
 }
 
 func (m *betaMemory) removeToken(t *Token, n *Network) {
-	m.removeEntries(t.storeEntry, t.storeBuckets, n)
+	m.store(n).removeEntries(t.storeEntry, t.storeBuckets, n)
 }
 
 func (m *betaMemory) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
 	tok := n.newToken(m, t, w, level)
-	tok.storeEntry, tok.storeBuckets = m.insert(tok, tok.storeBuckets[:0], n)
+	tok.storeEntry, tok.storeBuckets = m.store(n).insert(tok, tok.storeBuckets[:0], n)
 	for _, c := range m.children {
 		c.leftActivateToken(tok, n)
 	}
 }
 
-// joinNode joins a parent beta memory with an alpha memory.
+// joinNode joins a parent beta memory with an alpha memory. It is
+// fully immutable and shared across instances.
 type joinNode struct {
 	parent *betaMemory
 	amem   *alphaMem
@@ -401,8 +465,9 @@ func (j *joinNode) passes(t *Token, w *wm.WME, n *Network) bool {
 func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 	n.begin("join:" + j.label)
 	defer n.end()
+	ast := j.amem.state(n)
 	if j.aidx >= 0 {
-		if j.amem.items.size == 0 {
+		if ast.items.size == 0 {
 			return // no pairs, no misses: nothing to charge
 		}
 		ts := &j.tests[0]
@@ -410,11 +475,11 @@ func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 		if bound == nil {
 			// The referenced level binds no WME: every pair fails the
 			// first test; charge them without iterating.
-			n.chargeSkippedJoinTests(j.amem.items.size)
+			n.chargeSkippedJoinTests(ast.items.size)
 			return
 		}
 		bucket := j.amem.bucket(j.aidx, keyOf(bound.GetAt(ts.TokenAttr)), n)
-		n.chargeSkippedJoinTests(j.amem.items.size - wmeBucketSize(bucket))
+		n.chargeSkippedJoinTests(ast.items.size - wmeBucketSize(bucket))
 		if bucket == nil {
 			return
 		}
@@ -425,7 +490,7 @@ func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 		}
 		return
 	}
-	for e := j.amem.items.head; e != nil; e = e.next {
+	for e := ast.items.head; e != nil; e = e.next {
 		if j.passes(t, e.w, n) {
 			j.child.leftActivatePair(t, e.w, j.level, n)
 		}
@@ -435,12 +500,13 @@ func (j *joinNode) leftActivateToken(t *Token, n *Network) {
 func (j *joinNode) rightActivate(w *wm.WME, n *Network) {
 	n.begin("join:" + j.label)
 	defer n.end()
+	pst := j.parent.store(n)
 	if j.pidx >= 0 {
-		if j.parent.items.size == 0 {
+		if pst.items.size == 0 {
 			return // no pairs, no misses: nothing to charge
 		}
-		bucket := j.parent.bucket(j.pidx, keyOf(w.GetAt(j.tests[0].OwnAttr)), n)
-		n.chargeSkippedJoinTests(j.parent.items.size - tokenBucketSize(bucket))
+		bucket := j.parent.store(n).bucket(j.pidx, keyOf(w.GetAt(j.tests[0].OwnAttr)), n)
+		n.chargeSkippedJoinTests(pst.items.size - tokenBucketSize(bucket))
 		if bucket == nil {
 			return
 		}
@@ -451,7 +517,7 @@ func (j *joinNode) rightActivate(w *wm.WME, n *Network) {
 		}
 		return
 	}
-	for e := j.parent.items.head; e != nil; e = e.next {
+	for e := pst.items.head; e != nil; e = e.next {
 		if j.passes(e.t, w, n) {
 			j.child.leftActivatePair(e.t, w, j.level, n)
 		}
@@ -477,7 +543,7 @@ func tokenBucketSize(l *tokenList) int {
 // the negated condition (join results). A token flows on to the
 // children only while its join-result set is empty.
 type negativeNode struct {
-	tokenStore
+	storeT
 	amem     *alphaMem
 	tests    []JoinTest
 	children []tokenChild
@@ -489,7 +555,7 @@ type negativeNode struct {
 }
 
 func (g *negativeNode) removeToken(t *Token, n *Network) {
-	g.removeEntries(t.storeEntry, t.storeBuckets, n)
+	g.store(n).removeEntries(t.storeEntry, t.storeBuckets, n)
 }
 
 func (g *negativeNode) passes(t *Token, w *wm.WME, n *Network) bool {
@@ -517,15 +583,16 @@ func (g *negativeNode) block(tok *Token, w *wm.WME, n *Network) {
 func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
 	n.begin("neg:" + g.label)
 	tok := n.newToken(g, t, nil, g.level)
-	tok.storeEntry, tok.storeBuckets = g.insert(tok, tok.storeBuckets[:0], n)
-	if g.aidx >= 0 && g.amem.items.size > 0 {
+	tok.storeEntry, tok.storeBuckets = g.store(n).insert(tok, tok.storeBuckets[:0], n)
+	ast := g.amem.state(n)
+	if g.aidx >= 0 && ast.items.size > 0 {
 		ts := &g.tests[0]
 		bound := tok.WMEAt(ts.TokenLevel)
 		if bound == nil {
-			n.chargeSkippedJoinTests(g.amem.items.size)
+			n.chargeSkippedJoinTests(ast.items.size)
 		} else {
 			bucket := g.amem.bucket(g.aidx, keyOf(bound.GetAt(ts.TokenAttr)), n)
-			n.chargeSkippedJoinTests(g.amem.items.size - wmeBucketSize(bucket))
+			n.chargeSkippedJoinTests(ast.items.size - wmeBucketSize(bucket))
 			if bucket != nil {
 				for e := bucket.head; e != nil; e = e.next {
 					if g.passes(tok, e.w, n) {
@@ -536,7 +603,7 @@ func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
 			}
 		}
 	} else if g.aidx < 0 {
-		for e := g.amem.items.head; e != nil; e = e.next {
+		for e := ast.items.head; e != nil; e = e.next {
 			if g.passes(tok, e.w, n) {
 				n.charge(CostNegJoinResult)
 				g.block(tok, e.w, n)
@@ -554,12 +621,13 @@ func (g *negativeNode) leftActivateToken(t *Token, n *Network) {
 func (g *negativeNode) rightActivate(w *wm.WME, n *Network) {
 	n.begin("neg:" + g.label)
 	defer n.end()
+	st := g.store(n)
 	if g.sidx >= 0 {
-		if g.items.size == 0 {
+		if st.items.size == 0 {
 			return // no pairs, no misses: nothing to charge
 		}
-		bucket := g.bucket(g.sidx, keyOf(w.GetAt(g.tests[0].OwnAttr)), n)
-		n.chargeSkippedJoinTests(g.items.size - tokenBucketSize(bucket))
+		bucket := st.bucket(g.sidx, keyOf(w.GetAt(g.tests[0].OwnAttr)), n)
+		n.chargeSkippedJoinTests(st.items.size - tokenBucketSize(bucket))
 		if bucket == nil {
 			return
 		}
@@ -568,7 +636,7 @@ func (g *negativeNode) rightActivate(w *wm.WME, n *Network) {
 		}
 		return
 	}
-	for e := g.items.head; e != nil; e = e.next {
+	for e := st.items.head; e != nil; e = e.next {
 		g.rightPair(e.t, w, n)
 	}
 }
@@ -588,31 +656,33 @@ func (g *negativeNode) rightPair(tok *Token, w *wm.WME, n *Network) {
 			n.deleteToken(tok.lastChild)
 		}
 		for _, ar := range tok.adapterRefs {
-			ar.mem.removeEntries(ar.entry, ar.buckets, n)
+			ar.mem.store(n).removeEntries(ar.entry, ar.buckets, n)
 		}
 		tok.adapterRefs = tok.adapterRefs[:0]
 	}
 	g.block(tok, w, n)
 }
 
-// PNode is a production node: its tokens are the instantiations of one
-// production currently in the conflict set.
+// PNode is a production node: its tokens (held in the instance's store
+// slot) are the instantiations of one production currently in the
+// conflict set. PNodes are template objects shared by every instance;
+// Name, Data and the store id are immutable after compilation.
 type PNode struct {
 	Name string
-	// Data carries the production object of the owning engine.
-	Data  interface{}
-	store tokenStore
+	// Data carries the production object of the owning rule compiler.
+	Data interface{}
+	storeT
 	level int
 }
 
 func (p *PNode) removeToken(t *Token, n *Network) {
-	p.store.removeEntries(t.storeEntry, t.storeBuckets, n)
+	p.store(n).removeEntries(t.storeEntry, t.storeBuckets, n)
 }
 
 func (p *PNode) leftActivatePair(t *Token, w *wm.WME, level int, n *Network) {
 	n.begin("p:" + p.Name)
 	tok := n.newToken(p, t, w, level)
-	tok.storeEntry, tok.storeBuckets = p.store.insert(tok, tok.storeBuckets[:0], n)
+	tok.storeEntry, tok.storeBuckets = p.store(n).insert(tok, tok.storeBuckets[:0], n)
 	n.charge(CostAgendaOp)
 	n.end()
 	n.agenda.Activate(p, tok)
@@ -641,23 +711,283 @@ type Counters struct {
 	Cost          float64 // instructions
 }
 
-// Network is one Rete network instance. A Network is not safe for
-// concurrent mutation; each SPAM/PSM task process owns its own network
-// (that is the point of working-memory distribution).
+// Template is the immutable compiled form of a Rete network: alpha
+// memories with their filters and successor lists, the beta topology
+// of join/negative/production nodes, and the registered equality
+// indexes. A Template is built once (AddProduction per production),
+// then instantiated any number of times with NewNetwork; after the
+// first instantiation it is frozen and safe for concurrent
+// instantiation from multiple goroutines.
+type Template struct {
+	amems    map[string]*alphaMem
+	byClass  map[string][]*alphaMem
+	alphas   []*alphaMem // in id order
+	stores   []*storeT   // every token store, in sid order
+	dummyTop *betaMemory
+	prods    []*PNode
+	indexing bool
+	frozen   bool
+}
+
+// NewTemplate returns an empty template with indexed matching enabled.
+func NewTemplate() *Template {
+	t := &Template{
+		amems:    map[string]*alphaMem{},
+		byClass:  map[string][]*alphaMem{},
+		indexing: true,
+	}
+	t.dummyTop = &betaMemory{label: "top"}
+	t.registerStore(&t.dummyTop.storeT, false)
+	return t
+}
+
+// registerStore assigns the next store id to a node's store half.
+func (t *Template) registerStore(s *storeT, eager bool) {
+	s.sid = len(t.stores)
+	s.eager = eager
+	t.stores = append(t.stores, s)
+}
+
+// SetIndexing enables or disables equality-indexed memory activation.
+// It must be called before AddProduction — nodes choose their
+// activation strategy at compile time. The unindexed mode is the
+// reference matcher: the differential oracle runs every scenario
+// through both and requires byte-identical Counters and firing
+// sequences.
+func (t *Template) SetIndexing(on bool) { t.indexing = on }
+
+// Indexing reports whether equality-indexed activation is enabled.
+func (t *Template) Indexing() bool { return t.indexing }
+
+// NumAlphaMems returns the number of distinct alpha memories, which is
+// less than the number of condition elements when patterns share
+// signatures.
+func (t *Template) NumAlphaMems() int { return len(t.amems) }
+
+// NumNodes returns the number of stateful nodes (alpha memories plus
+// token stores) an instance allocates state slots for.
+func (t *Template) NumNodes() int { return len(t.alphas) + len(t.stores) }
+
+// Productions returns the compiled production nodes in addition order.
+func (t *Template) Productions() []*PNode { return t.prods }
+
+// AddProduction compiles a production's patterns into the template.
+// All productions must be added before the first instantiation.
+func (t *Template) AddProduction(name string, pats []Pattern, data interface{}) (*PNode, error) {
+	if t.frozen {
+		return nil, fmt.Errorf("rete: AddProduction(%s) after the template was instantiated", name)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("rete: production %s has no patterns", name)
+	}
+	if pats[0].Negated {
+		return nil, fmt.Errorf("rete: production %s: first pattern may not be negated", name)
+	}
+	mem := t.dummyTop
+	for i, pat := range pats {
+		am := t.alpha(pat)
+		last := i == len(pats)-1
+		// The node is index-accelerated when its first test is an
+		// equality: the token-side store buckets on the (level, attr)
+		// the test reads, the alpha memory on the WME attribute.
+		indexable := t.indexing && len(pat.Tests) > 0 && pat.Tests[0].Eq
+		if pat.Negated {
+			neg := &negativeNode{
+				amem: am, tests: pat.Tests, level: i,
+				label: fmt.Sprintf("%s/%d", name, i+1),
+				sidx:  -1, aidx: -1,
+			}
+			t.registerStore(&neg.storeT, false)
+			if indexable {
+				neg.sidx = neg.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
+				neg.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
+			}
+			mem.children = append(mem.children, neg)
+			// Successors append in ancestor-before-descendant order per
+			// chain; Add right-activates them in reverse, so descendants
+			// run first (required when one alpha memory feeds several
+			// levels of the same chain, or new-WME pairings double).
+			am.successors = append(am.successors, neg)
+			if last {
+				p := &PNode{Name: name, Data: data, level: i + 1}
+				t.registerStore(&p.storeT, false)
+				neg.children = append(neg.children, p)
+				t.prods = append(t.prods, p)
+				return p, nil
+			}
+			// The negative node acts as the memory for the next level,
+			// via a bridge memory that holds its unblocked tokens.
+			mem = t.negAdapter(neg)
+			continue
+		}
+		j := &joinNode{parent: mem, amem: am, tests: pat.Tests, level: i,
+			label: fmt.Sprintf("%s/%d", name, i+1), pidx: -1, aidx: -1}
+		if indexable {
+			j.pidx = mem.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
+			j.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
+		}
+		mem.children = append(mem.children, j)
+		am.successors = append(am.successors, j)
+		if last {
+			p := &PNode{Name: name, Data: data, level: i + 1}
+			t.registerStore(&p.storeT, false)
+			j.child = p
+			t.prods = append(t.prods, p)
+			return p, nil
+		}
+		next := &betaMemory{label: fmt.Sprintf("%s/%d", name, i+1)}
+		t.registerStore(&next.storeT, false)
+		j.child = next
+		mem = next
+	}
+	return nil, fmt.Errorf("rete: production %s: unreachable", name)
+}
+
+// negAdapter makes a negative node usable as the parent memory of the
+// next join level: the join iterates the negative node's unblocked
+// tokens and receives new tokens via leftActivateToken.
+func (t *Template) negAdapter(g *negativeNode) *betaMemory {
+	// A thin real memory fed by the negative node keeps join-node logic
+	// uniform: tokens whose negation holds are copied into it.
+	m := &betaMemory{label: g.label + "/adapter"}
+	// adapterRefs records cannot be patched by lazy backfill.
+	t.registerStore(&m.storeT, true)
+	g.children = append(g.children, (*negBridge)(m))
+	return m
+}
+
+// negBridge forwards a token from a negative node into its adapter
+// memory without adding a token level.
+type negBridge betaMemory
+
+func (b *negBridge) leftActivateToken(t *Token, n *Network) {
+	m := (*betaMemory)(b)
+	// Reuse the token itself: store and fan out. The token's holder
+	// remains the negative node; the adapter tracks membership only.
+	entry, buckets := m.store(n).insert(t, nil, n)
+	t.adapterRefs = append(t.adapterRefs, tokenRef{mem: m, entry: entry, buckets: buckets})
+	for _, c := range m.children {
+		c.leftActivateToken(t, n)
+	}
+}
+
+func (t *Template) alpha(pat Pattern) *alphaMem {
+	if am, ok := t.amems[pat.Signature]; ok {
+		return am
+	}
+	am := &alphaMem{
+		signature:  pat.Signature,
+		class:      pat.Class,
+		filter:     pat.Filter,
+		filterCost: pat.FilterCost,
+		id:         len(t.alphas),
+	}
+	t.amems[pat.Signature] = am
+	t.byClass[pat.Class] = append(t.byClass[pat.Class], am)
+	t.alphas = append(t.alphas, am)
+	return am
+}
+
+// Freeze marks the template complete: no further AddProduction. It is
+// idempotent; call it once after compilation, before the template is
+// shared across goroutines (instantiation also freezes, but a
+// concurrent *first* instantiation of a never-frozen template races on
+// the flag).
+func (t *Template) Freeze() { t.frozen = true }
+
+// NewNetwork instantiates the template: O(nodes) state-slot setup with
+// no recompilation. The template is frozen by the first instantiation;
+// concurrent NewNetwork calls on a frozen template are safe.
+func (t *Template) NewNetwork(agenda Agenda) *Network {
+	return t.NewNetworkScratch(agenda, nil)
+}
+
+// NewNetworkScratch is NewNetwork drawing the instance's free lists
+// from a Scratch (see scratch.go); s may be nil.
+func (t *Template) NewNetworkScratch(agenda Agenda, s *Scratch) *Network {
+	if !t.frozen {
+		t.frozen = true
+	}
+	n := &Network{
+		tmpl:   t,
+		agenda: agenda,
+		states: map[*wm.WME]*wmeState{},
+	}
+	if s != nil {
+		n.adoptScratch(s)
+	}
+	n.instantiate()
+	return n
+}
+
+// instantiate sizes the per-instance state arrays and installs the
+// dummy token.
+func (n *Network) instantiate() {
+	t := n.tmpl
+	n.alphaStates = make([]alphaState, len(t.alphas))
+	n.stores = make([]storeInst, len(t.stores))
+	n.syncState()
+	n.dummyTok = &Token{level: -1, node: t.dummyTop}
+	n.dummyTok.storeEntry, n.dummyTok.storeBuckets = t.dummyTop.store(n).insert(n.dummyTok, nil, n)
+}
+
+// syncState brings the instance's state arrays (and the dummy token's
+// bucket records) up to date with the template. For instances of a
+// frozen template this runs exactly once; owned networks (New) call it
+// again after each AddProduction, before any WME exists.
+func (n *Network) syncState() {
+	t := n.tmpl
+	for len(n.alphaStates) < len(t.alphas) {
+		n.alphaStates = append(n.alphaStates, alphaState{})
+	}
+	for i, am := range t.alphas {
+		st := &n.alphaStates[i]
+		for len(st.indexes) < len(am.indexAttrs) {
+			st.indexes = append(st.indexes, wmeIndex{attr: am.indexAttrs[len(st.indexes)]})
+		}
+	}
+	for len(n.stores) < len(t.stores) {
+		n.stores = append(n.stores, storeInst{})
+	}
+	for i, s := range t.stores {
+		st := &n.stores[i]
+		for len(st.indexes) < len(s.indexAts) {
+			st.indexes = append(st.indexes, tokenIndex{at: s.indexAts[len(st.indexes)], built: s.eager})
+		}
+	}
+	if n.dummyTok != nil {
+		// The dummy token's bucket records must stay parallel with the
+		// top store's index list; it binds no WME, so every slot is nil.
+		top := &n.stores[t.dummyTop.sid]
+		for len(n.dummyTok.storeBuckets) < len(top.indexes) {
+			n.dummyTok.storeBuckets = append(n.dummyTok.storeBuckets, nil)
+		}
+	}
+}
+
+// Network is one Rete network instance over a compiled template:
+// per-instance memories, hash indexes, counters and capture state. A
+// Network is not safe for concurrent mutation; each SPAM/PSM task
+// process owns its own network (that is the point of working-memory
+// distribution). Instances of one shared template are independent —
+// creating and running them from different goroutines is safe.
 type Network struct {
-	agenda    Agenda
-	amems     map[string]*alphaMem
-	byClass   map[string][]*alphaMem
-	dummyTop  *betaMemory
-	dummyTok  *Token
-	states    map[*wm.WME]*wmeState
-	frozen    bool
-	indexing  bool
-	prods     []*PNode
-	totals    Counters
-	batch     []*Activation
-	stack     []*Activation
-	capturing bool
+	tmpl   *Template
+	agenda Agenda
+	// owned marks a network built by New, which owns a private mutable
+	// template (the pre-split API: AddProduction directly on the
+	// network). Template-instantiated networks reject AddProduction.
+	owned bool
+
+	alphaStates []alphaState
+	stores      []storeInst
+	dummyTok    *Token
+	states      map[*wm.WME]*wmeState
+	frozen      bool
+	totals      Counters
+	batch       []*Activation
+	stack       []*Activation
+	capturing   bool
 
 	// Free lists. Deleted tokens rest in the graveyard until the next
 	// StartBatch: an engine may read a fired instantiation's (already
@@ -668,31 +998,34 @@ type Network struct {
 	tokenEntryPool []*tokenEntry
 }
 
-// New builds an empty network reporting to the given agenda.
+// New builds an empty network with its own private template, reporting
+// to the given agenda. Productions are added directly with
+// Network.AddProduction; use NewTemplate + Template.NewNetwork to
+// compile once and instantiate many times.
 func New(agenda Agenda) *Network {
+	t := NewTemplate()
 	n := &Network{
-		agenda:   agenda,
-		amems:    map[string]*alphaMem{},
-		byClass:  map[string][]*alphaMem{},
-		states:   map[*wm.WME]*wmeState{},
-		indexing: true,
+		tmpl:   t,
+		agenda: agenda,
+		owned:  true,
+		states: map[*wm.WME]*wmeState{},
 	}
-	n.dummyTop = &betaMemory{label: "top"}
-	n.dummyTok = &Token{level: -1, node: n.dummyTop}
-	n.dummyTok.storeEntry, n.dummyTok.storeBuckets = n.dummyTop.insert(n.dummyTok, nil, n)
+	n.instantiate()
 	return n
 }
 
-// SetIndexing enables or disables equality-indexed memory activation.
-// It must be called before AddProduction — nodes choose their
-// activation strategy at compile time. The unindexed mode is the
-// reference matcher: the differential oracle runs every scenario
-// through both and requires byte-identical Counters and firing
-// sequences.
-func (n *Network) SetIndexing(on bool) { n.indexing = on }
+// SetIndexing enables or disables equality-indexed memory activation
+// on the network's private template. It must be called before
+// AddProduction — nodes choose their activation strategy at compile
+// time.
+func (n *Network) SetIndexing(on bool) { n.tmpl.SetIndexing(on) }
 
 // Indexing reports whether equality-indexed activation is enabled.
-func (n *Network) Indexing() bool { return n.indexing }
+func (n *Network) Indexing() bool { return n.tmpl.indexing }
+
+// Template returns the compiled template this network instantiates.
+// Engines built from one shared template return the same pointer.
+func (n *Network) Template() *Template { return n.tmpl }
 
 // Totals returns the aggregate match counters.
 func (n *Network) Totals() Counters { return n.totals }
@@ -700,12 +1033,31 @@ func (n *Network) Totals() Counters { return n.totals }
 // NumAlphaMems returns the number of distinct alpha memories, which is
 // less than the number of condition elements when patterns share
 // signatures.
-func (n *Network) NumAlphaMems() int { return len(n.amems) }
+func (n *Network) NumAlphaMems() int { return n.tmpl.NumAlphaMems() }
 
 // SetCapture enables or disables per-activation tree capture. With
 // capture off only the aggregate counters are maintained, which keeps
 // long runs (hundreds of thousands of firings) cheap.
 func (n *Network) SetCapture(on bool) { n.capturing = on }
+
+// AddProduction compiles a production into the network's private
+// template. All productions must be added before the first WME is
+// asserted; networks instantiated from a shared Template reject
+// AddProduction (the template is compiled once, elsewhere).
+func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (*PNode, error) {
+	if !n.owned {
+		return nil, fmt.Errorf("rete: AddProduction(%s) on a template-instantiated network", name)
+	}
+	if n.frozen {
+		return nil, fmt.Errorf("rete: AddProduction(%s) after working memory was populated", name)
+	}
+	p, err := n.tmpl.AddProduction(name, pats, data)
+	if err != nil {
+		return nil, err
+	}
+	n.syncState()
+	return p, nil
+}
 
 // StartBatch clears the pending activation forest; the activations
 // produced by subsequent Add/Remove calls accumulate until TakeBatch.
@@ -810,116 +1162,6 @@ func (n *Network) newToken(holder tokenHolder, parent *Token, w *wm.WME, level i
 	return tok
 }
 
-// AddProduction compiles a production's patterns into the network.
-// All productions must be added before the first WME is asserted.
-func (n *Network) AddProduction(name string, pats []Pattern, data interface{}) (*PNode, error) {
-	if n.frozen {
-		return nil, fmt.Errorf("rete: AddProduction(%s) after working memory was populated", name)
-	}
-	if len(pats) == 0 {
-		return nil, fmt.Errorf("rete: production %s has no patterns", name)
-	}
-	if pats[0].Negated {
-		return nil, fmt.Errorf("rete: production %s: first pattern may not be negated", name)
-	}
-	mem := n.dummyTop
-	for i, pat := range pats {
-		am := n.alpha(pat)
-		last := i == len(pats)-1
-		// The node is index-accelerated when its first test is an
-		// equality: the token-side store buckets on the (level, attr)
-		// the test reads, the alpha memory on the WME attribute.
-		indexable := n.indexing && len(pat.Tests) > 0 && pat.Tests[0].Eq
-		if pat.Negated {
-			neg := &negativeNode{
-				amem: am, tests: pat.Tests, level: i,
-				label: fmt.Sprintf("%s/%d", name, i+1),
-				sidx:  -1, aidx: -1,
-			}
-			if indexable {
-				neg.sidx = neg.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
-				neg.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
-			}
-			mem.children = append(mem.children, neg)
-			// Successors append in ancestor-before-descendant order per
-			// chain; Add right-activates them in reverse, so descendants
-			// run first (required when one alpha memory feeds several
-			// levels of the same chain, or new-WME pairings double).
-			am.successors = append(am.successors, neg)
-			if last {
-				p := &PNode{Name: name, Data: data, level: i + 1}
-				neg.children = append(neg.children, p)
-				n.prods = append(n.prods, p)
-				return p, nil
-			}
-			// The negative node acts as the memory for the next level,
-			// via a bridge memory that holds its unblocked tokens.
-			mem = negAdapter(neg)
-			continue
-		}
-		j := &joinNode{parent: mem, amem: am, tests: pat.Tests, level: i,
-			label: fmt.Sprintf("%s/%d", name, i+1), pidx: -1, aidx: -1}
-		if indexable {
-			j.pidx = mem.registerIndex(pat.Tests[0].TokenLevel, pat.Tests[0].TokenAttr)
-			j.aidx = am.registerIndex(pat.Tests[0].OwnAttr)
-		}
-		mem.children = append(mem.children, j)
-		am.successors = append(am.successors, j)
-		if last {
-			p := &PNode{Name: name, Data: data, level: i + 1}
-			j.child = p
-			n.prods = append(n.prods, p)
-			return p, nil
-		}
-		next := &betaMemory{label: fmt.Sprintf("%s/%d", name, i+1)}
-		j.child = next
-		mem = next
-	}
-	return nil, fmt.Errorf("rete: production %s: unreachable", name)
-}
-
-// negAdapter makes a negative node usable as the parent memory of the
-// next join level: the join iterates the negative node's unblocked
-// tokens and receives new tokens via leftActivateToken.
-func negAdapter(g *negativeNode) *betaMemory {
-	// A thin real memory fed by the negative node keeps join-node logic
-	// uniform: tokens whose negation holds are copied into it.
-	m := &betaMemory{label: g.label + "/adapter"}
-	m.eager = true // adapterRefs records cannot be patched by lazy backfill
-	g.children = append(g.children, (*negBridge)(m))
-	return m
-}
-
-// negBridge forwards a token from a negative node into its adapter
-// memory without adding a token level.
-type negBridge betaMemory
-
-func (b *negBridge) leftActivateToken(t *Token, n *Network) {
-	m := (*betaMemory)(b)
-	// Reuse the token itself: store and fan out. The token's holder
-	// remains the negative node; the adapter tracks membership only.
-	entry, buckets := m.insert(t, nil, n)
-	t.adapterRefs = append(t.adapterRefs, tokenRef{mem: m, entry: entry, buckets: buckets})
-	for _, c := range m.children {
-		c.leftActivateToken(t, n)
-	}
-}
-
-func (n *Network) alpha(pat Pattern) *alphaMem {
-	if am, ok := n.amems[pat.Signature]; ok {
-		return am
-	}
-	am := &alphaMem{
-		signature:  pat.Signature,
-		class:      pat.Class,
-		filter:     pat.Filter,
-		filterCost: pat.FilterCost,
-	}
-	n.amems[pat.Signature] = am
-	n.byClass[pat.Class] = append(n.byClass[pat.Class], am)
-	return am
-}
-
 // Add asserts a WME into the network. Each alpha memory is activated
 // completely — insert, then right-activate its successors — before the
 // next alpha memory sees the WME. The discipline matters: if the WME
@@ -929,7 +1171,7 @@ func (n *Network) alpha(pat Pattern) *alphaMem {
 // would pair it a second time, duplicating instantiations.
 func (n *Network) Add(w *wm.WME) {
 	n.frozen = true
-	for _, am := range n.byClass[w.Class.Name] {
+	for _, am := range n.tmpl.byClass[w.Class.Name] {
 		n.beginBase("alpha:"+am.signature, CostAlphaScan)
 		n.charge(am.filterCost)
 		n.totals.ConstTests++
@@ -1008,7 +1250,7 @@ func (n *Network) deleteToken(tok *Token) {
 	}
 	tok.node.removeToken(tok, n)
 	for _, ar := range tok.adapterRefs {
-		ar.mem.removeEntries(ar.entry, ar.buckets, n)
+		ar.mem.store(n).removeEntries(ar.entry, ar.buckets, n)
 	}
 	tok.adapterRefs = tok.adapterRefs[:0]
 	if tok.W != nil {

@@ -1,0 +1,45 @@
+// Scratch: reusable allocation pools that outlive a single network
+// instance. A task runtime that builds, runs and discards one engine
+// per task (tlp.Pool with DropEngines) hands each worker a Scratch;
+// the free lists a network accumulated — recycled tokens and list
+// entries — seed the next network built on the same worker instead of
+// being garbage.
+package rete
+
+// Scratch holds the recyclable allocations of discarded network
+// instances. A Scratch is single-owner: it may be handed to one
+// network at a time (NewNetworkScratch empties it into the instance;
+// Reclaim refills it), and is not safe for concurrent use.
+type Scratch struct {
+	tokens       []*Token
+	wmeEntries   []*wmeEntry
+	tokenEntries []*tokenEntry
+}
+
+// adoptScratch seeds the network's free lists from s, emptying s.
+func (n *Network) adoptScratch(s *Scratch) {
+	n.tokenPool = s.tokens
+	n.wmeEntryPool = s.wmeEntries
+	n.tokenEntryPool = s.tokenEntries
+	s.tokens = nil
+	s.wmeEntries = nil
+	s.tokenEntries = nil
+}
+
+// Reclaim moves the network's free lists (including any tokens still
+// resting in the graveyard) into s for reuse by the next instance.
+// The network must not be used again afterwards: call it only when
+// discarding an engine that has finished running normally. Engines
+// that panicked or were abandoned mid-operation must not be reclaimed
+// — their pools may alias live structures.
+func (n *Network) Reclaim(s *Scratch) {
+	for _, tok := range n.graveyard {
+		tok.reset()
+		n.tokenPool = append(n.tokenPool, tok)
+	}
+	n.graveyard = n.graveyard[:0]
+	s.tokens = append(s.tokens, n.tokenPool...)
+	s.wmeEntries = append(s.wmeEntries, n.wmeEntryPool...)
+	s.tokenEntries = append(s.tokenEntries, n.tokenEntryPool...)
+	n.tokenPool, n.wmeEntryPool, n.tokenEntryPool = nil, nil, nil
+}

@@ -1,0 +1,120 @@
+package rete
+
+import (
+	"sync"
+	"testing"
+)
+
+// The template/instance differential oracle: networks instantiated
+// from a shared compiled Template must be byte-identical — conflict-set
+// event sequences, simulated Counters after every step, captured
+// activation forests — to networks compiled freshly with New +
+// AddProduction, for both the indexed and the naive matcher. O(nodes)
+// instantiation changes construction cost, never match behavior.
+
+func TestTemplateDifferentialVsFreshCompile(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		s := genScript(seed)
+		for _, indexed := range []bool{true, false} {
+			fresh := s.replay(t, indexed)
+			tmpl := s.template(t, indexed)
+			// Two successive instances of the same template: both must
+			// match the fresh compile (the first instance must not
+			// perturb shared state read by the second).
+			for i := 0; i < 2; i++ {
+				rec := &seqRecorder{}
+				inst := s.replayOn(t, tmpl.NewNetwork(rec), rec)
+				diffRunsEqual(t, seed, fresh, inst, "fresh", "template-instance")
+			}
+		}
+	}
+}
+
+// TestTemplateInstanceIsolation runs the same script on two instances
+// of one template in interleaved steps via independent replays, then
+// verifies a third, untouched instance saw nothing: instances share
+// topology only, never memories or counters.
+func TestTemplateInstanceIsolation(t *testing.T) {
+	s := genScript(7)
+	tmpl := s.template(t, true)
+	recIdle := &seqRecorder{}
+	idle := tmpl.NewNetwork(recIdle)
+
+	recA := &seqRecorder{}
+	runA := s.replayOn(t, tmpl.NewNetwork(recA), recA)
+	recB := &seqRecorder{}
+	runB := s.replayOn(t, tmpl.NewNetwork(recB), recB)
+	diffRunsEqual(t, 7, runA, runB, "instanceA", "instanceB")
+
+	if got := idle.Totals(); got != (Counters{}) {
+		t.Fatalf("idle instance accumulated counters: %+v", got)
+	}
+	if len(recIdle.events) != 0 {
+		t.Fatalf("idle instance saw %d conflict-set events", len(recIdle.events))
+	}
+}
+
+// TestTemplateConcurrentInstantiation instantiates and runs many
+// networks from one frozen template concurrently; meaningful under
+// -race. Every run must equal the fresh-compiled reference.
+func TestTemplateConcurrentInstantiation(t *testing.T) {
+	s := genScript(11)
+	fresh := s.replay(t, true)
+	tmpl := s.template(t, true)
+	// Freeze before fanning out, as CompiledProgram does.
+	tmpl.NewNetwork(&seqRecorder{})
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := &seqRecorder{}
+			run := s.replayOn(t, tmpl.NewNetwork(rec), rec)
+			if len(run.events) != len(fresh.events) || run.forests != fresh.forests {
+				errs <- "concurrent instance diverged from fresh compile"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestTemplateFreeze pins the compile-once contract: no production may
+// be added after the first instantiation, and template-instantiated
+// networks reject AddProduction outright.
+func TestTemplateFreeze(t *testing.T) {
+	s := genScript(3)
+	tmpl := s.template(t, true)
+	net := tmpl.NewNetwork(&seqRecorder{})
+	if _, err := tmpl.AddProduction("late", s.prods[0], nil); err == nil {
+		t.Fatal("AddProduction on a frozen template must fail")
+	}
+	if _, err := net.AddProduction("late", s.prods[0], nil); err == nil {
+		t.Fatal("AddProduction on a template-instantiated network must fail")
+	}
+}
+
+// TestScratchReuseDeterminism replays a script on successive instances
+// sharing one Scratch: recycled tokens and list entries must not
+// perturb events, counters or forests.
+func TestScratchReuseDeterminism(t *testing.T) {
+	s := genScript(5)
+	fresh := s.replay(t, true)
+	tmpl := s.template(t, true)
+	scratch := &Scratch{}
+	for i := 0; i < 3; i++ {
+		rec := &seqRecorder{}
+		net := tmpl.NewNetworkScratch(rec, scratch)
+		run := s.replayOn(t, net, rec)
+		diffRunsEqual(t, 5, fresh, run, "fresh", "scratch-instance")
+		net.Reclaim(scratch)
+		if i > 0 && len(scratch.tokens) == 0 {
+			t.Fatal("Reclaim recovered no tokens; scratch reuse is not engaged")
+		}
+	}
+}

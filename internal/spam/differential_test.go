@@ -25,36 +25,44 @@ func TestSPAMDifferentialIndexedVsNaive(t *testing.T) {
 	}
 	indexed := run(false)
 	naive := run(true)
+	compareInterpretations(t, "indexed", indexed, "naive", naive)
+}
 
-	if len(indexed.Phases) != len(naive.Phases) {
-		t.Fatalf("phase count: indexed %d naive %d", len(indexed.Phases), len(naive.Phases))
+// compareInterpretations asserts that two full interpretations are
+// observably identical: same phase statistics (firings, tasks,
+// simulated instruction counts), fragments, consistent pairs, LCC
+// outcomes, functional areas, and final model.
+func compareInterpretations(t *testing.T, aName string, a *Interpretation, bName string, b *Interpretation) {
+	t.Helper()
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase count: %s %d %s %d", aName, len(a.Phases), bName, len(b.Phases))
 	}
-	for i := range indexed.Phases {
-		ip, np := &indexed.Phases[i], &naive.Phases[i]
-		if ip.Phase != np.Phase || ip.Firings != np.Firings || ip.Tasks != np.Tasks {
-			t.Errorf("phase %s: firings/tasks differ: indexed %+v naive %+v", ip.Phase, ip, np)
+	for i := range a.Phases {
+		ap, bp := &a.Phases[i], &b.Phases[i]
+		if ap.Phase != bp.Phase || ap.Firings != bp.Firings || ap.Tasks != bp.Tasks {
+			t.Errorf("phase %s: firings/tasks differ: %s %+v %s %+v", ap.Phase, aName, ap, bName, bp)
 		}
-		if ip.Instr != np.Instr || ip.MatchInstr != np.MatchInstr {
-			t.Errorf("phase %s: simulated instructions differ: indexed (%.0f, %.0f) naive (%.0f, %.0f)",
-				ip.Phase, ip.Instr, ip.MatchInstr, np.Instr, np.MatchInstr)
+		if ap.Instr != bp.Instr || ap.MatchInstr != bp.MatchInstr {
+			t.Errorf("phase %s: simulated instructions differ: %s (%.0f, %.0f) %s (%.0f, %.0f)",
+				ap.Phase, aName, ap.Instr, ap.MatchInstr, bName, bp.Instr, bp.MatchInstr)
 		}
 	}
-	if !reflect.DeepEqual(indexed.Fragments, naive.Fragments) {
-		t.Errorf("fragments differ: indexed %d naive %d", len(indexed.Fragments), len(naive.Fragments))
+	if !reflect.DeepEqual(a.Fragments, b.Fragments) {
+		t.Errorf("fragments differ: %s %d %s %d", aName, len(a.Fragments), bName, len(b.Fragments))
 	}
-	if !reflect.DeepEqual(indexed.Pairs, naive.Pairs) {
-		t.Errorf("consistent pairs differ: indexed %d naive %d", len(indexed.Pairs), len(naive.Pairs))
+	if !reflect.DeepEqual(a.Pairs, b.Pairs) {
+		t.Errorf("consistent pairs differ: %s %d %s %d", aName, len(a.Pairs), bName, len(b.Pairs))
 	}
-	if !reflect.DeepEqual(indexed.Outcomes, naive.Outcomes) {
-		t.Errorf("LCC outcomes differ: indexed %d naive %d", len(indexed.Outcomes), len(naive.Outcomes))
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Errorf("LCC outcomes differ: %s %d %s %d", aName, len(a.Outcomes), bName, len(b.Outcomes))
 	}
-	if !reflect.DeepEqual(indexed.FAs, naive.FAs) {
-		t.Errorf("functional areas differ: indexed %d naive %d", len(indexed.FAs), len(naive.FAs))
+	if !reflect.DeepEqual(a.FAs, b.FAs) {
+		t.Errorf("functional areas differ: %s %d %s %d", aName, len(a.FAs), bName, len(b.FAs))
 	}
-	if indexed.ModelFound != naive.ModelFound || !reflect.DeepEqual(indexed.Model, naive.Model) {
-		t.Errorf("final models differ: indexed %+v naive %+v", indexed.Model, naive.Model)
+	if a.ModelFound != b.ModelFound || !reflect.DeepEqual(a.Model, b.Model) {
+		t.Errorf("final models differ: %s %+v %s %+v", aName, a.Model, bName, b.Model)
 	}
-	if indexed.TotalFirings() == 0 {
+	if a.TotalFirings() == 0 {
 		t.Fatal("interpretation fired nothing: differential test is vacuous")
 	}
 }

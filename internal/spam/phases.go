@@ -3,6 +3,7 @@ package spam
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"spampsm/internal/faults"
@@ -139,6 +140,11 @@ type InterpretOptions struct {
 	// are then re-checked by the LCC rules.
 	ReEntry bool
 	Capture bool // per-activation capture for match-parallel simulation
+	// Prebuild constructs each phase's task engines in parallel (on
+	// Workers builders) before the pool runs them, overlapping engine
+	// construction instead of paying it serially inside each task's
+	// first attempt.
+	Prebuild bool
 
 	// Fault tolerance (see docs/ROBUSTNESS.md). Zero values mean no
 	// injection, no timeout and no retries — the pre-fault behavior.
@@ -183,10 +189,25 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 		RetryBackoff: opt.RetryBackoff,
 	}
 	in := &Interpretation{Dataset: d}
+	// runPhase optionally prebuilds the phase's engines in parallel
+	// before the pool executes the tasks. The builder count follows the
+	// machine, not opt.Workers: engine construction happens outside the
+	// simulated clock, so even the paper's one-task-process baseline may
+	// overlap it across every available CPU.
+	builders := opt.Workers
+	if g := runtime.GOMAXPROCS(0); g > builders {
+		builders = g
+	}
+	runPhase := func(tasks []*tlp.Task) ([]*tlp.Result, error) {
+		if opt.Prebuild {
+			pool.Prebuild(tasks, builders)
+		}
+		return pool.Run(tasks)
+	}
 
 	// Phase 1: RTF.
 	rtfTasks := BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, opt.RTFBatch, opt.Capture)
-	rtfResults, err := pool.Run(rtfTasks)
+	rtfResults, err := runPhase(rtfTasks)
 	if err != nil {
 		return in, fmt.Errorf("spam: RTF: %w", err)
 	}
@@ -200,7 +221,7 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 
 	// Phase 2: LCC.
 	lccTasks := BuildLCCTasks(d.KB, d.Store, d.Progs.LCC, in.Fragments, opt.Level, opt.Capture)
-	lccResults, err := pool.Run(lccTasks)
+	lccResults, err := runPhase(lccTasks)
 	if err != nil {
 		return in, fmt.Errorf("spam: LCC: %w", err)
 	}
@@ -215,7 +236,7 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	faTasks := BuildFATasks(d.KB, d.Store, d.Progs.FA, in.Fragments, in.Pairs, in.Outcomes, opt.Capture)
 	var faResults []*tlp.Result
 	if len(faTasks) > 0 {
-		faResults, err = pool.Run(faTasks)
+		faResults, err = runPhase(faTasks)
 		if err != nil {
 			return in, fmt.Errorf("spam: FA: %w", err)
 		}
@@ -238,7 +259,7 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 			pool2 := append(append([]*Fragment(nil), in.Fragments...), extra...)
 			reTasks := BuildLCCTasksFor(d.KB, d.Store, d.Progs.LCC, extra, pool2, opt.Level, opt.Capture)
 			if len(reTasks) > 0 {
-				reResults, err := pool.Run(reTasks)
+				reResults, err := runPhase(reTasks)
 				if err != nil {
 					return in, fmt.Errorf("spam: LCC re-entry: %w", err)
 				}
@@ -260,7 +281,7 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 
 	// Phase 4: MODEL.
 	modelTask := BuildModelTask(d.KB, d.Store, d.Progs.Model, in.Fragments, in.FAs, opt.Capture)
-	modelResults, err := pool.Run([]*tlp.Task{modelTask})
+	modelResults, err := runPhase([]*tlp.Task{modelTask})
 	if err != nil {
 		return in, fmt.Errorf("spam: MODEL: %w", err)
 	}

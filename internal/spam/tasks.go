@@ -41,6 +41,19 @@ var naiveMatch atomic.Bool
 // construction in closures that run on worker pools.
 func UseNaiveMatch(on bool) { naiveMatch.Store(on) }
 
+// freshCompile forces every engine the package builds to bypass the
+// Program's compiled-variant cache (see UseFreshCompile).
+var freshCompile atomic.Bool
+
+// UseFreshCompile switches all subsequently built task engines between
+// template instantiation from the Program's shared compile cache (the
+// default) and a private fresh compilation per engine. The two are
+// observably identical — the full-SPAM differential oracle proves
+// byte-identical phase results, firings and instruction counts — so
+// the toggle exists for that oracle; fresh compilation is strictly
+// slower. Process-global for the same reason as UseNaiveMatch.
+func UseFreshCompile(on bool) { freshCompile.Store(on) }
+
 // engineOpts builds the engine options for a task.
 func engineOpts(capture bool) []ops5.Option {
 	var opts []ops5.Option
@@ -50,7 +63,21 @@ func engineOpts(capture bool) []ops5.Option {
 	if naiveMatch.Load() {
 		opts = append(opts, ops5.WithNaiveMatch())
 	}
+	if freshCompile.Load() {
+		opts = append(opts, ops5.WithFreshCompile())
+	}
 	return opts
+}
+
+// newTaskEngine constructs one task engine, threading the worker's
+// allocation scratch (nil outside DropEngines pools) into the engine's
+// free lists.
+func newTaskEngine(prog *ops5.Program, capture bool, s *ops5.Scratch) (*ops5.Engine, error) {
+	opts := engineOpts(capture)
+	if s != nil {
+		opts = append(opts, ops5.WithScratch(s))
+	}
+	return ops5.NewEngine(prog, opts...)
 }
 
 // assertFragment adds a fragment hypothesis to an engine's WM.
@@ -85,38 +112,40 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 		batch := regions[start:end]
 		batchID := start / batchSize
 		batchCopy := append([]*scene.Region(nil), batch...)
-		tasks = append(tasks, &tlp.Task{
-			ID:      fmt.Sprintf("rtf-%s-%d", store.Scene().Name, batchID),
-			Label:   fmt.Sprintf("RTF batch %d (%d regions)", batchID, len(batchCopy)),
-			EstSize: float64(len(batchCopy)),
-			Build: func() (*ops5.Engine, error) {
-				e, err := ops5.NewEngine(prog, engineOpts(capture)...)
-				if err != nil {
-					return nil, err
-				}
-				store.Register(e)
-				if _, err := e.Assert("rtf-task", map[string]symtab.Value{
-					"batch": symtab.Int(int64(batchID)), "status": sym("active"),
+		build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+			e, err := newTaskEngine(prog, capture, s)
+			if err != nil {
+				return nil, err
+			}
+			store.Register(e)
+			if _, err := e.Assert("rtf-task", map[string]symtab.Value{
+				"batch": symtab.Int(int64(batchID)), "status": sym("active"),
+			}); err != nil {
+				return nil, err
+			}
+			for _, r := range batchCopy {
+				area, elong, compact, intensity, texture := Measurements(r)
+				if _, err := e.Assert("region", map[string]symtab.Value{
+					"id":        symtab.Int(int64(r.ID)),
+					"batch":     symtab.Int(int64(batchID)),
+					"area":      symtab.Float(area),
+					"elong":     symtab.Float(elong),
+					"compact":   symtab.Float(compact),
+					"intensity": symtab.Float(intensity),
+					"texture":   symtab.Float(texture),
+					"status":    sym("measured"),
 				}); err != nil {
 					return nil, err
 				}
-				for _, r := range batchCopy {
-					area, elong, compact, intensity, texture := Measurements(r)
-					if _, err := e.Assert("region", map[string]symtab.Value{
-						"id":        symtab.Int(int64(r.ID)),
-						"batch":     symtab.Int(int64(batchID)),
-						"area":      symtab.Float(area),
-						"elong":     symtab.Float(elong),
-						"compact":   symtab.Float(compact),
-						"intensity": symtab.Float(intensity),
-						"texture":   symtab.Float(texture),
-						"status":    sym("measured"),
-					}); err != nil {
-						return nil, err
-					}
-				}
-				return e, nil
-			},
+			}
+			return e, nil
+		}
+		tasks = append(tasks, &tlp.Task{
+			ID:        fmt.Sprintf("rtf-%s-%d", store.Scene().Name, batchID),
+			Label:     fmt.Sprintf("RTF batch %d (%d regions)", batchID, len(batchCopy)),
+			EstSize:   float64(len(batchCopy)),
+			Build:     func() (*ops5.Engine, error) { return build(nil) },
+			BuildWith: build,
 		})
 	}
 	return tasks
@@ -204,8 +233,8 @@ func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Le
 
 // buildLCCEngine loads one engine with a set of work units (several
 // units share an engine at Level 4).
-func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccUnit, capture bool) (*ops5.Engine, error) {
-	e, err := ops5.NewEngine(prog, engineOpts(capture)...)
+func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccUnit, capture bool, s *ops5.Scratch) (*ops5.Engine, error) {
+	e, err := newTaskEngine(prog, capture, s)
 	if err != nil {
 		return nil, err
 	}
@@ -293,14 +322,16 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 				est += u.expected
 			}
 			groupCopy := group
+			build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+				return buildLCCEngine(kb, store, prog, groupCopy, capture, s)
+			}
 			tasks = append(tasks, &tlp.Task{
-				ID:      fmt.Sprintf("lcc4-%s-%s", name, k),
-				Label:   fmt.Sprintf("LCC L4 class %s (%d objects)", k, len(groupCopy)),
-				Group:   string(k),
-				EstSize: float64(est),
-				Build: func() (*ops5.Engine, error) {
-					return buildLCCEngine(kb, store, prog, groupCopy, capture)
-				},
+				ID:        fmt.Sprintf("lcc4-%s-%s", name, k),
+				Label:     fmt.Sprintf("LCC L4 class %s (%d objects)", k, len(groupCopy)),
+				Group:     string(k),
+				EstSize:   float64(est),
+				Build:     func() (*ops5.Engine, error) { return build(nil) },
+				BuildWith: build,
 			})
 		}
 		return tasks
@@ -308,14 +339,16 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 	var tasks []*tlp.Task
 	for i, u := range units {
 		uc := u
+		build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+			return buildLCCEngine(kb, store, prog, []lccUnit{uc}, capture, s)
+		}
 		tasks = append(tasks, &tlp.Task{
-			ID:      fmt.Sprintf("lcc%d-%s-%d", level, name, i),
-			Label:   fmt.Sprintf("LCC L%d object %d %s (%d checks)", level, uc.focal.ID, uc.cid, uc.expected),
-			Group:   string(uc.focal.Type),
-			EstSize: float64(uc.expected),
-			Build: func() (*ops5.Engine, error) {
-				return buildLCCEngine(kb, store, prog, []lccUnit{uc}, capture)
-			},
+			ID:        fmt.Sprintf("lcc%d-%s-%d", level, name, i),
+			Label:     fmt.Sprintf("LCC L%d object %d %s (%d checks)", level, uc.focal.ID, uc.cid, uc.expected),
+			Group:     string(uc.focal.Type),
+			EstSize:   float64(uc.expected),
+			Build:     func() (*ops5.Engine, error) { return build(nil) },
+			BuildWith: build,
 		})
 	}
 	return tasks
@@ -443,44 +476,46 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 			membersCopy := members
 			pairsCopy := memberPairs
 			expected := len(members)
-			tasks = append(tasks, &tlp.Task{
-				ID:      fmt.Sprintf("fa-%s-%s-%d", store.Scene().Name, spec.Type, f.ID),
-				Label:   fmt.Sprintf("FA %s seed %d (%d members)", spec.Type, f.ID, expected),
-				EstSize: float64(expected + 1),
-				Build: func() (*ops5.Engine, error) {
-					e, err := ops5.NewEngine(prog, engineOpts(capture)...)
-					if err != nil {
+			build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+				e, err := newTaskEngine(prog, capture, s)
+				if err != nil {
+					return nil, err
+				}
+				store.Register(e)
+				if err := assertFragment(e, seed); err != nil {
+					return nil, err
+				}
+				for _, m := range membersCopy {
+					if err := assertFragment(e, m); err != nil {
 						return nil, err
 					}
-					store.Register(e)
-					if err := assertFragment(e, seed); err != nil {
-						return nil, err
-					}
-					for _, m := range membersCopy {
-						if err := assertFragment(e, m); err != nil {
-							return nil, err
-						}
-					}
-					for _, p := range pairsCopy {
-						if _, err := e.Assert("consistency", map[string]symtab.Value{
-							"object":   symtab.Int(int64(p.Object)),
-							"partner":  symtab.Int(int64(p.Partner)),
-							"relation": sym(p.Relation),
-							"result":   sym("t"),
-						}); err != nil {
-							return nil, err
-						}
-					}
-					if _, err := e.Assert("fa-task", map[string]symtab.Value{
-						"seed":     symtab.Int(int64(seed.ID)),
-						"fatype":   sym(specCopy.Type),
-						"expected": symtab.Int(int64(len(pairsCopy))),
-						"status":   sym("active"),
+				}
+				for _, p := range pairsCopy {
+					if _, err := e.Assert("consistency", map[string]symtab.Value{
+						"object":   symtab.Int(int64(p.Object)),
+						"partner":  symtab.Int(int64(p.Partner)),
+						"relation": sym(p.Relation),
+						"result":   sym("t"),
 					}); err != nil {
 						return nil, err
 					}
-					return e, nil
-				},
+				}
+				if _, err := e.Assert("fa-task", map[string]symtab.Value{
+					"seed":     symtab.Int(int64(seed.ID)),
+					"fatype":   sym(specCopy.Type),
+					"expected": symtab.Int(int64(len(pairsCopy))),
+					"status":   sym("active"),
+				}); err != nil {
+					return nil, err
+				}
+				return e, nil
+			}
+			tasks = append(tasks, &tlp.Task{
+				ID:        fmt.Sprintf("fa-%s-%s-%d", store.Scene().Name, spec.Type, f.ID),
+				Label:     fmt.Sprintf("FA %s seed %d (%d members)", spec.Type, f.ID, expected),
+				EstSize:   float64(expected + 1),
+				Build:     func() (*ops5.Engine, error) { return build(nil) },
+				BuildWith: build,
 			})
 		}
 	}
@@ -535,44 +570,46 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 		byID[f.ID] = f
 	}
 	fasCopy := append([]FunctionalArea(nil), fas...)
-	return &tlp.Task{
-		ID:      fmt.Sprintf("model-%s", store.Scene().Name),
-		Label:   fmt.Sprintf("MODEL (%d functional areas)", len(fasCopy)),
-		EstSize: float64(len(fasCopy) + 1),
-		Build: func() (*ops5.Engine, error) {
-			e, err := ops5.NewEngine(prog, engineOpts(capture)...)
-			if err != nil {
-				return nil, err
+	build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+		e, err := newTaskEngine(prog, capture, s)
+		if err != nil {
+			return nil, err
+		}
+		store.Register(e)
+		seen := map[int]bool{}
+		for _, fa := range fasCopy {
+			if fa.Status != "closed" {
+				continue
 			}
-			store.Register(e)
-			seen := map[int]bool{}
-			for _, fa := range fasCopy {
-				if fa.Status != "closed" {
-					continue
-				}
-				if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
-					seen[f.ID] = true
-					if err := assertFragment(e, f); err != nil {
-						return nil, err
-					}
-				}
-				if _, err := e.Assert("fa", map[string]symtab.Value{
-					"id":       symtab.Int(int64(fa.Seed)),
-					"seed":     symtab.Int(int64(fa.Seed)),
-					"fatype":   sym(fa.Type),
-					"nmembers": symtab.Int(int64(fa.NMembers)),
-					"status":   sym("closed"),
-				}); err != nil {
+			if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
+				seen[f.ID] = true
+				if err := assertFragment(e, f); err != nil {
 					return nil, err
 				}
 			}
-			if _, err := e.Assert("model-task", map[string]symtab.Value{
-				"status": sym("active"),
+			if _, err := e.Assert("fa", map[string]symtab.Value{
+				"id":       symtab.Int(int64(fa.Seed)),
+				"seed":     symtab.Int(int64(fa.Seed)),
+				"fatype":   sym(fa.Type),
+				"nmembers": symtab.Int(int64(fa.NMembers)),
+				"status":   sym("closed"),
 			}); err != nil {
 				return nil, err
 			}
-			return e, nil
-		},
+		}
+		if _, err := e.Assert("model-task", map[string]symtab.Value{
+			"status": sym("active"),
+		}); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return &tlp.Task{
+		ID:        fmt.Sprintf("model-%s", store.Scene().Name),
+		Label:     fmt.Sprintf("MODEL (%d functional areas)", len(fasCopy)),
+		EstSize:   float64(len(fasCopy) + 1),
+		Build:     func() (*ops5.Engine, error) { return build(nil) },
+		BuildWith: build,
 	}
 }
 

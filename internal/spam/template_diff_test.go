@@ -1,0 +1,103 @@
+package spam
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spampsm/internal/tlp"
+)
+
+// Full-SPAM differential oracle for the compile-once template path: a
+// complete four-phase interpretation whose ~1k task engines are
+// instantiated from the datasets' shared compiled templates (the
+// default, here additionally exercising parallel prebuild) must be
+// observably identical to one whose every engine recompiles its
+// program from scratch (UseFreshCompile), under both matchers.
+func TestSPAMDifferentialTemplateVsFreshCompile(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		name := "indexed"
+		if naive {
+			name = "naive"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(fresh, prebuild bool) *Interpretation {
+				t.Helper()
+				UseNaiveMatch(naive)
+				UseFreshCompile(fresh)
+				defer UseNaiveMatch(false)
+				defer UseFreshCompile(false)
+				d := smallDC(t)
+				in, err := d.Interpret(InterpretOptions{Workers: 2, Prebuild: prebuild})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return in
+			}
+			fresh := run(true, false)
+			shared := run(false, true)
+			compareInterpretations(t, "fresh-compiled", fresh, "template-instantiated", shared)
+		})
+	}
+}
+
+// TestConcurrentTaskBuildWithMatcherToggles builds and runs one
+// dataset's RTF task queue on a parallel pool while another goroutine
+// flips UseNaiveMatch mid-run. Each task engine instantiates whichever
+// cached template variant the flag selects at build time; since the
+// matchers are differentially identical, every task must reproduce the
+// reference statistics regardless of which variant it drew. Under
+// -race this also proves the per-Program variant cache and the shared
+// templates tolerate concurrent instantiation.
+func TestConcurrentTaskBuildWithMatcherToggles(t *testing.T) {
+	d := smallDC(t)
+	mkTasks := func() []*tlp.Task {
+		return BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, 3, false)
+	}
+
+	UseNaiveMatch(false)
+	refResults, err := (&tlp.Pool{Workers: 1}).Run(mkTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlp.FirstError(refResults); err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]*tlp.Result{}
+	for _, r := range refResults {
+		ref[r.TaskID] = r
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			UseNaiveMatch(i%2 == 0)
+		}
+	}()
+
+	got, err := (&tlp.Pool{Workers: 4, DropEngines: true}).Run(mkTasks())
+	stop.Store(true)
+	wg.Wait()
+	UseNaiveMatch(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlp.FirstError(got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refResults) {
+		t.Fatalf("got %d results, want %d", len(got), len(refResults))
+	}
+	for _, r := range got {
+		want, ok := ref[r.TaskID]
+		if !ok {
+			t.Fatalf("task %s missing from reference run", r.TaskID)
+		}
+		if r.Stats != want.Stats {
+			t.Errorf("task %s: stats %+v != reference %+v", r.TaskID, r.Stats, want.Stats)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spampsm/internal/faults"
@@ -84,6 +85,20 @@ type Task struct {
 	// LargestFirst uses it to fight the tail-end effect.
 	EstSize float64
 	Build   func() (*ops5.Engine, error)
+	// BuildWith, when set, is preferred over Build and receives the
+	// worker's allocation scratch (nil when the pool keeps engines):
+	// task builders thread it to ops5.NewEngine via WithScratch so the
+	// short-lived engines of a DropEngines run recycle tokens and list
+	// entries worker-locally instead of reallocating per task.
+	BuildWith func(s *ops5.Scratch) (*ops5.Engine, error)
+}
+
+// build constructs the task's engine, preferring BuildWith.
+func (t *Task) build(s *ops5.Scratch) (*ops5.Engine, error) {
+	if t.BuildWith != nil {
+		return t.BuildWith(s)
+	}
+	return t.Build()
 }
 
 // Result is the outcome of one executed task (its final attempt).
@@ -157,6 +172,14 @@ type Pool struct {
 	// Faults optionally injects deterministic failures (chaos runs);
 	// nil injects nothing.
 	Faults *faults.Plan
+
+	// prebuilt holds engines constructed ahead of Run by Prebuild,
+	// keyed by task. An entry is consumed by the task's first attempt
+	// (and discarded if that attempt draws an injected build fault);
+	// retries always rebuild from scratch, preserving the idempotent
+	// re-execution property.
+	prebuiltMu sync.Mutex
+	prebuilt   map[*Task]*ops5.Engine
 }
 
 // order returns the queue order under the pool's policy.
@@ -182,23 +205,28 @@ func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
 	}
 	queue := p.order(tasks)
 	results := make([]*Result, len(queue))
-	var mu sync.Mutex
-	next := 0
+	// Task dispatch is a single atomic fetch-add on a shared cursor —
+	// the queue itself is immutable after ordering, so workers never
+	// contend on a lock to claim work.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// Under DropEngines each worker keeps a private allocation
+			// scratch: every discarded engine's token and entry pools
+			// seed the next engine built on this worker.
+			var scratch *ops5.Scratch
+			if p.DropEngines {
+				scratch = &ops5.Scratch{}
+			}
 			for {
-				mu.Lock()
-				if next >= len(queue) {
-					mu.Unlock()
+				i := int(next.Add(1)) - 1
+				if i >= len(queue) {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
-				results[i] = p.runOne(queue[i], worker, i)
+				results[i] = p.runOne(queue[i], worker, i, scratch)
 			}
 		}(w)
 	}
@@ -216,18 +244,54 @@ func (p *Pool) RunWithReport(tasks []*Task) ([]*Result, *RunReport, error) {
 	return results, p.Report(results), nil
 }
 
+const (
+	// maxBackoffShift caps the number of retry-backoff doublings. An
+	// uncapped shift overflowed time.Duration for large MaxRetries
+	// (attempt 65 shifted RetryBackoff past 63 bits), producing
+	// negative — i.e. zero — or absurd sleeps.
+	maxBackoffShift = 16
+	// maxRetryDelay saturates the backoff: a task runtime gains
+	// nothing from sleeping longer between re-executions.
+	maxRetryDelay = time.Minute
+)
+
+// retryDelay returns the backoff before re-running a task whose
+// attempt'th attempt (1-based) just failed: base doubled per failed
+// attempt, with the exponent capped and the result saturating at
+// maxRetryDelay instead of overflowing.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	// Comparing against the pre-shifted cap avoids overflow entirely:
+	// maxRetryDelay>>shift is exact (no low bits lost at these
+	// magnitudes), so base exceeds it iff base<<shift would exceed
+	// maxRetryDelay.
+	if base > maxRetryDelay>>shift {
+		return maxRetryDelay
+	}
+	return base << shift
+}
+
 // runOne executes one task with bounded retries: a failed attempt is
 // re-run on a freshly built engine after an exponential backoff, up to
 // 1+MaxRetries attempts; permanent faults and exhausted budgets
 // quarantine the task.
-func (p *Pool) runOne(t *Task, worker, seq int) *Result {
+func (p *Pool) runOne(t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
 	maxAttempts := 1 + p.MaxRetries
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	var attemptErrs []error
 	for attempt := 1; ; attempt++ {
-		r := p.attempt(t, worker, seq, attempt)
+		r := p.attempt(t, worker, seq, attempt, scratch)
 		r.Attempts = attempt
 		if r.Err == nil {
 			r.AttemptErrs = attemptErrs
@@ -242,7 +306,7 @@ func (p *Pool) runOne(t *Task, worker, seq int) *Result {
 			return r
 		}
 		if p.RetryBackoff > 0 {
-			time.Sleep(p.RetryBackoff << (attempt - 1))
+			time.Sleep(retryDelay(p.RetryBackoff, attempt))
 		}
 	}
 }
@@ -252,7 +316,7 @@ func (p *Pool) runOne(t *Task, worker, seq int) *Result {
 // poison task can never take down the worker or the process. Whatever
 // statistics and cost log the engine accumulated before failing are
 // attached to the Result, so failed-task cost stays visible in reports.
-func (p *Pool) attempt(t *Task, worker, seq, attempt int) (r *Result) {
+func (p *Pool) attempt(t *Task, worker, seq, attempt int, scratch *ops5.Scratch) (r *Result) {
 	r = &Result{TaskID: t.ID, Worker: worker, SeqInQ: seq}
 	var eng *ops5.Engine
 	defer func() {
@@ -267,15 +331,24 @@ func (p *Pool) attempt(t *Task, worker, seq, attempt int) (r *Result) {
 	}()
 
 	f := p.Faults.TaskFault(t.ID, attempt)
+	// A prebuilt engine (Prebuild) is consumed here whether or not it
+	// is used: if this attempt draws an injected build fault, the
+	// engine is discarded so the retry rebuilds from scratch, exactly
+	// as if the original build had failed.
+	prebuilt := p.takePrebuilt(t)
 	if f.Kind == faults.BuildFail {
 		r.Err = f.Err(fmt.Sprintf("tlp: build %s: attempt %d", t.ID, attempt))
 		return r
 	}
 	var err error
-	eng, err = t.Build()
-	if err != nil {
-		r.Err = fmt.Errorf("tlp: build %s: %w", t.ID, err)
-		return r
+	if prebuilt != nil {
+		eng = prebuilt
+	} else {
+		eng, err = t.build(scratch)
+		if err != nil {
+			r.Err = fmt.Errorf("tlp: build %s: %w", t.ID, err)
+			return r
+		}
 	}
 	if f.Kind == faults.Panic {
 		panic(f.Err(fmt.Sprintf("tlp: task %s: attempt %d", t.ID, attempt)))
@@ -327,8 +400,72 @@ func (p *Pool) attempt(t *Task, worker, seq, attempt int) (r *Result) {
 	}
 	if !p.DropEngines {
 		r.Engine = eng
+	} else if scratch != nil {
+		// Clean success and the engine is being dropped: recycle its
+		// allocation pools into the worker's scratch. Failed or
+		// panicked attempts never reclaim — their engines may be
+		// mid-operation, and their pools could alias live structures.
+		eng.Reclaim(scratch)
 	}
 	return r
+}
+
+// Prebuild constructs the tasks' engines ahead of Run on up to
+// `workers` parallel builders, overlapping the (formerly serial)
+// engine construction. Prebuilt engines are consumed by each task's
+// first attempt; tasks whose prebuild fails or panics simply fall back
+// to the in-run build path, which reports the error through the usual
+// retry machinery. Call before Run; the pool must not be running.
+func (p *Pool) Prebuild(tasks []*Task, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*ops5.Engine, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				func() {
+					defer func() { _ = recover() }() // fall back to in-run build
+					if eng, err := tasks[i].build(nil); err == nil {
+						engines[i] = eng
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	p.prebuiltMu.Lock()
+	defer p.prebuiltMu.Unlock()
+	if p.prebuilt == nil {
+		p.prebuilt = make(map[*Task]*ops5.Engine, len(tasks))
+	}
+	for i, t := range tasks {
+		if engines[i] != nil {
+			p.prebuilt[t] = engines[i]
+		}
+	}
+}
+
+// takePrebuilt pops the task's prebuilt engine, if any.
+func (p *Pool) takePrebuilt(t *Task) *ops5.Engine {
+	if p.prebuilt == nil {
+		return nil
+	}
+	p.prebuiltMu.Lock()
+	defer p.prebuiltMu.Unlock()
+	eng := p.prebuilt[t]
+	if eng != nil {
+		delete(p.prebuilt, t)
+	}
+	return eng
 }
 
 // RunSerial executes the tasks on a single worker (the BASELINE
