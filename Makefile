@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json oracle check
+.PHONY: build test vet race bench bench-quick bench-json oracle check
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,24 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
+# bench-quick is the CI smoke benchmark: the seed-load and
+# engine-construction microbenchmarks at a short benchtime, well under
+# 60 s. It exists to catch gross wall-clock regressions (an optimized
+# variant suddenly slower than its baseline) without the cost of the
+# full bench-json matrix.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkSeedLoad|BenchmarkEngineBuild' \
+		-benchtime 0.3s ./internal/ops5/
+
 # bench-json regenerates the perf-trajectory snapshot: Go benchmarks
 # over internal/rete, internal/ops5, internal/tlp, internal/matchbench
 # and an end-to-end scaled-down interpretation, with indexed-vs-naive
-# matcher and instantiate-vs-recompile engine-construction comparisons,
-# written to BENCH_3.json (see docs/PERFORMANCE.md).
+# matcher, instantiate-vs-recompile engine-construction, and
+# batched-vs-unbatched seed-load comparisons, written to BENCH_4.json
+# and checked (non-fatally) against the previous snapshot (see
+# docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) run ./cmd/benchjson -out BENCH_4.json -compare BENCH_3.json
 
 # oracle runs the differential oracles — indexed vs naive matcher, and
 # template-instantiated vs fresh-compiled engines — at all three

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
-//	        [-reentry] [-scale F] [-lisp] [-naive] [-prebuild]
+//	        [-reentry] [-scale F] [-lisp] [-naive] [-no-seed-cache] [-prebuild]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -17,6 +17,8 @@
 //
 // -naive selects the unindexed reference matcher (identical results
 // and simulated costs, slower wall-clock; see docs/PERFORMANCE.md),
+// -no-seed-cache loads each task's seed working memory per-WME without
+// the template route memo (same results, slower task loading),
 // -prebuild constructs each phase's task engines in parallel before
 // the pool runs them (identical results, less wall-clock), and the
 // profile flags write standard pprof files.
@@ -48,6 +50,7 @@ func realMain() int {
 	scale := flag.Float64("scale", 1, "scene scale factor")
 	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
 	naive := flag.Bool("naive", false, "use the unindexed reference matcher (same results, slower wall-clock)")
+	noSeedCache := flag.Bool("no-seed-cache", false, "load seed working memories per-WME without the route memo (same results, slower wall-clock)")
 	prebuild := flag.Bool("prebuild", false, "build each phase's task engines in parallel before running them")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
@@ -70,6 +73,7 @@ func realMain() int {
 	}()
 
 	spam.UseNaiveMatch(*naive)
+	spam.UseUnbatchedSeed(*noSeedCache)
 
 	var d *spam.Dataset
 	if *dataset == "suburban" {

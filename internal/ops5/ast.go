@@ -371,6 +371,11 @@ type Program struct {
 	// (naive match, capture). Guarded by compileMu; see compiled.go.
 	compileMu sync.Mutex
 	variants  map[compileKey]*CompiledProgram
+
+	// Seed-class cache (seed.go): attribute->slot maps for batched
+	// seed construction, built once per class name.
+	seedMu      sync.Mutex
+	seedClasses map[string]*SeedClass
 }
 
 // Production looks up a production by name, or nil.

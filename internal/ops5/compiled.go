@@ -156,6 +156,9 @@ func (cp *CompiledProgram) finish(e *Engine) (*Engine, error) {
 	e.classes = cp.classes
 	e.compiled = cp.compiled
 	e.mem = wm.NewMemory(cp.classes)
+	if e.scratch != nil {
+		e.batchWMEs, e.batchDigests = e.scratch.TakeSeedBuffers()
+	}
 	e.net = cp.tmpl.NewNetworkScratch(e.cs, e.scratch)
 	e.scratch = nil
 	e.net.SetCapture(cp.capture)
@@ -167,4 +170,8 @@ func (cp *CompiledProgram) finish(e *Engine) (*Engine, error) {
 // by the next engine built with WithScratch(s). Call only when
 // discarding an engine that finished running normally; the engine must
 // not be used afterwards.
-func (e *Engine) Reclaim(s *Scratch) { e.net.Reclaim(s) }
+func (e *Engine) Reclaim(s *Scratch) {
+	e.net.Reclaim(s)
+	s.PutSeedBuffers(e.batchWMEs, e.batchDigests)
+	e.batchWMEs, e.batchDigests = nil, nil
+}

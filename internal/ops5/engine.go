@@ -158,6 +158,12 @@ type Engine struct {
 	// scratch seeds the network's free lists at construction; consumed
 	// (and cleared) by finish.
 	scratch *Scratch
+	// perWMEAssert makes AssertBatch take the reference per-WME path
+	// (WithPerWMEAssert); batchWMEs/batchDigests are its staging
+	// buffers, recycled through Scratch across a worker's engines.
+	perWMEAssert bool
+	batchWMEs    []*wm.WME
+	batchDigests []string
 	halted  bool
 	running bool
 	// interrupted is set asynchronously by Interrupt and polled once

@@ -32,6 +32,7 @@ package rete
 
 import (
 	"fmt"
+	"sync"
 
 	"spampsm/internal/symtab"
 	"spampsm/internal/wm"
@@ -727,6 +728,13 @@ type Template struct {
 	prods    []*PNode
 	indexing bool
 	frozen   bool
+
+	// Memoized seed routing (seed.go): per class, the acceptance set of
+	// each distinct seed WME digest under this template's constant
+	// tests. Lazily populated by InsertBatch; guarded because many
+	// engine instances route seeds concurrently during Prebuild.
+	routeMu sync.RWMutex
+	routes  map[string]*classRoutes
 }
 
 // NewTemplate returns an empty template with indexed matching enabled.
@@ -988,6 +996,9 @@ type Network struct {
 	batch       []*Activation
 	stack       []*Activation
 	capturing   bool
+	// noSeedRouting disables the template route memo for InsertBatch
+	// (SetSeedRouting): the differential-oracle escape hatch.
+	noSeedRouting bool
 
 	// Free lists. Deleted tokens rest in the graveyard until the next
 	// StartBatch: an engine may read a fired instantiation's (already

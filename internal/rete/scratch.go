@@ -6,6 +6,8 @@
 // being garbage.
 package rete
 
+import "spampsm/internal/wm"
+
 // Scratch holds the recyclable allocations of discarded network
 // instances. A Scratch is single-owner: it may be handed to one
 // network at a time (NewNetworkScratch empties it into the instance;
@@ -14,6 +16,38 @@ type Scratch struct {
 	tokens       []*Token
 	wmeEntries   []*wmeEntry
 	tokenEntries []*tokenEntry
+
+	// Seed-batch staging buffers (ops5.AssertBatch): reused across the
+	// engines a worker builds so batched seed loading allocates its
+	// WME/digest slices once per worker, not once per task.
+	seedWMEs    []*wm.WME
+	seedDigests []string
+}
+
+// Pooled reports how many recycled objects the scratch currently
+// holds. Observability for pool-accounting tests: a leak shows up as a
+// scratch that stays empty after an engine should have been reclaimed
+// into it.
+func (s *Scratch) Pooled() int {
+	return len(s.tokens) + len(s.wmeEntries) + len(s.tokenEntries)
+}
+
+// TakeSeedBuffers hands the scratch's seed-batch staging slices to a
+// new engine (emptied of contents, capacity preserved).
+func (s *Scratch) TakeSeedBuffers() ([]*wm.WME, []string) {
+	w, d := s.seedWMEs[:0], s.seedDigests[:0]
+	s.seedWMEs, s.seedDigests = nil, nil
+	return w, d
+}
+
+// PutSeedBuffers returns staging slices taken by TakeSeedBuffers,
+// clearing their elements so the scratch does not retain the dead
+// engine's WMEs.
+func (s *Scratch) PutSeedBuffers(wmes []*wm.WME, digests []string) {
+	clear(wmes[:cap(wmes)])
+	clear(digests[:cap(digests)])
+	s.seedWMEs = wmes[:0]
+	s.seedDigests = digests[:0]
 }
 
 // adoptScratch seeds the network's free lists from s, emptying s.

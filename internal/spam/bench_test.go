@@ -42,3 +42,18 @@ func BenchmarkInterpretDC(b *testing.B) {
 	b.Run("indexed", func(b *testing.B) { benchInterpret(b, false) })
 	b.Run("naive", func(b *testing.B) { benchInterpret(b, true) })
 }
+
+// BenchmarkInterpretDCSeed is the end-to-end seed-distribution A/B:
+// the same interpretation with task working memories loaded per-WME
+// (UseUnbatchedSeed, the pre-batching behavior) versus batched
+// AssertBatch with the template route memo (the default). Measured in
+// one run so machine noise cancels out of the ratio.
+func BenchmarkInterpretDCSeed(b *testing.B) {
+	run := func(b *testing.B, unbatched bool) {
+		UseUnbatchedSeed(unbatched)
+		defer UseUnbatchedSeed(false)
+		benchInterpret(b, false)
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, true) })
+	b.Run("batched", func(b *testing.B) { run(b, false) })
+}

@@ -3,6 +3,7 @@ package spam
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"spampsm/internal/ops5"
 	"spampsm/internal/scene"
@@ -42,20 +43,75 @@ type Fragment struct {
 }
 
 // RegionStore resolves region IDs to geometry for the external
-// functions and precomputes the per-region measurements asserted into
-// RTF working memory.
+// functions, precomputes the per-region measurements asserted into RTF
+// working memory, and caches the shared seed form of each fragment
+// hypothesis (value vector + routing digest) scene-wide.
 type RegionStore struct {
 	scene *scene.Scene
 	byID  map[int]*scene.Region
+
+	// Fragment-seed cache. Task builders run concurrently under
+	// Pool.Prebuild, and unlike the rest of the store (immutable after
+	// NewRegionStore) this map mutates at build time, so it is locked.
+	seedMu    sync.RWMutex
+	fragSeeds map[fragSeedKey]ops5.Seed
+}
+
+// fragSeedKey identifies a fragment's seed form. The SeedClass pointer
+// keys the phase program: each phase declares its own fragment class,
+// and seeds carry slot-ordered vectors that must match the asserting
+// program's declaration.
+type fragSeedKey struct {
+	sc     *ops5.SeedClass
+	id     int
+	region int
+	conf   int
+	typ    scene.Kind
 }
 
 // NewRegionStore indexes a scene.
 func NewRegionStore(s *scene.Scene) *RegionStore {
-	st := &RegionStore{scene: s, byID: make(map[int]*scene.Region, len(s.Regions))}
+	st := &RegionStore{
+		scene:     s,
+		byID:      make(map[int]*scene.Region, len(s.Regions)),
+		fragSeeds: map[fragSeedKey]ops5.Seed{},
+	}
 	for _, r := range s.Regions {
 		st.byID[r.ID] = r
 	}
 	return st
+}
+
+// FragmentSeed returns the shared seed form of a fragment hypothesis
+// under the given class layout, computing the value vector and routing
+// digest once per (program, fragment) and serving every later task of
+// the scene from the cache. Safe for concurrent task builders.
+func (st *RegionStore) FragmentSeed(sc *ops5.SeedClass, f *Fragment) (ops5.Seed, error) {
+	key := fragSeedKey{sc: sc, id: f.ID, region: f.RegionID, conf: f.Conf, typ: f.Type}
+	st.seedMu.RLock()
+	s, ok := st.fragSeeds[key]
+	st.seedMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	s, err := sc.SharedSeed(map[string]symtab.Value{
+		"id":     symtab.Int(int64(f.ID)),
+		"region": symtab.Int(int64(f.RegionID)),
+		"type":   symtab.Sym(string(f.Type)),
+		"conf":   symtab.Int(int64(f.Conf)),
+		"status": symtab.Sym("hypothesized"),
+	})
+	if err != nil {
+		return ops5.Seed{}, err
+	}
+	st.seedMu.Lock()
+	if prev, ok := st.fragSeeds[key]; ok {
+		s = prev // racing builders computed equal seeds; keep one vector
+	} else {
+		st.fragSeeds[key] = s
+	}
+	st.seedMu.Unlock()
+	return s, nil
 }
 
 // Scene returns the underlying scene.
@@ -115,6 +171,15 @@ func boolSym(b bool) symtab.Value {
 //	(rtf-verify-align <region-a> <region-b>)          -> t | f
 //	(fa-predict-area <seed-region> <kind>)            -> candidate count
 //	(stereo-verify <region-a> <region-b>)             -> t | f
+//
+// Register is called from concurrent task builders under
+// Pool.Prebuild. That is race-free by construction: each closure only
+// reads the store's immutable scene index (byID never mutates after
+// NewRegionStore) and writes only the target engine's own externals
+// map, which no other builder touches. The store's one mutable map —
+// the fragment-seed cache — is guarded by seedMu (see FragmentSeed);
+// the concurrent-prebuild regression test runs all LCC builders in
+// parallel under -race to keep this audit honest.
 func (st *RegionStore) Register(e *ops5.Engine) {
 	e.Register("geo-test", func(args []symtab.Value) (symtab.Value, float64, error) {
 		if len(args) != 4 {

@@ -54,6 +54,19 @@ var freshCompile atomic.Bool
 // slower. Process-global for the same reason as UseNaiveMatch.
 func UseFreshCompile(on bool) { freshCompile.Store(on) }
 
+// unbatchedSeed forces every engine the package builds onto the
+// per-WME seed-assertion path (see UseUnbatchedSeed).
+var unbatchedSeed atomic.Bool
+
+// UseUnbatchedSeed switches all subsequently built task engines between
+// batched seed distribution with memoized alpha routing (the default)
+// and the reference per-WME Assert path. The two are observably
+// identical — the full-SPAM differential oracle proves byte-identical
+// phase results, firings and instruction counts — so the toggle exists
+// for that oracle and for benchmarking the batched path's wall-clock
+// win. Process-global for the same reason as UseNaiveMatch.
+func UseUnbatchedSeed(on bool) { unbatchedSeed.Store(on) }
+
 // engineOpts builds the engine options for a task.
 func engineOpts(capture bool) []ops5.Option {
 	var opts []ops5.Option
@@ -65,6 +78,9 @@ func engineOpts(capture bool) []ops5.Option {
 	}
 	if freshCompile.Load() {
 		opts = append(opts, ops5.WithFreshCompile())
+	}
+	if unbatchedSeed.Load() {
+		opts = append(opts, ops5.WithPerWMEAssert())
 	}
 	return opts
 }
@@ -80,16 +96,45 @@ func newTaskEngine(prog *ops5.Program, capture bool, s *ops5.Scratch) (*ops5.Eng
 	return ops5.NewEngine(prog, opts...)
 }
 
-// assertFragment adds a fragment hypothesis to an engine's WM.
-func assertFragment(e *ops5.Engine, f *Fragment) error {
-	_, err := e.Assert("fragment", map[string]symtab.Value{
-		"id":     symtab.Int(int64(f.ID)),
-		"region": symtab.Int(int64(f.RegionID)),
-		"type":   sym(string(f.Type)),
-		"conf":   symtab.Int(int64(f.Conf)),
-		"status": sym("hypothesized"),
-	})
-	return err
+// seedSet accumulates a task's seed working memory in assertion order;
+// the builder hands the whole set to Engine.AssertBatch at once.
+// Fragment rows — the WMEs that recur across overlapping tasks — go
+// through the RegionStore's shared-seed cache, so a fragment's value
+// vector and routing digest are computed once per scene, not once per
+// task.
+type seedSet struct {
+	prog  *ops5.Program
+	store *RegionStore
+	seeds []ops5.Seed
+}
+
+// add appends one plain (task-local) seed row.
+func (ss *seedSet) add(class string, sets map[string]symtab.Value) error {
+	sc, err := ss.prog.SeedClass(class)
+	if err != nil {
+		return err
+	}
+	s, err := sc.Seed(sets)
+	if err != nil {
+		return err
+	}
+	ss.seeds = append(ss.seeds, s)
+	return nil
+}
+
+// addFragment appends a fragment hypothesis row, shared through the
+// scene's seed cache.
+func (ss *seedSet) addFragment(f *Fragment) error {
+	sc, err := ss.prog.SeedClass("fragment")
+	if err != nil {
+		return err
+	}
+	s, err := ss.store.FragmentSeed(sc, f)
+	if err != nil {
+		return err
+	}
+	ss.seeds = append(ss.seeds, s)
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -118,14 +163,15 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 				return nil, err
 			}
 			store.Register(e)
-			if _, err := e.Assert("rtf-task", map[string]symtab.Value{
+			ss := seedSet{prog: prog, store: store}
+			if err := ss.add("rtf-task", map[string]symtab.Value{
 				"batch": symtab.Int(int64(batchID)), "status": sym("active"),
 			}); err != nil {
 				return nil, err
 			}
 			for _, r := range batchCopy {
 				area, elong, compact, intensity, texture := Measurements(r)
-				if _, err := e.Assert("region", map[string]symtab.Value{
+				if err := ss.add("region", map[string]symtab.Value{
 					"id":        symtab.Int(int64(r.ID)),
 					"batch":     symtab.Int(int64(batchID)),
 					"area":      symtab.Float(area),
@@ -137,6 +183,9 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 				}); err != nil {
 					return nil, err
 				}
+			}
+			if err := e.AssertBatch(ss.seeds); err != nil {
+				return nil, err
 			}
 			return e, nil
 		}
@@ -239,13 +288,14 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 		return nil, err
 	}
 	store.Register(e)
+	ss := seedSet{prog: prog, store: store}
 	seen := map[int]bool{}
 	addFrag := func(f *Fragment) error {
 		if seen[f.ID] {
 			return nil
 		}
 		seen[f.ID] = true
-		return assertFragment(e, f)
+		return ss.addFragment(f)
 	}
 	for _, u := range units {
 		if err := addFrag(u.focal); err != nil {
@@ -260,7 +310,7 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 				// runs iff the control process put its (object,
 				// constraint, partner) triple into the task's working
 				// memory, so every level computes the same checks.
-				if _, err := e.Assert("scope", map[string]symtab.Value{
+				if err := ss.add("scope", map[string]symtab.Value{
 					"object":     symtab.Int(int64(u.focal.ID)),
 					"constraint": sym(cid),
 					"partner":    symtab.Int(int64(p.ID)),
@@ -269,13 +319,13 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 				}
 			}
 		}
-		if _, err := e.Assert("support", map[string]symtab.Value{
+		if err := ss.add("support", map[string]symtab.Value{
 			"object": symtab.Int(int64(u.focal.ID)),
 			"count":  symtab.Int(0), "checked": symtab.Int(0),
 		}); err != nil {
 			return nil, err
 		}
-		if _, err := e.Assert("lcc-task", map[string]symtab.Value{
+		if err := ss.add("lcc-task", map[string]symtab.Value{
 			"object":   symtab.Int(int64(u.focal.ID)),
 			"class":    sym(string(u.focal.Type)),
 			"cid":      sym(u.cid),
@@ -284,6 +334,9 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 		}); err != nil {
 			return nil, err
 		}
+	}
+	if err := e.AssertBatch(ss.seeds); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -482,16 +535,17 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 					return nil, err
 				}
 				store.Register(e)
-				if err := assertFragment(e, seed); err != nil {
+				ss := seedSet{prog: prog, store: store}
+				if err := ss.addFragment(seed); err != nil {
 					return nil, err
 				}
 				for _, m := range membersCopy {
-					if err := assertFragment(e, m); err != nil {
+					if err := ss.addFragment(m); err != nil {
 						return nil, err
 					}
 				}
 				for _, p := range pairsCopy {
-					if _, err := e.Assert("consistency", map[string]symtab.Value{
+					if err := ss.add("consistency", map[string]symtab.Value{
 						"object":   symtab.Int(int64(p.Object)),
 						"partner":  symtab.Int(int64(p.Partner)),
 						"relation": sym(p.Relation),
@@ -500,12 +554,15 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 						return nil, err
 					}
 				}
-				if _, err := e.Assert("fa-task", map[string]symtab.Value{
+				if err := ss.add("fa-task", map[string]symtab.Value{
 					"seed":     symtab.Int(int64(seed.ID)),
 					"fatype":   sym(specCopy.Type),
 					"expected": symtab.Int(int64(len(pairsCopy))),
 					"status":   sym("active"),
 				}); err != nil {
+					return nil, err
+				}
+				if err := e.AssertBatch(ss.seeds); err != nil {
 					return nil, err
 				}
 				return e, nil
@@ -576,6 +633,7 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 			return nil, err
 		}
 		store.Register(e)
+		ss := seedSet{prog: prog, store: store}
 		seen := map[int]bool{}
 		for _, fa := range fasCopy {
 			if fa.Status != "closed" {
@@ -583,11 +641,11 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 			}
 			if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
 				seen[f.ID] = true
-				if err := assertFragment(e, f); err != nil {
+				if err := ss.addFragment(f); err != nil {
 					return nil, err
 				}
 			}
-			if _, err := e.Assert("fa", map[string]symtab.Value{
+			if err := ss.add("fa", map[string]symtab.Value{
 				"id":       symtab.Int(int64(fa.Seed)),
 				"seed":     symtab.Int(int64(fa.Seed)),
 				"fatype":   sym(fa.Type),
@@ -597,9 +655,12 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 				return nil, err
 			}
 		}
-		if _, err := e.Assert("model-task", map[string]symtab.Value{
+		if err := ss.add("model-task", map[string]symtab.Value{
 			"status": sym("active"),
 		}); err != nil {
+			return nil, err
+		}
+		if err := e.AssertBatch(ss.seeds); err != nil {
 			return nil, err
 		}
 		return e, nil

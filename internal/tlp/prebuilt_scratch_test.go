@@ -1,0 +1,78 @@
+package tlp
+
+import (
+	"testing"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/ops5"
+	"spampsm/internal/symtab"
+)
+
+// negTask builds a task whose engine deletes a beta token during seed
+// assertion (a negative condition invalidated by a later seed WME), so
+// even a freshly built engine that never ran holds recyclable objects
+// in its graveyard — the observable a scratch-reclaim test needs.
+func negTask(id string) *Task {
+	build := func(s *ops5.Scratch) (*ops5.Engine, error) {
+		prog, err := ops5.Parse(`
+(literalize item n)
+(literalize blocker n)
+(literalize out n)
+(p blocked (item ^n <n>) - (blocker ^n <n>) --> (make out ^n <n>))
+`)
+		if err != nil {
+			return nil, err
+		}
+		var opts []ops5.Option
+		if s != nil {
+			opts = append(opts, ops5.WithScratch(s))
+		}
+		e, err := ops5.NewEngine(prog, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.Assert("item", map[string]symtab.Value{"n": symtab.Int(1)}); err != nil {
+			return nil, err
+		}
+		if _, err := e.Assert("blocker", map[string]symtab.Value{"n": symtab.Int(1)}); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return &Task{
+		ID:        id,
+		EstSize:   1,
+		Build:     func() (*ops5.Engine, error) { return build(nil) },
+		BuildWith: build,
+	}
+}
+
+// TestBuildFailReclaimsPrebuiltScratch is the regression test for the
+// prebuilt-engine scratch leak: when a task's first attempt draws an
+// injected build fault, the already-prebuilt engine is discarded — its
+// recyclable allocations must flow into the worker's scratch rather
+// than being stranded with the dead engine.
+func TestBuildFailReclaimsPrebuiltScratch(t *testing.T) {
+	task := negTask("leak")
+	p := &Pool{
+		Workers:     1,
+		DropEngines: true,
+		Faults:      faults.New(faults.Config{Seed: 11, BuildFailRate: 1}),
+	}
+	p.Prebuild([]*Task{task}, 1)
+	if p.prebuilt[task] == nil {
+		t.Fatal("Prebuild did not produce an engine")
+	}
+
+	scratch := &ops5.Scratch{}
+	r := p.attempt(task, 0, 0, 0, scratch)
+	if r.Err == nil {
+		t.Fatal("attempt under BuildFailRate=1 should fail")
+	}
+	if p.prebuilt[task] != nil {
+		t.Error("prebuilt engine not consumed by the failed attempt")
+	}
+	if got := scratch.Pooled(); got == 0 {
+		t.Error("prebuilt engine's allocations were stranded: scratch.Pooled() = 0 after BuildFail")
+	}
+}

@@ -175,9 +175,10 @@ type Pool struct {
 
 	// prebuilt holds engines constructed ahead of Run by Prebuild,
 	// keyed by task. An entry is consumed by the task's first attempt
-	// (and discarded if that attempt draws an injected build fault);
-	// retries always rebuild from scratch, preserving the idempotent
-	// re-execution property.
+	// (if that attempt draws an injected build fault the engine is
+	// discarded, with its allocations reclaimed into the worker's
+	// scratch); retries always rebuild from scratch, preserving the
+	// idempotent re-execution property.
 	prebuiltMu sync.Mutex
 	prebuilt   map[*Task]*ops5.Engine
 }
@@ -337,6 +338,12 @@ func (p *Pool) attempt(t *Task, worker, seq, attempt int, scratch *ops5.Scratch)
 	// as if the original build had failed.
 	prebuilt := p.takePrebuilt(t)
 	if f.Kind == faults.BuildFail {
+		if prebuilt != nil && scratch != nil {
+			// The discarded engine finished building normally and never
+			// ran, so its pools alias nothing live: reclaim them for
+			// the rebuild instead of stranding them with the engine.
+			prebuilt.Reclaim(scratch)
+		}
 		r.Err = f.Err(fmt.Sprintf("tlp: build %s: attempt %d", t.ID, attempt))
 		return r
 	}

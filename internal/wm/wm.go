@@ -156,6 +156,26 @@ func (m *Memory) Make(class string, sets map[string]symtab.Value) (*WME, error) 
 	return w, nil
 }
 
+// MakeVals asserts a new WME of the named class from a slot-ordered
+// value vector, adopting vals without copying. The caller must never
+// mutate vals afterwards — WMEs are immutable (a modify is remove +
+// make), so one vector may safely back WMEs in any number of memories;
+// that sharing is what makes batched seed distribution cheap.
+func (m *Memory) MakeVals(class string, vals []symtab.Value) (*WME, error) {
+	c := m.classes.Lookup(class)
+	if c == nil {
+		return nil, fmt.Errorf("wm: make of undeclared class %s", class)
+	}
+	if len(vals) != c.NumAttrs() {
+		return nil, fmt.Errorf("wm: class %s has %d attributes, got %d values",
+			class, c.NumAttrs(), len(vals))
+	}
+	w := &WME{Class: c, Vals: vals, TimeTag: m.nextTag}
+	m.nextTag++
+	m.byTag[w.TimeTag] = w
+	return w, nil
+}
+
 // Remove retracts a WME. Removing a WME not in memory is an error
 // (OPS5 signals this too).
 func (m *Memory) Remove(w *WME) error {
