@@ -17,35 +17,42 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
-# bench-quick is the CI smoke benchmark: the seed-load and
-# engine-construction microbenchmarks at a short benchtime, well under
-# 60 s. It exists to catch gross wall-clock regressions (an optimized
-# variant suddenly slower than its baseline) without the cost of the
-# full bench-json matrix.
+# bench-quick is the CI smoke benchmark: the seed-load,
+# engine-construction, geometry-predicate and partner-search
+# microbenchmarks at a short benchtime, well under 60 s. It exists to
+# catch gross wall-clock regressions (an optimized variant suddenly
+# slower than its baseline) without the cost of the full bench-json
+# matrix.
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkSeedLoad|BenchmarkEngineBuild' \
 		-benchtime 0.3s ./internal/ops5/
+	$(GO) test -run '^$$' -bench 'BenchmarkGeomPredicates' \
+		-benchtime 0.3s ./internal/geom/
+	$(GO) test -run '^$$' -bench 'BenchmarkPartnerSearch' \
+		-benchtime 0.3s ./internal/spam/
 
 # bench-json regenerates the perf-trajectory snapshot: Go benchmarks
-# over internal/rete, internal/ops5, internal/tlp, internal/matchbench
-# and an end-to-end scaled-down interpretation, with indexed-vs-naive
-# matcher, instantiate-vs-recompile engine-construction, and
-# batched-vs-unbatched seed-load comparisons, written to BENCH_4.json
+# over internal/rete, internal/ops5, internal/tlp, internal/matchbench,
+# internal/geom and an end-to-end scaled-down interpretation, with
+# indexed-vs-naive matcher, instantiate-vs-recompile engine
+# construction, batched-vs-unbatched seed-load, fast-vs-exact geometry
+# and grid-vs-scan partner-search comparisons, written to BENCH_5.json
 # and checked (non-fatally) against the previous snapshot (see
 # docs/PERFORMANCE.md).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_4.json -compare BENCH_3.json
+	$(GO) run ./cmd/benchjson -out BENCH_5.json -compare BENCH_4.json
 
-# oracle runs the differential oracles — indexed vs naive matcher, and
-# template-instantiated vs fresh-compiled engines — at all three
-# levels (rete scripts, ops5 engines, full-SPAM interpretations),
-# under the race detector. These are the byte-identity guarantees of
-# docs/PERFORMANCE.md; everything here also runs as part of `race`,
-# but this target names the contract and fails fast on it.
+# oracle runs the differential oracles — indexed vs naive matcher,
+# template-instantiated vs fresh-compiled engines, and fast-vs-exact
+# geometry — at all four levels (rete scripts, ops5 engines, geometry
+# kernels, full-SPAM interpretations), under the race detector. These
+# are the byte-identity guarantees of docs/PERFORMANCE.md; everything
+# here also runs as part of `race`, but this target names the contract
+# and fails fast on it.
 oracle:
 	$(GO) test -race \
 		-run 'Differential|Template|Concurrent|MatcherToggles|VariantCache' \
-		./internal/rete/ ./internal/ops5/ ./internal/spam/
+		./internal/rete/ ./internal/ops5/ ./internal/geom/ ./internal/spam/
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, the differential oracles, and the race detector

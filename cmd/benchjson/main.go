@@ -2,17 +2,23 @@
 // machine-readable BENCH_<n>.json snapshot: per-benchmark ns/op,
 // allocs/op and throughput metrics (tokens/s, firings/s), plus
 // paired baseline-vs-optimized comparisons where a benchmark provides
-// both variants. Three pairings are recognised:
+// both variants. Five pairings are recognised:
 //
 //   - <base>/naive vs <base>/indexed — the unindexed reference matcher
 //     against the equality-hash-indexed default (the pre-indexing
 //     baseline),
 //   - <base>/recompile vs <base>/instantiate — per-engine Rete
 //     recompilation against O(nodes) instantiation from the Program's
-//     shared compiled template (the pre-template baseline), and
+//     shared compiled template (the pre-template baseline),
 //   - <base>/unbatched vs <base>/batched — per-WME seed assertion
 //     against batched seed distribution with memoized alpha routing
-//     (the pre-batching baseline).
+//     (the pre-batching baseline),
+//   - <base>/exact vs <base>/fast — exact Hypot geometry kernels with
+//     no caches against squared-distance kernels, decisive-bound
+//     threshold predicates, the derived-geometry cache and the
+//     spatial-predicate memo (the pre-fast-path baseline), and
+//   - <base>/scan vs <base>/grid — the linear partner-search scan
+//     against the kind-partitioned uniform-grid fragment index.
 //
 // Each comparison records the optimisation's wall-clock win inside the
 // same file.
@@ -30,7 +36,7 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_4.json] [-benchtime 1s] [-count 3] [-compare BENCH_3.json]
+//	benchjson [-out BENCH_5.json] [-benchtime 1s] [-count 3] [-compare BENCH_4.json]
 package main
 
 import (
@@ -60,7 +66,9 @@ var suite = []struct {
 	{"./internal/ops5", "BenchmarkRecognizeActCycle|BenchmarkJoinHeavyMatch|BenchmarkCompile|BenchmarkEngineBuild|BenchmarkSeedLoad", ""},
 	{"./internal/tlp", "BenchmarkPoolDispatch", ""},
 	{"./internal/matchbench", "BenchmarkRubik|BenchmarkWeaver|BenchmarkTourney", ""},
-	{"./internal/spam", "BenchmarkInterpretDC|BenchmarkInterpretDCSeed", "10x"},
+	{"./internal/geom", "BenchmarkGeomPredicates", ""},
+	{"./internal/spam", "BenchmarkPartnerSearch", ""},
+	{"./internal/spam", "BenchmarkInterpretDC|BenchmarkInterpretDCSeed|BenchmarkInterpretDCGeo", "10x"},
 }
 
 // pairings maps a benchmark's baseline sub-variant to its optimized
@@ -70,6 +78,8 @@ var pairings = []struct{ baseline, optimized string }{
 	{"naive", "indexed"},
 	{"recompile", "instantiate"},
 	{"unbatched", "batched"},
+	{"exact", "fast"},
+	{"scan", "grid"},
 }
 
 type result struct {
@@ -289,7 +299,7 @@ func warnRegressions(old, fresh *report, tolerance float64) int {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output file")
+	out := flag.String("out", "BENCH_5.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	count := flag.Int("count", 3, "repetitions per benchmark; the fastest is kept (min-of-N)")
 	compareWith := flag.String("compare", "", "previous BENCH_<n>.json snapshot to warn against (non-fatal, >10% regressions)")
@@ -297,7 +307,7 @@ func main() {
 
 	rep := report{
 		Schema:    "spampsm-bench/v2",
-		Issue:     4,
+		Issue:     5,
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Benchtime: *benchtime,
@@ -312,6 +322,14 @@ func main() {
 			"(the pre-batching path, selectable via WithPerWMEAssert/" +
 			"UseUnbatchedSeed/-no-seed-cache); " +
 			"batched: AssertBatch with memoized alpha routing (the default). " +
+			"exact: exact Hypot geometry kernels without the predicate memo, " +
+			"derived-geometry cache or partner grid (the pre-fast-path " +
+			"geometry, selectable via geom.UseExactOnly/UseUncachedGeo/" +
+			"-naive-geom); " +
+			"fast: squared-distance kernels with decisive-bound threshold " +
+			"predicates and store-level caches (the default). " +
+			"scan: linear all-fragments partner search; " +
+			"grid: kind-partitioned uniform-grid fragment index (the default). " +
 			"Simulated instruction Counters are byte-identical across all variants.",
 	}
 	for _, s := range suite {

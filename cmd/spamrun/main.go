@@ -5,7 +5,8 @@
 // Usage:
 //
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
-//	        [-reentry] [-scale F] [-lisp] [-naive] [-no-seed-cache] [-prebuild]
+//	        [-reentry] [-scale F] [-lisp] [-naive] [-no-seed-cache]
+//	        [-naive-geom] [-prebuild]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -19,6 +20,9 @@
 // and simulated costs, slower wall-clock; see docs/PERFORMANCE.md),
 // -no-seed-cache loads each task's seed working memory per-WME without
 // the template route memo (same results, slower task loading),
+// -naive-geom evaluates every spatial predicate with the exact Hypot
+// kernels, no predicate memo, no derived-geometry cache and linear
+// partner scans (same results and simulated costs, slower wall-clock),
 // -prebuild constructs each phase's task engines in parallel before
 // the pool runs them (identical results, less wall-clock), and the
 // profile flags write standard pprof files.
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"spampsm/internal/faults"
+	"spampsm/internal/geom"
 	"spampsm/internal/machine"
 	"spampsm/internal/prof"
 	"spampsm/internal/scene"
@@ -51,6 +56,7 @@ func realMain() int {
 	lisp := flag.Bool("lisp", false, "report times at the original Lisp system's speed")
 	naive := flag.Bool("naive", false, "use the unindexed reference matcher (same results, slower wall-clock)")
 	noSeedCache := flag.Bool("no-seed-cache", false, "load seed working memories per-WME without the route memo (same results, slower wall-clock)")
+	naiveGeom := flag.Bool("naive-geom", false, "exact geometry kernels without the predicate memo, derived cache or partner grid (same results, slower wall-clock)")
 	prebuild := flag.Bool("prebuild", false, "build each phase's task engines in parallel before running them")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
@@ -74,6 +80,8 @@ func realMain() int {
 
 	spam.UseNaiveMatch(*naive)
 	spam.UseUnbatchedSeed(*noSeedCache)
+	geom.UseExactOnly(*naiveGeom)
+	spam.UseUncachedGeo(*naiveGeom)
 
 	var d *spam.Dataset
 	if *dataset == "suburban" {

@@ -1,0 +1,249 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fastpathCorpus builds a deterministic polygon corpus spanning the
+// regimes the decisive-bound predicates must handle: overlapping
+// pairs, touching pairs, pairs separated by much more than any
+// threshold, and pairs straddling the uncertain band.
+func fastpathCorpus() []Polygon {
+	var ps []Polygon
+	// Jittered blobs at a spread of positions and sizes.
+	for i := 0; i < 12; i++ {
+		c := Point{float64(i%4) * 900, float64(i/4) * 700}
+		ps = append(ps, Blob(c, 180+40*float64(i%5), 6+i%7, 0.35, uint64(i+1)))
+	}
+	// Oriented rectangles: runway/road-like strips.
+	for i := 0; i < 8; i++ {
+		c := Point{float64(i) * 450, float64(i%3) * 1100}
+		ps = append(ps, RectPoly(c, 1200, 60+10*float64(i), float64(i)*0.4))
+	}
+	// Degenerates: tiny triangle, collinear-ish sliver.
+	ps = append(ps,
+		Polygon{{0, 0}, {1e-6, 0}, {0, 1e-6}},
+		Polygon{{5000, 5000}, {6000, 5000.001}, {5500, 5000.0005}},
+	)
+	return ps
+}
+
+// exactDistance computes the reference distance through the exact-only
+// escape hatch.
+func exactDistance(a, b Polygon) float64 {
+	UseExactOnly(true)
+	defer UseExactOnly(false)
+	return a.Distance(b)
+}
+
+// TestDifferentialDistanceFastVsExact holds the squared-arithmetic
+// distance kernel to the exact Hypot formula over the corpus: the two
+// may differ only by float rounding far below the decisive-bound
+// guard band.
+func TestDifferentialDistanceFastVsExact(t *testing.T) {
+	ps := fastpathCorpus()
+	pairs := 0
+	for i := range ps {
+		for j := range ps {
+			fast := ps[i].Distance(ps[j])
+			exact := exactDistance(ps[i], ps[j])
+			if fast == exact {
+				pairs++
+				continue
+			}
+			denom := math.Max(exact, 1)
+			if math.Abs(fast-exact)/denom > 1e-12 {
+				t.Fatalf("pair (%d,%d): fast %v exact %v", i, j, fast, exact)
+			}
+			// Zero-iff-intersects must be preserved exactly.
+			if (fast == 0) != (exact == 0) {
+				t.Fatalf("pair (%d,%d): zero disagreement fast %v exact %v", i, j, fast, exact)
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("empty corpus")
+	}
+}
+
+// TestDifferentialThresholdPredicates asserts boolean identity of
+// every threshold-aware predicate against the exact formula, with
+// adversarial epsilons placed on, just inside, and just outside the
+// exact distance of each pair — the uncertain band where the bounds
+// are not decisive and the fast path must fall back.
+func TestDifferentialThresholdPredicates(t *testing.T) {
+	ps := fastpathCorpus()
+	for i := range ps {
+		for j := range ps {
+			exact := exactDistance(ps[i], ps[j])
+			epss := []float64{-1, 0, 50, 900, exact, exact / 2, exact * 2,
+				exact - 1e-6, exact + 1e-6, exact - 1e-12, exact + 1e-12,
+				math.Nextafter(exact, 0), math.Nextafter(exact, math.Inf(1))}
+			for _, eps := range epss {
+				want := exact <= eps
+				if got := ps[i].WithinDistance(ps[j], eps); got != want {
+					t.Fatalf("pair (%d,%d) eps %v: WithinDistance %v want %v (exact %v)",
+						i, j, eps, got, want, exact)
+				}
+				if got := ps[i].DistanceLE(ps[j], eps); got != want {
+					t.Fatalf("pair (%d,%d) eps %v: DistanceLE %v want %v", i, j, eps, got, want)
+				}
+				if eps >= 0 {
+					// Adjacent keeps its historical bbox pre-filter, which
+					// can reject at exact-equality boundaries where the
+					// expanded-box sum rounds; the fast path must match
+					// that composite boolean, not raw distance≤eps.
+					wantAdj := ps[i].BBox().Expand(eps).Intersects(ps[j].BBox()) && want
+					if got := ps[i].Adjacent(ps[j], eps); got != wantAdj {
+						t.Fatalf("pair (%d,%d) eps %v: Adjacent %v want %v (exact %v)",
+							i, j, eps, got, wantAdj, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialDerivedPredicates asserts that the derived-geometry
+// predicate variants match the per-call Polygon methods bitwise: the
+// cached fields are the same floats, so the booleans must be equal on
+// every input, thresholds included.
+func TestDifferentialDerivedPredicates(t *testing.T) {
+	ps := fastpathCorpus()
+	ds := make([]*Derived, len(ps))
+	for i := range ps {
+		ds[i] = Derive(ps[i])
+	}
+	for i := range ps {
+		for j := range ps {
+			a, b, da, db := ps[i], ps[j], ds[i], ds[j]
+			if got, want := IntersectsD(a, da, b, db), a.Intersects(b); got != want {
+				t.Fatalf("pair (%d,%d): IntersectsD %v want %v", i, j, got, want)
+			}
+			exact := exactDistance(a, b)
+			for _, eps := range []float64{0, 100, exact, exact - 1e-9, exact + 1e-9, exact * 2} {
+				if got, want := WithinDistanceD(a, da, b, db, eps), exact <= eps; got != want {
+					t.Fatalf("pair (%d,%d) eps %v: WithinDistanceD %v want %v (exact %v)",
+						i, j, eps, got, want, exact)
+				}
+			}
+			for _, tol := range []float64{0.05, 0.15, 0.5} {
+				if got, want := ParallelD(da, db, tol), a.ParallelTo(b, tol); got != want {
+					t.Fatalf("pair (%d,%d) tol %v: ParallelD %v want %v", i, j, tol, got, want)
+				}
+			}
+			for _, tol := range []float64{10, 300, 1e4} {
+				if got, want := AlignedD(da, db, tol), a.AlignedWith(b, tol); got != want {
+					t.Fatalf("pair (%d,%d) tol %v: AlignedD %v want %v", i, j, tol, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialDeriveIdentity asserts bitwise equality of every
+// Derived field against the direct Polygon computation.
+func TestDifferentialDeriveIdentity(t *testing.T) {
+	for i, pg := range fastpathCorpus() {
+		d := Derive(pg)
+		if d.BBox != pg.BBox() {
+			t.Fatalf("poly %d: BBox %v want %v", i, d.BBox, pg.BBox())
+		}
+		if d.Centroid != pg.Centroid() {
+			t.Fatalf("poly %d: Centroid %v want %v", i, d.Centroid, pg.Centroid())
+		}
+		if d.Area != pg.Area() {
+			t.Fatalf("poly %d: Area %v want %v", i, d.Area, pg.Area())
+		}
+		if d.Compact != pg.Compactness() {
+			t.Fatalf("poly %d: Compact %v want %v", i, d.Compact, pg.Compactness())
+		}
+		if e := pg.Elongation(); d.Elong != e && !(math.IsInf(d.Elong, 1) && math.IsInf(e, 1)) {
+			t.Fatalf("poly %d: Elong %v want %v", i, d.Elong, e)
+		}
+		if d.Orient != pg.Orientation() {
+			t.Fatalf("poly %d: Orient %v want %v", i, d.Orient, pg.Orientation())
+		}
+		dir, o := pg.MajorAxis()
+		if d.MajorDir != dir || d.Orient != o {
+			t.Fatalf("poly %d: MajorAxis (%v,%v) want (%v,%v)", i, d.MajorDir, d.Orient, dir, o)
+		}
+		// Bounding circle: every vertex within Radius of the centroid.
+		for _, p := range pg {
+			if p.Dist(d.Centroid) > d.Radius {
+				t.Fatalf("poly %d: vertex %v outside bounding circle r=%v", i, p, d.Radius)
+			}
+		}
+		if len(d.Edges) != len(pg) {
+			t.Fatalf("poly %d: %d edges want %d", i, len(d.Edges), len(pg))
+		}
+		for k := range pg {
+			if want := pg[(k+1)%len(pg)].Sub(pg[k]); d.Edges[k] != want {
+				t.Fatalf("poly %d edge %d: %v want %v", i, k, d.Edges[k], want)
+			}
+		}
+	}
+}
+
+// TestDifferentialPredicateSymmetry pins the memo-canonicalization
+// assumption: intersects, boundary distance (hence within-distance)
+// and axis parallelism are invariant under operand swap on computed
+// floats, not just in theory.
+func TestDifferentialPredicateSymmetry(t *testing.T) {
+	ps := fastpathCorpus()
+	for i := range ps {
+		for j := range ps {
+			a, b := ps[i], ps[j]
+			if a.Intersects(b) != b.Intersects(a) {
+				t.Fatalf("pair (%d,%d): Intersects asymmetric", i, j)
+			}
+			if a.Distance(b) != b.Distance(a) {
+				t.Fatalf("pair (%d,%d): Distance asymmetric", i, j)
+			}
+			for _, eps := range []float64{0, 100, 900} {
+				if a.WithinDistance(b, eps) != b.WithinDistance(a, eps) {
+					t.Fatalf("pair (%d,%d) eps %v: WithinDistance asymmetric", i, j, eps)
+				}
+				if a.Adjacent(b, eps) != b.Adjacent(a, eps) {
+					t.Fatalf("pair (%d,%d) eps %v: Adjacent asymmetric", i, j, eps)
+				}
+			}
+			if a.ParallelTo(b, 0.15) != b.ParallelTo(a, 0.15) {
+				t.Fatalf("pair (%d,%d): ParallelTo asymmetric", i, j)
+			}
+		}
+	}
+}
+
+// BenchmarkGeomPredicates measures the threshold predicate against the
+// exact-distance formula over a mixed-separation corpus — the ≥5×
+// acceptance number of the fast-path work.
+func BenchmarkGeomPredicates(b *testing.B) {
+	ps := fastpathCorpus()
+	epss := []float64{0, 120, 900}
+	run := func(b *testing.B, exact bool) {
+		UseExactOnly(exact)
+		defer UseExactOnly(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for k := 0; k < b.N; k++ {
+			for i := range ps {
+				for j := range ps {
+					for _, eps := range epss {
+						if ps[i].WithinDistance(ps[j], eps) {
+							n++
+						}
+					}
+				}
+			}
+		}
+		if n < 0 {
+			b.Fatal("unreachable")
+		}
+	}
+	b.Run("exact", func(b *testing.B) { run(b, true) })
+	b.Run("fast", func(b *testing.B) { run(b, false) })
+}

@@ -13,7 +13,35 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// exactOnly routes every distance predicate through the reference
+// Hypot-chain kernel (see UseExactOnly).
+var exactOnly atomic.Bool
+
+// UseExactOnly switches the package between the squared-distance fast
+// paths (the default) and the reference per-candidate Hypot kernel.
+// The two produce identical predicate booleans — the fast paths answer
+// only when a conservative bound is decisive and fall back to the
+// exact kernel in the uncertain band — so the toggle exists for the
+// differential oracles and for benchmarking the fast paths' win.
+// Process-global because the SPAM external functions run on worker
+// pools that share polygons across engines.
+func UseExactOnly(on bool) { exactOnly.Store(on) }
+
+// ExactOnly reports whether the reference kernel is selected.
+func ExactOnly() bool { return exactOnly.Load() }
+
+// boundSlack is the relative guard band of the decisive-bound rule: a
+// conservative bound may answer a threshold predicate only when it
+// clears the threshold by this factor. Floating-point evaluation of
+// the bounds and of the exact kernel differs from the real-valued
+// distance by a few ULPs (~1e-16 relative); a 1e-9 band is six orders
+// of magnitude wider, so a bound that clears it can never disagree
+// with the exact kernel. Thresholds inside the band fall through to
+// the exact kernel.
+const boundSlack = 1e-9
 
 // Point is a 2-D point in image coordinates (pixels).
 type Point struct {
@@ -283,10 +311,16 @@ func onSegment(a, b, p Point) bool {
 // interior). O(n·m) edge test with an O(1) bounding-box reject — this
 // is the dominant LCC constraint kernel.
 func (pg Polygon) Intersects(other Polygon) bool {
+	return pg.intersectsBB(pg.BBox(), other, other.BBox())
+}
+
+// intersectsBB is Intersects with caller-precomputed bounding boxes;
+// the boxes only gate the reject, so the boolean is identical.
+func (pg Polygon) intersectsBB(bb Rect, other Polygon, obb Rect) bool {
 	if len(pg) < 3 || len(other) < 3 {
 		return false
 	}
-	if !pg.BBox().Intersects(other.BBox()) {
+	if !bb.Intersects(obb) {
 		return false
 	}
 	n, m := len(pg), len(other)
@@ -335,34 +369,192 @@ func distPointSegment(p, a, b Point) float64 {
 		return p.Dist(a)
 	}
 	t := p.Sub(a).Dot(ab) / l2
-	t = math.Max(0, math.Min(1, t))
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
 	proj := a.Add(ab.Scale(t))
 	return p.Dist(proj)
 }
 
-// Distance returns the minimum distance between the boundaries of two
-// polygons; 0 if they intersect.
-func (pg Polygon) Distance(other Polygon) float64 {
-	if pg.Intersects(other) {
-		return 0
+// distPointSegmentSq is the squared-distance kernel: the same
+// projection as distPointSegment but returning dx²+dy² with no Hypot
+// call. Candidate minima are compared in squared space and a single
+// Sqrt recovers the distance at the end.
+func distPointSegmentSq(p, a, b Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	px, py := p.X-a.X, p.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 != 0 {
+		t := (px*abx + py*aby) / l2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		px -= t * abx
+		py -= t * aby
 	}
+	return px*px + py*py
+}
+
+// segPairDistSq returns the squared distance between segments ab and
+// cd: the minimum of the four point-segment candidates, compared
+// directly (no intermediate slice).
+func segPairDistSq(a, b, c, d Point) float64 {
+	best := distPointSegmentSq(a, c, d)
+	if v := distPointSegmentSq(b, c, d); v < best {
+		best = v
+	}
+	if v := distPointSegmentSq(c, a, b); v < best {
+		best = v
+	}
+	if v := distPointSegmentSq(d, a, b); v < best {
+		best = v
+	}
+	return best
+}
+
+// boundaryDistSq returns the squared minimum boundary distance (the
+// min of distPointSegmentSq over all segment pairs), assuming the
+// polygons do not intersect.
+func (pg Polygon) boundaryDistSq(other Polygon) float64 {
+	best := math.Inf(1)
+	n, m := len(pg), len(other)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		for j := 0; j < m; j++ {
+			if v := segPairDistSq(a, b, other[j], other[(j+1)%m]); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// distanceExactScan is the reference boundary-distance kernel: one
+// Hypot-based distPointSegment per candidate, min over all candidates.
+func (pg Polygon) distanceExactScan(other Polygon) float64 {
 	best := math.Inf(1)
 	n, m := len(pg), len(other)
 	for i := 0; i < n; i++ {
 		a, b := pg[i], pg[(i+1)%n]
 		for j := 0; j < m; j++ {
 			c, d := other[j], other[(j+1)%m]
-			for _, v := range []float64{
-				distPointSegment(a, c, d), distPointSegment(b, c, d),
-				distPointSegment(c, a, b), distPointSegment(d, a, b),
-			} {
-				if v < best {
-					best = v
-				}
+			if v := distPointSegment(a, c, d); v < best {
+				best = v
+			}
+			if v := distPointSegment(b, c, d); v < best {
+				best = v
+			}
+			if v := distPointSegment(c, a, b); v < best {
+				best = v
+			}
+			if v := distPointSegment(d, a, b); v < best {
+				best = v
 			}
 		}
 	}
 	return best
+}
+
+func (pg Polygon) distanceExact(other Polygon) float64 {
+	if pg.Intersects(other) {
+		return 0
+	}
+	return pg.distanceExactScan(other)
+}
+
+// Distance returns the minimum distance between the boundaries of two
+// polygons; 0 if they intersect. The default kernel minimises in
+// squared space and takes one Sqrt at the end; UseExactOnly selects
+// the reference per-candidate Hypot kernel (values may differ in the
+// last ULP; every threshold predicate is boolean-identical regardless,
+// see WithinDistance).
+func (pg Polygon) Distance(other Polygon) float64 {
+	if exactOnly.Load() {
+		return pg.distanceExact(other)
+	}
+	if pg.Intersects(other) {
+		return 0
+	}
+	return math.Sqrt(pg.boundaryDistSq(other))
+}
+
+// RectGapSq returns the squared separation between two axis-aligned
+// rectangles (0 if they overlap). It lower-bounds the distance between
+// any two point sets the rectangles bound.
+func RectGapSq(a, b Rect) float64 {
+	var dx, dy float64
+	if d := b.Min.X - a.Max.X; d > 0 {
+		dx = d
+	} else if d := a.Min.X - b.Max.X; d > 0 {
+		dx = d
+	}
+	if d := b.Min.Y - a.Max.Y; d > 0 {
+		dy = d
+	} else if d := a.Min.Y - b.Max.Y; d > 0 {
+		dy = d
+	}
+	return dx*dx + dy*dy
+}
+
+// WithinDistance reports whether Distance(other) <= eps, with
+// threshold-aware early exits: a conservative bounding-box separation
+// bound rejects decisively-far pairs before any boundary scan, the
+// scan itself runs in squared space and returns as soon as a candidate
+// is decisively within eps, and only thresholds inside the guard band
+// (see boundSlack) fall back to the exact Hypot kernel — so the
+// boolean is identical to the exact path by construction.
+func (pg Polygon) WithinDistance(other Polygon, eps float64) bool {
+	if exactOnly.Load() {
+		return pg.distanceExact(other) <= eps
+	}
+	return withinDistance(pg, pg.BBox(), other, other.BBox(), eps)
+}
+
+// DistanceLE is a synonym of WithinDistance, reading as the comparison
+// it replaces: pg.Distance(other) <= eps.
+func (pg Polygon) DistanceLE(other Polygon, eps float64) bool {
+	return pg.WithinDistance(other, eps)
+}
+
+// withinDistance is the shared threshold kernel; abb and obb are the
+// polygons' bounding boxes (precomputed by derived-geometry callers).
+func withinDistance(pg Polygon, abb Rect, other Polygon, obb Rect, eps float64) bool {
+	if eps < 0 {
+		return false // distances are never negative
+	}
+	hi := eps * (1 + boundSlack)
+	lo := eps * (1 - boundSlack)
+	hi2, lo2 := hi*hi, lo*lo
+	if RectGapSq(abb, obb) > hi2 {
+		return false // decisively separated: skip the edge scans entirely
+	}
+	if pg.intersectsBB(abb, other, obb) {
+		return true // distance 0
+	}
+	best := math.Inf(1)
+	n, m := len(pg), len(other)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		for j := 0; j < m; j++ {
+			v := segPairDistSq(a, b, other[j], other[(j+1)%m])
+			if v <= lo2 {
+				return true // decisively within eps
+			}
+			if v < best {
+				best = v
+			}
+		}
+	}
+	if best > hi2 {
+		return false
+	}
+	// Uncertain band: the minimum landed within the guard band of eps.
+	// Recompute with the exact kernel so the boolean matches it.
+	return pg.distanceExactScan(other) <= eps
 }
 
 // Adjacent reports whether the two polygons are within eps of touching.
@@ -370,26 +562,37 @@ func (pg Polygon) Adjacent(other Polygon, eps float64) bool {
 	if !pg.BBox().Expand(eps).Intersects(other.BBox()) {
 		return false
 	}
-	return pg.Distance(other) <= eps
+	return pg.WithinDistance(other, eps)
+}
+
+// AngleDeltaModPi returns |a-b| folded into [0, π/2] — the axis-angle
+// difference used by the parallelism predicates (orientations live in
+// [0, π), so the fold makes the delta winding-independent).
+func AngleDeltaModPi(a, b float64) float64 {
+	da := math.Abs(a - b)
+	if da > math.Pi/2 {
+		da = math.Pi - da
+	}
+	return da
+}
+
+// LateralOffset returns the perpendicular distance from target to the
+// line through origin in direction dir (dir unit length) — the
+// alignment measure of AlignedWith.
+func LateralOffset(origin, dir, target Point) float64 {
+	return math.Abs(target.Sub(origin).Cross(dir))
 }
 
 // ParallelTo reports whether the major axes of the two polygons are
 // within tol radians of parallel (mod π).
 func (pg Polygon) ParallelTo(other Polygon, tol float64) bool {
-	da := math.Abs(pg.Orientation() - other.Orientation())
-	if da > math.Pi/2 {
-		da = math.Pi - da
-	}
-	return da <= tol
+	return AngleDeltaModPi(pg.Orientation(), other.Orientation()) <= tol
 }
 
 // PerpendicularTo reports whether the major axes are within tol radians
 // of perpendicular.
 func (pg Polygon) PerpendicularTo(other Polygon, tol float64) bool {
-	da := math.Abs(pg.Orientation() - other.Orientation())
-	if da > math.Pi/2 {
-		da = math.Pi - da
-	}
+	da := AngleDeltaModPi(pg.Orientation(), other.Orientation())
 	return math.Abs(da-math.Pi/2) <= tol
 }
 
@@ -399,10 +602,105 @@ func (pg Polygon) PerpendicularTo(other Polygon, tol float64) bool {
 // alignment to chain collinear runway fragments.
 func (pg Polygon) AlignedWith(other Polygon, lateralTol float64) bool {
 	_, _, dir := pg.principalAxes()
-	dc := other.Centroid().Sub(pg.Centroid())
-	// Lateral offset = component of dc perpendicular to dir.
-	lat := math.Abs(dc.Cross(dir))
-	return lat <= lateralTol
+	return LateralOffset(pg.Centroid(), dir, other.Centroid()) <= lateralTol
+}
+
+// MajorAxis returns the major-axis direction and its orientation in
+// [0, π) in one principal-axes computation, for derived-geometry
+// caching.
+func (pg Polygon) MajorAxis() (dir Point, orientation float64) {
+	_, _, d := pg.principalAxes()
+	a := math.Atan2(d.Y, d.X)
+	if a < 0 {
+		a += math.Pi
+	}
+	if a >= math.Pi {
+		a -= math.Pi
+	}
+	return d, a
+}
+
+// Derived is per-polygon geometry computed once and reused across
+// predicate evaluations: the LCC hot loop re-tests the same regions
+// against overlapping partner sets thousands of times, and every value
+// here is a pure function of the vertex ring, so caching it is
+// bit-identical to recomputation.
+type Derived struct {
+	BBox     Rect
+	Centroid Point
+	// Radius is the bounding-circle radius about the centroid: every
+	// boundary point is within Radius of Centroid, so
+	// |ca−cb| − ra − rb lower-bounds the boundary distance.
+	Radius   float64
+	Area     float64
+	Compact  float64
+	Elong    float64
+	MajorDir Point
+	Orient   float64
+	// Edges[i] is vertex i+1 minus vertex i (wrapping), precomputed for
+	// edge-walking callers.
+	Edges []Point
+}
+
+// Derive computes the derived geometry of a polygon. Each field equals
+// the corresponding Polygon method's result exactly (same operations
+// on the same inputs).
+func Derive(pg Polygon) *Derived {
+	dir, orient := pg.MajorAxis()
+	d := &Derived{
+		BBox:     pg.BBox(),
+		Centroid: pg.Centroid(),
+		Area:     pg.Area(),
+		Compact:  pg.Compactness(),
+		Elong:    pg.Elongation(),
+		MajorDir: dir,
+		Orient:   orient,
+		Edges:    make([]Point, len(pg)),
+	}
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		d.Edges[i] = pg[(i+1)%n].Sub(pg[i])
+		if r := pg[i].Dist(d.Centroid); r > d.Radius {
+			d.Radius = r
+		}
+	}
+	return d
+}
+
+// IntersectsD is Intersects over cached bounding boxes — identical
+// boolean, no per-call BBox recomputation.
+func IntersectsD(a Polygon, da *Derived, b Polygon, db *Derived) bool {
+	return a.intersectsBB(da.BBox, b, db.BBox)
+}
+
+// WithinDistanceD is WithinDistance over cached derived geometry: the
+// bounding-box bound uses the cached boxes and a bounding-circle
+// separation bound rejects decisively-far pairs whose boxes overlap
+// diagonally. Boolean-identical to the exact path by the same
+// decisive-bound rule.
+func WithinDistanceD(a Polygon, da *Derived, b Polygon, db *Derived, eps float64) bool {
+	if exactOnly.Load() {
+		return a.distanceExact(b) <= eps
+	}
+	if eps >= 0 {
+		// Bounding-circle reject: g lower-bounds the boundary distance.
+		if g := da.Centroid.Dist(db.Centroid) - da.Radius - db.Radius; g > eps*(1+boundSlack) {
+			return false
+		}
+	}
+	return withinDistance(a, da.BBox, b, db.BBox, eps)
+}
+
+// ParallelD is ParallelTo over cached orientations.
+func ParallelD(da, db *Derived, tol float64) bool {
+	return AngleDeltaModPi(da.Orient, db.Orient) <= tol
+}
+
+// AlignedD is AlignedWith over cached centroids and major axes: does
+// the line through a's centroid along a's major axis pass within
+// lateralTol of b's centroid?
+func AlignedD(da, db *Derived, lateralTol float64) bool {
+	return LateralOffset(da.Centroid, da.MajorDir, db.Centroid) <= lateralTol
 }
 
 // ConvexHull returns the convex hull of the polygon's vertices in

@@ -3,6 +3,7 @@ package spam
 import (
 	"testing"
 
+	"spampsm/internal/geom"
 	"spampsm/internal/scene"
 )
 
@@ -56,4 +57,21 @@ func BenchmarkInterpretDCSeed(b *testing.B) {
 	}
 	b.Run("unbatched", func(b *testing.B) { run(b, true) })
 	b.Run("batched", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkInterpretDCGeo is the end-to-end geometry A/B: the same
+// interpretation on the reference geometry path (exact Hypot kernels,
+// no predicate memo, no derived cache, linear partner scans — the
+// pre-fast-path behavior) versus the default fast path. Measured in
+// one run so machine noise cancels out of the ratio.
+func BenchmarkInterpretDCGeo(b *testing.B) {
+	run := func(b *testing.B, exact bool) {
+		geom.UseExactOnly(exact)
+		UseUncachedGeo(exact)
+		defer geom.UseExactOnly(false)
+		defer UseUncachedGeo(false)
+		benchInterpret(b, false)
+	}
+	b.Run("exact", func(b *testing.B) { run(b, true) })
+	b.Run("fast", func(b *testing.B) { run(b, false) })
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"spampsm/internal/geom"
 	"spampsm/internal/ops5"
 	"spampsm/internal/scene"
 	"spampsm/internal/symtab"
@@ -50,11 +51,51 @@ type RegionStore struct {
 	scene *scene.Scene
 	byID  map[int]*scene.Region
 
+	// derived holds per-region geometry (bbox, centroid, bounding
+	// radius, areas, major axis, edge vectors) computed once in
+	// NewRegionStore. Every field is a pure function of the vertex
+	// ring, bit-identical to on-the-fly recomputation, so the cache is
+	// immutable and read without locking.
+	derived map[int]*geom.Derived
+
 	// Fragment-seed cache. Task builders run concurrently under
 	// Pool.Prebuild, and unlike the rest of the store (immutable after
 	// NewRegionStore) this map mutates at build time, so it is locked.
 	seedMu    sync.RWMutex
 	fragSeeds map[fragSeedKey]ops5.Seed
+
+	// Spatial-predicate memo. Overlapping partner sets across ~1k task
+	// engines and decomposition levels re-evaluate identical
+	// (region, region, relation, eps) tests; the memo serves repeats
+	// from one evaluation while geoCost is still charged per call, so
+	// Counters and firing sequences are unchanged. Same lock
+	// discipline as the fragment-seed cache. Disabled by
+	// UseUncachedGeo for the differential oracle and baselines.
+	geoMu   sync.RWMutex
+	geoMemo map[geoKey]bool
+}
+
+// geoKey identifies one spatial-predicate evaluation. For the
+// symmetric relations the region pair is canonicalized (low ID first)
+// so that cross-constraint mirror tests — runway intersects taxiway
+// and taxiway intersects runway, say — share one entry.
+type geoKey struct {
+	a, b int
+	rel  string
+	eps  float64
+}
+
+// symmetricRel reports whether rel's boolean is invariant under
+// operand swap. intersects, adjacent-to and near reduce to the same
+// boundary-distance candidate set either way; parallel-to compares
+// the two orientations symmetrically. leads-to, contained-in and
+// aligned-with are directional and keep ordered keys.
+func symmetricRel(rel string) bool {
+	switch rel {
+	case RelIntersects, RelAdjacent, RelNear, RelParallel:
+		return true
+	}
+	return false
 }
 
 // fragSeedKey identifies a fragment's seed form. The SeedClass pointer
@@ -74,13 +115,19 @@ func NewRegionStore(s *scene.Scene) *RegionStore {
 	st := &RegionStore{
 		scene:     s,
 		byID:      make(map[int]*scene.Region, len(s.Regions)),
+		derived:   make(map[int]*geom.Derived, len(s.Regions)),
 		fragSeeds: map[fragSeedKey]ops5.Seed{},
+		geoMemo:   map[geoKey]bool{},
 	}
 	for _, r := range s.Regions {
 		st.byID[r.ID] = r
+		st.derived[r.ID] = geom.Derive(r.Poly)
 	}
 	return st
 }
+
+// Derived returns the precomputed geometry of a region, or nil.
+func (st *RegionStore) Derived(id int) *geom.Derived { return st.derived[id] }
 
 // FragmentSeed returns the shared seed form of a fragment hypothesis
 // under the given class layout, computing the value vector and routing
@@ -126,33 +173,107 @@ func geoCost(a, b *scene.Region) float64 {
 }
 
 // Test evaluates a spatial relation between two regions. It returns
-// the boolean result and the simulated instruction cost.
+// the boolean result and the simulated instruction cost. The cost is
+// charged per call regardless of whether the boolean is served from
+// the predicate memo: the simulated machine performed the geometric
+// computation either way, only the host skips the arithmetic.
 func (st *RegionStore) Test(rel string, aID, bID int, eps float64) (bool, float64, error) {
 	a, b := st.Get(aID), st.Get(bID)
 	if a == nil || b == nil {
 		return false, 0, fmt.Errorf("spam: unknown region %d or %d", aID, bID)
 	}
 	cost := geoCost(a, b)
+	if rel == RelLeadsTo {
+		// Compound relation: range plus axis alignment.
+		cost *= 1.5
+	}
+	if uncachedGeo.Load() {
+		ok, err := st.evalRelNaive(rel, a, b, eps)
+		if err != nil {
+			return false, 0, err
+		}
+		return ok, cost, nil
+	}
+	key := geoKey{a: aID, b: bID, rel: rel, eps: eps}
+	if key.a > key.b && symmetricRel(rel) {
+		key.a, key.b = key.b, key.a
+	}
+	st.geoMu.RLock()
+	v, hit := st.geoMemo[key]
+	st.geoMu.RUnlock()
+	if hit {
+		return v, cost, nil
+	}
+	ok, err := st.evalRel(rel, a, b, eps)
+	if err != nil {
+		return false, 0, err
+	}
+	st.geoMu.Lock()
+	st.geoMemo[key] = ok
+	st.geoMu.Unlock()
+	return ok, cost, nil
+}
+
+// evalRel computes one spatial relation over the store's precomputed
+// derived geometry and the threshold-aware predicates. Each branch is
+// boolean-identical to its evalRelNaive counterpart: the derived
+// fields are bit-identical to recomputation, and the threshold
+// predicates answer from a conservative bound only when it is
+// decisive, falling back to the exact kernel otherwise.
+func (st *RegionStore) evalRel(rel string, a, b *scene.Region, eps float64) (bool, error) {
+	da, db := st.derived[a.ID], st.derived[b.ID]
 	switch rel {
 	case RelIntersects:
-		return a.Poly.Intersects(b.Poly), cost, nil
+		return geom.IntersectsD(a.Poly, da, b.Poly, db), nil
 	case RelAdjacent:
-		return a.Poly.Adjacent(b.Poly, eps), cost, nil
+		if !da.BBox.Expand(eps).Intersects(db.BBox) {
+			return false, nil
+		}
+		return geom.WithinDistanceD(a.Poly, da, b.Poly, db, eps), nil
 	case RelNear:
-		return a.Poly.Distance(b.Poly) <= eps, cost, nil
+		return geom.WithinDistanceD(a.Poly, da, b.Poly, db, eps), nil
 	case RelParallel:
-		return a.Poly.ParallelTo(b.Poly, eps), cost, nil
+		return geom.ParallelD(da, db, eps), nil
 	case RelLeadsTo:
 		// "Access roads lead to terminal buildings": the road's major
 		// axis points at the target and the two are within range.
-		near := a.Poly.Distance(b.Poly) <= eps
-		return near && a.Poly.AlignedWith(b.Poly, eps), cost * 1.5, nil
+		// && short-circuits exactly like the naive path.
+		return geom.WithinDistanceD(a.Poly, da, b.Poly, db, eps) &&
+			geom.AlignedD(da, db, eps), nil
 	case RelContainedIn:
-		return b.Poly.ContainsPoly(a.Poly), cost, nil
+		// Point-in-polygon over every vertex has no profitable bound;
+		// no constraint in either KB uses it, so it stays exact.
+		return b.Poly.ContainsPoly(a.Poly), nil
 	case RelAligned:
-		return a.Poly.AlignedWith(b.Poly, eps) && a.Poly.ParallelTo(b.Poly, 0.15), cost, nil
+		return geom.AlignedD(da, db, eps) && geom.ParallelD(da, db, 0.15), nil
 	default:
-		return false, 0, fmt.Errorf("spam: unknown relation %q", rel)
+		return false, fmt.Errorf("spam: unknown relation %q", rel)
+	}
+}
+
+// evalRelNaive is the reference evaluation: per-call Polygon methods,
+// no derived-geometry reuse. Combined with geom.UseExactOnly it
+// reproduces the pre-fast-path code exactly; the differential oracle
+// holds evalRel to its answers.
+func (st *RegionStore) evalRelNaive(rel string, a, b *scene.Region, eps float64) (bool, error) {
+	switch rel {
+	case RelIntersects:
+		return a.Poly.Intersects(b.Poly), nil
+	case RelAdjacent:
+		return a.Poly.Adjacent(b.Poly, eps), nil
+	case RelNear:
+		return a.Poly.Distance(b.Poly) <= eps, nil
+	case RelParallel:
+		return a.Poly.ParallelTo(b.Poly, eps), nil
+	case RelLeadsTo:
+		near := a.Poly.Distance(b.Poly) <= eps
+		return near && a.Poly.AlignedWith(b.Poly, eps), nil
+	case RelContainedIn:
+		return b.Poly.ContainsPoly(a.Poly), nil
+	case RelAligned:
+		return a.Poly.AlignedWith(b.Poly, eps) && a.Poly.ParallelTo(b.Poly, 0.15), nil
+	default:
+		return false, fmt.Errorf("spam: unknown relation %q", rel)
 	}
 }
 
@@ -174,12 +295,14 @@ func boolSym(b bool) symtab.Value {
 //
 // Register is called from concurrent task builders under
 // Pool.Prebuild. That is race-free by construction: each closure only
-// reads the store's immutable scene index (byID never mutates after
-// NewRegionStore) and writes only the target engine's own externals
-// map, which no other builder touches. The store's one mutable map —
-// the fragment-seed cache — is guarded by seedMu (see FragmentSeed);
-// the concurrent-prebuild regression test runs all LCC builders in
-// parallel under -race to keep this audit honest.
+// reads the store's immutable scene and derived-geometry indexes
+// (byID and derived never mutate after NewRegionStore) and writes
+// only the target engine's own externals map, which no other builder
+// touches. The store's two mutable maps — the fragment-seed cache and
+// the spatial-predicate memo — are guarded by seedMu and geoMu (see
+// FragmentSeed and Test); the concurrent-prebuild regression test
+// runs all LCC builders in parallel under -race to keep this audit
+// honest.
 func (st *RegionStore) Register(e *ops5.Engine) {
 	e.Register("geo-test", func(args []symtab.Value) (symtab.Value, float64, error) {
 		if len(args) != 4 {
@@ -212,7 +335,10 @@ func (st *RegionStore) Register(e *ops5.Engine) {
 		if a == nil || b == nil {
 			return symtab.Nil, 0, fmt.Errorf("rtf-verify-align: unknown region")
 		}
-		ok := a.Poly.AlignedWith(b.Poly, 300) && a.Poly.ParallelTo(b.Poly, 0.2)
+		// Cached centroids and major axes; bit-identical to the
+		// per-call AlignedWith/ParallelTo computation.
+		da, db := st.derived[a.ID], st.derived[b.ID]
+		ok := geom.AlignedD(da, db, 300) && geom.ParallelD(da, db, 0.2)
 		// Alignment is a light axis test, far cheaper than the full
 		// boundary predicates.
 		cost := CostMeasure + 300*float64(len(a.Poly)+len(b.Poly))
@@ -227,11 +353,12 @@ func (st *RegionStore) Register(e *ops5.Engine) {
 			return symtab.Nil, 0, fmt.Errorf("fa-predict-area: unknown region")
 		}
 		// Count plausible sub-area candidates inside the seed's
-		// neighbourhood: regions overlapping the expanded bbox.
-		bb := r.Poly.BBox().Expand(800)
+		// neighbourhood: regions overlapping the expanded bbox
+		// (cached boxes; same scan order and booleans).
+		bb := st.derived[r.ID].BBox.Expand(800)
 		n := 0
 		for _, other := range st.scene.Regions {
-			if other.ID != r.ID && bb.Intersects(other.Poly.BBox()) {
+			if other.ID != r.ID && bb.Intersects(st.derived[other.ID].BBox) {
 				n++
 			}
 		}
@@ -247,9 +374,11 @@ func (st *RegionStore) Register(e *ops5.Engine) {
 			return symtab.Nil, 0, fmt.Errorf("stereo-verify: unknown region")
 		}
 		// Disambiguation heuristic: the larger, more compact region
-		// wins a conflicting-hypothesis contest.
-		sa := a.Poly.Area() * math.Sqrt(a.Poly.Compactness())
-		sb := b.Poly.Area() * math.Sqrt(b.Poly.Compactness())
+		// wins a conflicting-hypothesis contest (cached area and
+		// compactness).
+		da, db := st.derived[a.ID], st.derived[b.ID]
+		sa := da.Area * math.Sqrt(da.Compact)
+		sb := db.Area * math.Sqrt(db.Compact)
 		return boolSym(sa >= sb), CostStereo, nil
 	})
 }
@@ -257,13 +386,29 @@ func (st *RegionStore) Register(e *ops5.Engine) {
 // Measurements returns the region attributes asserted into RTF working
 // memory, quantized for stable rule matching.
 func Measurements(r *scene.Region) (area, elong, compact, intensity, texture float64) {
-	area = math.Round(r.Poly.Area())
-	e := r.Poly.Elongation()
+	return quantize(r, r.Poly.Area(), r.Poly.Elongation(), r.Poly.Compactness())
+}
+
+// MeasurementsOf is Measurements served from the store's
+// derived-geometry cache — same values, no per-call recomputation of
+// area, elongation and compactness.
+func (st *RegionStore) MeasurementsOf(r *scene.Region) (area, elong, compact, intensity, texture float64) {
+	d := st.derived[r.ID]
+	if d == nil || uncachedGeo.Load() {
+		return Measurements(r)
+	}
+	return quantize(r, d.Area, d.Elong, d.Compact)
+}
+
+// quantize applies the RTF working-memory quantization to raw
+// measurements.
+func quantize(r *scene.Region, a, e, c float64) (area, elong, compact, intensity, texture float64) {
+	area = math.Round(a)
 	if math.IsInf(e, 1) || e > 1e6 {
 		e = 1e6
 	}
 	elong = math.Round(e*100) / 100
-	compact = math.Round(r.Poly.Compactness()*1000) / 1000
+	compact = math.Round(c*1000) / 1000
 	intensity = math.Round(r.Intensity*10) / 10
 	texture = math.Round(r.Texture*1000) / 1000
 	return
@@ -277,7 +422,7 @@ func NearbyFragments(st *RegionStore, focal *Fragment, want scene.Kind, all []*F
 	if fr == nil {
 		return nil
 	}
-	bb := fr.Poly.BBox().Expand(radius)
+	bb := st.derived[focal.RegionID].BBox.Expand(radius)
 	var out []*Fragment
 	for _, f := range all {
 		if f.ID == focal.ID || f.Type != want {
@@ -287,7 +432,7 @@ func NearbyFragments(st *RegionStore, focal *Fragment, want scene.Kind, all []*F
 		if r == nil {
 			continue
 		}
-		if bb.Intersects(r.Poly.BBox()) {
+		if bb.Intersects(st.derived[f.RegionID].BBox) {
 			out = append(out, f)
 		}
 	}

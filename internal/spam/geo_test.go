@@ -1,0 +1,240 @@
+package spam
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spampsm/internal/geom"
+	"spampsm/internal/scene"
+)
+
+// geoRels are all relations Test accepts.
+var geoRels = []string{RelIntersects, RelAdjacent, RelNear, RelParallel,
+	RelLeadsTo, RelContainedIn, RelAligned}
+
+// TestSPAMDifferentialGeoFastVsExact is the geometry differential
+// oracle: a complete four-phase interpretation must be observably
+// identical under the default fast path (squared-distance kernels,
+// decisive-bound predicates, derived-geometry cache, predicate memo,
+// grid partner index) and the reference path (exact Hypot kernels,
+// no caches, linear partner scans) — same firings, same simulated
+// instruction counts, same pairs, outcomes and model.
+func TestSPAMDifferentialGeoFastVsExact(t *testing.T) {
+	run := func(exact bool) *Interpretation {
+		t.Helper()
+		geom.UseExactOnly(exact)
+		UseUncachedGeo(exact)
+		defer geom.UseExactOnly(false)
+		defer UseUncachedGeo(false)
+		d := smallDC(t)
+		in, err := d.Interpret(InterpretOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	fast := run(false)
+	exact := run(true)
+	compareInterpretations(t, "fast", fast, "exact", exact)
+}
+
+// TestDifferentialGeoMemoVsDirect holds the memoized Test to the
+// reference evaluation for every relation over every region pair of a
+// scene: identical booleans, identical simulated cost, and repeat
+// calls (memo hits) still return both unchanged.
+func TestDifferentialGeoMemoVsDirect(t *testing.T) {
+	d := smallDC(t)
+	st := d.Store
+	regions := d.Scene.Regions
+	if len(regions) > 30 {
+		regions = regions[:30]
+	}
+	eps := []float64{0, 120, 900}
+	for _, rel := range geoRels {
+		for _, a := range regions {
+			for _, b := range regions {
+				for _, e := range eps {
+					UseUncachedGeo(true)
+					wantOK, wantCost, err := st.Test(rel, a.ID, b.ID, e)
+					UseUncachedGeo(false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for pass := 0; pass < 2; pass++ { // miss, then hit
+						ok, cost, err := st.Test(rel, a.ID, b.ID, e)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ok != wantOK || cost != wantCost {
+							t.Fatalf("%s(%d,%d,%v) pass %d: fast (%v,%v) want (%v,%v)",
+								rel, a.ID, b.ID, e, pass, ok, cost, wantOK, wantCost)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialPartnerSearchGridVsScan asserts the uniform-grid
+// partner index returns byte-identical slices to the linear
+// NearbyFragments scan for every focal, kind and radius.
+func TestDifferentialPartnerSearchGridVsScan(t *testing.T) {
+	d := smallDC(t)
+	st := d.Store
+	var frags []*Fragment
+	for i, r := range d.Scene.Regions {
+		frags = append(frags, &Fragment{ID: i + 1, RegionID: r.ID, Type: r.TrueKind, Conf: 80})
+	}
+	if len(frags) < gridMinFragments {
+		t.Fatalf("scene too small to exercise the grid: %d fragments", len(frags))
+	}
+	ix := buildFragIndex(st, frags)
+	if ix == nil {
+		t.Fatal("grid index not built")
+	}
+	kinds := map[scene.Kind]bool{}
+	for _, f := range frags {
+		kinds[f.Type] = true
+	}
+	for _, focal := range frags {
+		for k := range kinds {
+			for _, radius := range []float64{0, 150, 900, 1e9} {
+				want := NearbyFragments(st, focal, k, frags, radius)
+				got := ix.query(focal, k, radius)
+				if len(got) != len(want) {
+					t.Fatalf("focal %d kind %s radius %v: grid %d scan %d",
+						focal.ID, k, radius, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("focal %d kind %s radius %v: element %d differs",
+							focal.ID, k, radius, i)
+					}
+				}
+			}
+		}
+	}
+	// Uncached mode must refuse to build an index.
+	UseUncachedGeo(true)
+	defer UseUncachedGeo(false)
+	if buildFragIndex(st, frags) != nil {
+		t.Fatal("grid index built in uncached-geo mode")
+	}
+}
+
+// TestConcurrentGeoMemo hammers the predicate memo from parallel
+// goroutines mimicking concurrent task RHS execution; run under -race
+// by make oracle. Every answer must match the reference path.
+func TestConcurrentGeoMemo(t *testing.T) {
+	d := smallDC(t)
+	st := d.Store
+	regions := d.Scene.Regions
+	if len(regions) > 16 {
+		regions = regions[:16]
+	}
+	type ans struct {
+		ok   bool
+		cost float64
+	}
+	want := map[string]ans{}
+	UseUncachedGeo(true)
+	for _, rel := range geoRels {
+		for _, a := range regions {
+			for _, b := range regions {
+				ok, cost, err := st.Test(rel, a.ID, b.ID, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[fmt.Sprintf("%s/%d/%d", rel, a.ID, b.ID)] = ans{ok, cost}
+			}
+		}
+	}
+	UseUncachedGeo(false)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				for _, rel := range geoRels {
+					for _, a := range regions {
+						for _, b := range regions {
+							ok, cost, err := st.Test(rel, a.ID, b.ID, 300)
+							if err != nil {
+								errc <- err
+								return
+							}
+							exp := want[fmt.Sprintf("%s/%d/%d", rel, a.ID, b.ID)]
+							if ok != exp.ok || cost != exp.cost {
+								errc <- fmt.Errorf("%s(%d,%d): (%v,%v) want (%v,%v)",
+									rel, a.ID, b.ID, ok, cost, exp.ok, exp.cost)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkPartnerSearch measures the grid-indexed partner query
+// against the linear fragment scan it replaces.
+func BenchmarkPartnerSearch(b *testing.B) {
+	p := scene.DC.Scale(0.5)
+	p.Name = "DC-small"
+	d, err := NewDataset(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := d.Store
+	var frags []*Fragment
+	for i, r := range d.Scene.Regions {
+		frags = append(frags, &Fragment{ID: i + 1, RegionID: r.ID, Type: r.TrueKind, Conf: 80})
+	}
+	kinds := []scene.Kind{}
+	seen := map[scene.Kind]bool{}
+	for _, f := range frags {
+		if !seen[f.Type] {
+			seen[f.Type] = true
+			kinds = append(kinds, f.Type)
+		}
+	}
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, focal := range frags {
+				for _, k := range kinds {
+					n += len(NearbyFragments(st, focal, k, frags, 300))
+				}
+			}
+		}
+		_ = n
+	})
+	b.Run("grid", func(b *testing.B) {
+		ix := buildFragIndex(st, frags)
+		if ix == nil {
+			b.Fatal("no index")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, focal := range frags {
+				for _, k := range kinds {
+					n += len(ix.query(focal, k, 300))
+				}
+			}
+		}
+		_ = n
+	})
+}

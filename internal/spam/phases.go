@@ -333,12 +333,13 @@ func (d *Dataset) reEntryFragments(in *Interpretation) []*Fragment {
 		if sr == nil {
 			continue
 		}
-		bb := sr.Poly.BBox().Expand(1000)
+		// Cached bboxes: same booleans as Poly.BBox() per call.
+		bb := d.Store.Derived(sr.ID).BBox.Expand(1000)
 		for _, r := range d.Scene.Regions {
 			if classified[r.ID] || seen[r.ID] {
 				continue
 			}
-			if bb.Intersects(r.Poly.BBox()) {
+			if bb.Intersects(d.Store.Derived(r.ID).BBox) {
 				seen[r.ID] = true
 				maxID++
 				out = append(out, &Fragment{

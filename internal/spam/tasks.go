@@ -67,6 +67,24 @@ var unbatchedSeed atomic.Bool
 // win. Process-global for the same reason as UseNaiveMatch.
 func UseUnbatchedSeed(on bool) { unbatchedSeed.Store(on) }
 
+// uncachedGeo selects the reference geometry path everywhere the
+// package would otherwise use cached or indexed spatial state (see
+// UseUncachedGeo).
+var uncachedGeo atomic.Bool
+
+// UseUncachedGeo switches subsequent geometry work between the default
+// fast path — the RegionStore's spatial-predicate memo, derived
+// per-region geometry in relation evaluation, and the uniform-grid
+// partner index — and the reference path that re-evaluates every
+// predicate per call with per-call Polygon methods and scans all
+// fragments per partner search. The two are observably identical —
+// the full-SPAM differential oracle proves byte-identical phase
+// results, firings, instruction counts and consistency pairs — so the
+// toggle exists for that oracle and for benchmarking. Combine with
+// geom.UseExactOnly to reproduce the pre-fast-path kernels exactly.
+// Process-global for the same reason as UseNaiveMatch.
+func UseUncachedGeo(on bool) { uncachedGeo.Store(on) }
+
 // engineOpts builds the engine options for a task.
 func engineOpts(capture bool) []ops5.Option {
 	var opts []ops5.Option
@@ -170,7 +188,7 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 				return nil, err
 			}
 			for _, r := range batchCopy {
-				area, elong, compact, intensity, texture := Measurements(r)
+				area, elong, compact, intensity, texture := store.MeasurementsOf(r)
 				if err := ss.add("region", map[string]symtab.Value{
 					"id":        symtab.Int(int64(r.ID)),
 					"batch":     symtab.Int(int64(batchID)),
@@ -232,15 +250,22 @@ type lccUnit struct {
 	expected int
 }
 
-// partnersFor computes the candidate partner set of one constraint.
-func partnersFor(store *RegionStore, focal *Fragment, c Constraint, all []*Fragment) []*Fragment {
+// partnersFor computes the candidate partner set of one constraint,
+// through the grid index when one was built for the pool.
+func partnersFor(store *RegionStore, ix *fragIndex, focal *Fragment, c Constraint, all []*Fragment) []*Fragment {
+	if ix != nil {
+		return ix.query(focal, c.Object, c.Radius)
+	}
 	return NearbyFragments(store, focal, c.Object, all, c.Radius)
 }
 
 // unitsForLevel enumerates the work units of a decomposition level.
-// focals are the objects to check; all is the candidate partner pool.
+// focals are the objects to check; all is the candidate partner pool,
+// indexed once here so level enumeration stops scanning every
+// fragment per constraint.
 func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Level) []lccUnit {
 	frags := all
+	ix := buildFragIndex(store, frags)
 	var units []lccUnit
 	for _, f := range focals {
 		cons := kb.ConstraintsFor(f.Type)
@@ -251,14 +276,14 @@ func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Le
 		case Level3, Level4:
 			u := lccUnit{focal: f, cid: "all", partners: map[string][]*Fragment{}}
 			for _, c := range cons {
-				ps := partnersFor(store, f, c, frags)
+				ps := partnersFor(store, ix, f, c, frags)
 				u.partners[c.ID] = ps
 				u.expected += len(ps)
 			}
 			units = append(units, u)
 		case Level2:
 			for _, c := range cons {
-				ps := partnersFor(store, f, c, frags)
+				ps := partnersFor(store, ix, f, c, frags)
 				units = append(units, lccUnit{
 					focal: f, cid: c.ID,
 					partners: map[string][]*Fragment{c.ID: ps},
@@ -267,7 +292,7 @@ func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Le
 			}
 		case Level1:
 			for _, c := range cons {
-				for _, p := range partnersFor(store, f, c, frags) {
+				for _, p := range partnersFor(store, ix, f, c, frags) {
 					units = append(units, lccUnit{
 						focal: f, cid: c.ID,
 						partners: map[string][]*Fragment{c.ID: {p}},
