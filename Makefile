@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick bench-json oracle check
+.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve oracle check
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,22 @@ bench-quick:
 # docs/PERFORMANCE.md).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_5.json -compare BENCH_4.json
+
+# serve-smoke is the CI smoke test for the interpretation service
+# (cmd/spamserve, docs/SERVING.md): it starts the server in-process,
+# fires a small mixed clean + fault-injected workload at it through the
+# load generator, and fails unless every /healthz probe passed and the
+# resulting serve-bench summary is well-formed. The document goes to a
+# scratch path so the committed BENCH_6.json snapshot is untouched.
+serve-smoke:
+	$(GO) run ./cmd/spamload -self-serve -requests 6 -concurrency 3 \
+		-datasets DC,MOFF -out /tmp/BENCH_6.smoke.json -check
+
+# bench-serve regenerates the committed BENCH_6.json serving snapshot:
+# the full default workload (24 requests x 6 clients over SF/DC/MOFF,
+# clean and fault-injected scenarios) against an in-process server.
+bench-serve:
+	$(GO) run ./cmd/spamload -self-serve -out BENCH_6.json -check
 
 # oracle runs the differential oracles — indexed vs naive matcher,
 # template-instantiated vs fresh-compiled engines, and fast-vs-exact

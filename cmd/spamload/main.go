@@ -1,0 +1,335 @@
+// Command spamload drives load against the interpretation service and
+// reports throughput and latency percentiles, optionally writing the
+// BENCH_6.json serving snapshot.
+//
+// Usage:
+//
+//	spamload [-url http://host:8641 | -self-serve] [-requests N]
+//	         [-concurrency C] [-rate R] [-datasets SF,DC,MOFF]
+//	         [-scenarios clean,faults] [-fault-seed N]
+//	         [-build-fail-rate P] [-panic-rate P] [-permanent-fraction P]
+//	         [-max-retries K] [-cancel-every N] [-out BENCH_6.json]
+//	         [-check]
+//
+// With -self-serve it starts an in-process server (no external process
+// management needed), fires the scenarios at it, and drains it — the
+// single-command smoke path used by `make serve-smoke`. Every scenario
+// is bracketed by /healthz probes; -check exits non-zero unless all
+// health checks passed and the written benchmark document is
+// well-formed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"spampsm/internal/bench"
+	"spampsm/internal/serve"
+)
+
+type cli struct {
+	url         string
+	requests    int
+	concurrency int
+	rate        float64
+	datasets    []string
+	tenants     int
+	maxRetries  int
+	cancelEvery int
+	faultSeed   int64
+	buildFail   float64
+	panicRate   float64
+	permanent   float64
+
+	client       *http.Client
+	healthFailed int
+	healthProbes int
+}
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	urlFlag := flag.String("url", "", "target server base URL (empty with -self-serve)")
+	selfServe := flag.Bool("self-serve", false, "start an in-process server and load it")
+	workers := flag.Int("workers", 4, "self-served pool task processes")
+	requests := flag.Int("requests", 24, "requests per scenario")
+	concurrency := flag.Int("concurrency", 6, "concurrent load-generator clients")
+	rate := flag.Float64("rate", 0, "arrival rate in requests/second (0 = closed loop)")
+	datasets := flag.String("datasets", "SF,DC,MOFF", "comma-separated dataset mix")
+	tenants := flag.Int("tenants", 3, "distinct tenants to rotate across requests")
+	scenarios := flag.String("scenarios", "clean,faults", "scenarios to run: clean, faults")
+	faultSeed := flag.Int64("fault-seed", 1990, "fault-plan seed for the faults scenario")
+	buildFail := flag.Float64("build-fail-rate", 0.2, "faults scenario: task build-failure probability")
+	panicRate := flag.Float64("panic-rate", 0.05, "faults scenario: task panic probability")
+	permanent := flag.Float64("permanent-fraction", 0.25, "faults scenario: fraction of faults that are permanent")
+	maxRetries := flag.Int("max-retries", 2, "faults scenario: per-task retries before quarantine")
+	cancelEvery := flag.Int("cancel-every", 0, "abort every Nth request mid-flight (0 = never)")
+	out := flag.String("out", "", "write the serve-bench JSON document to this file")
+	issue := flag.Int("issue", 6, "issue number recorded in the document")
+	check := flag.Bool("check", false, "fail unless health checks all passed and the document is well-formed")
+	flag.Parse()
+
+	c := &cli{
+		url:         *urlFlag,
+		requests:    *requests,
+		concurrency: *concurrency,
+		rate:        *rate,
+		datasets:    strings.Split(*datasets, ","),
+		tenants:     *tenants,
+		maxRetries:  *maxRetries,
+		cancelEvery: *cancelEvery,
+		faultSeed:   *faultSeed,
+		buildFail:   *buildFail,
+		panicRate:   *panicRate,
+		permanent:   *permanent,
+		client:      &http.Client{Timeout: 5 * time.Minute},
+	}
+
+	// -self-serve: an in-process server on an ephemeral port, drained
+	// on the way out. The smoke path needs no shell process management.
+	var srv *serve.Server
+	if *selfServe {
+		if c.url != "" {
+			fmt.Fprintln(os.Stderr, "spamload: -url and -self-serve are mutually exclusive")
+			return 2
+		}
+		srv = serve.New(serve.Config{
+			Workers:     *workers,
+			AllowFaults: true,
+			// Chaos scenarios quarantine tasks on purpose, but those
+			// quarantines are drawn from each request's own fault plan,
+			// which the shared pool class-splits out of this budget —
+			// so a real budget here still passes the health probes.
+			QuarantineBudget: 32,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamload:", err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		c.url = "http://" + ln.Addr().String()
+		defer func() {
+			httpSrv.Shutdown(context.Background())
+			srv.Close()
+		}()
+	}
+	if c.url == "" {
+		fmt.Fprintln(os.Stderr, "spamload: need -url or -self-serve")
+		return 2
+	}
+
+	doc := &bench.ServeBench{
+		Schema: "spampsm-serve-bench/v1",
+		Issue:  *issue,
+		Date:   time.Now().Format("2006-01-02"),
+		Go:     runtime.Version(),
+		Server: fmt.Sprintf("workers=%d self-serve=%v", *workers, *selfServe),
+		Workload: fmt.Sprintf("%d requests x %d clients, rate=%g/s, datasets=%s, tenants=%d",
+			c.requests, c.concurrency, c.rate, *datasets, c.tenants),
+	}
+
+	c.probeHealth()
+	for _, name := range strings.Split(*scenarios, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, err := c.runScenario(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamload:", err)
+			return 1
+		}
+		doc.Scenarios = append(doc.Scenarios, *sc)
+		c.probeHealth()
+		fmt.Printf("%-8s %3d req  %3d ok (%d degraded)  %2d shed  %2d failed  %2d cancelled  %6.2f req/s  p50 %.0fms  p95 %.0fms  p99 %.0fms\n",
+			name, sc.Requests, sc.Succeeded, sc.Degraded, sc.Shed, sc.Failed, sc.Cancelled,
+			sc.Throughput, sc.LatencyMs.P50, sc.LatencyMs.P95, sc.LatencyMs.P99)
+	}
+	fmt.Printf("health checks: %d/%d passed\n", c.healthProbes-c.healthFailed, c.healthProbes)
+
+	if *out != "" {
+		b, err := doc.Render()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamload:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spamload:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *out, len(doc.Scenarios))
+	}
+
+	if *check {
+		if c.healthFailed > 0 {
+			fmt.Fprintf(os.Stderr, "spamload: %d health checks failed\n", c.healthFailed)
+			return 1
+		}
+		if err := doc.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, "spamload:", err)
+			return 1
+		}
+		fmt.Println("check: ok")
+	}
+	return 0
+}
+
+func (c *cli) probeHealth() {
+	c.healthProbes++
+	resp, err := c.client.Get(c.url + "/healthz")
+	if err != nil {
+		c.healthFailed++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.healthFailed++
+	}
+}
+
+// body builds the i-th request of a scenario.
+func (c *cli) body(scenario string, i int) string {
+	ds := c.datasets[i%len(c.datasets)]
+	req := map[string]any{"scene": ds}
+	if scenario == "faults" {
+		req["degraded"] = true
+		req["maxRetries"] = c.maxRetries
+		req["faults"] = map[string]any{
+			// Per-request seeds: each request draws its own deterministic
+			// chaos, like distinct tenants would.
+			"seed":              c.faultSeed + int64(i),
+			"buildFailRate":     c.buildFail,
+			"panicRate":         c.panicRate,
+			"permanentFraction": c.permanent,
+		}
+	}
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+func (c *cli) runScenario(name string) (*bench.ServeScenario, error) {
+	switch name {
+	case "clean", "faults":
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want clean or faults)", name)
+	}
+	sc := &bench.ServeScenario{Name: name}
+	if name == "faults" {
+		sc.Faults = fmt.Sprintf("seed=%d buildFail=%g panic=%g permanent=%g retries=%d",
+			c.faultSeed, c.buildFail, c.panicRate, c.permanent, c.maxRetries)
+	}
+
+	// Arrivals: closed-loop when rate is 0, else spaced at 1/rate.
+	arrivals := make(chan int, c.requests)
+	go func() {
+		for i := 0; i < c.requests; i++ {
+			if c.rate > 0 && i > 0 {
+				time.Sleep(time.Duration(float64(time.Second) / c.rate))
+			}
+			arrivals <- i
+		}
+		close(arrivals)
+	}()
+
+	var mu sync.Mutex
+	var latencies []float64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range arrivals {
+				outcome, ms := c.fire(name, i)
+				mu.Lock()
+				sc.Requests++
+				switch outcome {
+				case "ok":
+					sc.Succeeded++
+					latencies = append(latencies, ms)
+				case "degraded":
+					sc.Succeeded++
+					sc.Degraded++
+					latencies = append(latencies, ms)
+				case "shed":
+					sc.Shed++
+				case "cancelled":
+					sc.Cancelled++
+				default:
+					sc.Failed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc.ElapsedSec = time.Since(start).Seconds()
+	if sc.ElapsedSec > 0 {
+		sc.Throughput = float64(sc.Succeeded) / sc.ElapsedSec
+	}
+	sc.LatencyMs = bench.NewServeLatency(latencies)
+	return sc, nil
+}
+
+// fire issues one request and classifies its outcome.
+func (c *cli) fire(scenario string, i int) (outcome string, ms float64) {
+	ctx := context.Background()
+	doomed := c.cancelEvery > 0 && i%c.cancelEvery == c.cancelEvery-1
+	if doomed {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		time.AfterFunc(25*time.Millisecond, cancel)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", c.url+"/interpret",
+		strings.NewReader(c.body(scenario, i)))
+	if err != nil {
+		return "failed", 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", fmt.Sprintf("t%d", i%max(1, c.tenants)))
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	ms = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		if doomed {
+			return "cancelled", ms
+		}
+		return "failed", ms
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var body struct {
+			Completeness struct {
+				Complete bool `json:"complete"`
+			} `json:"completeness"`
+		}
+		if json.Unmarshal(buf.Bytes(), &body) == nil && !body.Completeness.Complete {
+			return "degraded", ms
+		}
+		return "ok", ms
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return "shed", ms
+	default:
+		return "failed", ms
+	}
+}

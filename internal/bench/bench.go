@@ -679,7 +679,6 @@ func (s *Suite) ExtMsgpass() (string, error) {
 	return tb.String(), nil
 }
 
-
 // ExtFaults is the robustness experiment: what does recovery cost when
 // the hardware misbehaves? Table A degrades the paper's 14-processor
 // Encore configuration with mid-run processor deaths — the shared task

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"spampsm/internal/stats"
+)
+
+// ServeBench is the BENCH_6.json document: the serving benchmark's
+// throughput and latency percentiles under clean and fault-injected
+// traffic, produced by cmd/spamload.
+type ServeBench struct {
+	Schema   string `json:"schema"` // "spampsm-serve-bench/v1"
+	Issue    int    `json:"issue"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	Server   string `json:"server"` // server configuration summary
+	Workload string `json:"workload"`
+
+	Scenarios []ServeScenario `json:"scenarios"`
+}
+
+// ServeScenario is one load-generation run against the server.
+type ServeScenario struct {
+	Name string `json:"name"`
+	// Faults notes the injected chaos ("" = clean traffic).
+	Faults string `json:"faults,omitempty"`
+
+	Requests  int `json:"requests"`
+	Succeeded int `json:"succeeded"` // 200s, including degraded-but-valid
+	Degraded  int `json:"degraded"`  // 200s with partial completeness
+	Shed      int `json:"shed"`      // 429/503 by admission control
+	Failed    int `json:"failed"`    // transport errors and 5xx
+	Cancelled int `json:"cancelled"` // aborted by the generator
+
+	ElapsedSec float64 `json:"elapsedSec"`
+	Throughput float64 `json:"throughputRps"` // succeeded / elapsed
+
+	LatencyMs ServeLatency `json:"latencyMs"`
+}
+
+// ServeLatency is the scenario's latency distribution over succeeded
+// requests, in milliseconds.
+type ServeLatency struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// NewServeLatency summarizes a sample of per-request latencies
+// (milliseconds; the slice is not modified).
+func NewServeLatency(ms []float64) ServeLatency {
+	if len(ms) == 0 {
+		return ServeLatency{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := stats.Summarize(sorted)
+	return ServeLatency{
+		P50:  stats.Percentile(sorted, 50),
+		P95:  stats.Percentile(sorted, 95),
+		P99:  stats.Percentile(sorted, 99),
+		Mean: sum.Mean,
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Render writes the document as indented JSON.
+func (sb *ServeBench) Render() ([]byte, error) {
+	b, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Check validates a ServeBench for the smoke gate: a well-formed
+// schema, at least one clean and one faulted scenario, and every
+// scenario with successes carrying a full latency distribution.
+func (sb *ServeBench) Check() error {
+	if sb.Schema != "spampsm-serve-bench/v1" {
+		return fmt.Errorf("bench: bad schema %q", sb.Schema)
+	}
+	var clean, faulted bool
+	for _, sc := range sb.Scenarios {
+		if sc.Faults == "" {
+			clean = true
+		} else {
+			faulted = true
+		}
+		if sc.Requests == 0 {
+			return fmt.Errorf("bench: scenario %q ran no requests", sc.Name)
+		}
+		if sc.Succeeded > 0 {
+			if sc.LatencyMs.P50 <= 0 || sc.LatencyMs.P95 < sc.LatencyMs.P50 ||
+				sc.LatencyMs.P99 < sc.LatencyMs.P95 {
+				return fmt.Errorf("bench: scenario %q has malformed percentiles %+v",
+					sc.Name, sc.LatencyMs)
+			}
+			if sc.Throughput <= 0 {
+				return fmt.Errorf("bench: scenario %q succeeded but reports no throughput", sc.Name)
+			}
+		}
+		if sc.Succeeded+sc.Shed+sc.Failed+sc.Cancelled != sc.Requests {
+			return fmt.Errorf("bench: scenario %q outcomes do not sum to requests", sc.Name)
+		}
+	}
+	if !clean {
+		return fmt.Errorf("bench: no clean-traffic scenario")
+	}
+	if !faulted {
+		return fmt.Errorf("bench: no fault-injected scenario")
+	}
+	return nil
+}

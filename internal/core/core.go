@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"spampsm/internal/machine"
 	"spampsm/internal/ops5"
@@ -37,19 +38,40 @@ const (
 	LCC Phase = "LCC"
 )
 
+// airportShared is the process-wide compiled airport knowledge base:
+// rule compilation and Rete template construction happen once, and
+// every dataset LoadDataset returns shares them (engine instantiation
+// from a shared Program is concurrency-safe and deterministic).
+var airportShared struct {
+	once  sync.Once
+	kb    *spam.KB
+	progs *spam.Programs
+	err   error
+}
+
 // LoadDataset builds one of the three calibrated airport datasets by
-// name: "SF", "DC" or "MOFF".
+// name: "SF", "DC" or "MOFF". The airport rule programs are compiled
+// once per process and shared across every returned dataset.
 func LoadDataset(name string) (*spam.Dataset, error) {
+	var p scene.Params
 	switch name {
 	case "SF":
-		return spam.NewDataset(scene.SF)
+		p = scene.SF
 	case "DC":
-		return spam.NewDataset(scene.DC)
+		p = scene.DC
 	case "MOFF":
-		return spam.NewDataset(scene.MOFF)
+		p = scene.MOFF
 	default:
 		return nil, fmt.Errorf("core: unknown dataset %q (want SF, DC or MOFF)", name)
 	}
+	airportShared.once.Do(func() {
+		airportShared.kb = spam.AirportKB()
+		airportShared.progs, airportShared.err = spam.BuildPrograms(airportShared.kb)
+	})
+	if airportShared.err != nil {
+		return nil, airportShared.err
+	}
+	return spam.NewDatasetWith(scene.Generate(p), airportShared.kb, airportShared.progs), nil
 }
 
 // System is one SPAM/PSM configuration: a dataset, a phase, and a

@@ -142,14 +142,14 @@ func WithScratch(s *Scratch) Option { return func(e *Engine) { e.scratch = s } }
 // are deliberately self-contained — the SPAM/PSM task processes each
 // own a full engine (working-memory distribution).
 type Engine struct {
-	prog      *Program
-	classes   *wm.Classes
-	mem       *wm.Memory
-	net       *rete.Network
-	cs        *conflictSet
-	strategy  Strategy
-	compiled  map[string]*compiledProd
-	externals map[string]ExternalFn
+	prog         *Program
+	classes      *wm.Classes
+	mem          *wm.Memory
+	net          *rete.Network
+	cs           *conflictSet
+	strategy     Strategy
+	compiled     map[string]*compiledProd
+	externals    map[string]ExternalFn
 	out          io.Writer
 	trace        io.Writer
 	capture      bool
@@ -164,8 +164,8 @@ type Engine struct {
 	perWMEAssert bool
 	batchWMEs    []*wm.WME
 	batchDigests []string
-	halted  bool
-	running bool
+	halted       bool
+	running      bool
 	// interrupted is set asynchronously by Interrupt and polled once
 	// per recognize-act cycle, so a wall-clock watchdog can stop a
 	// runaway task without killing its goroutine.

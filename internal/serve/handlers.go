@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/geom"
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+	"spampsm/internal/tlp"
+)
+
+// maxBodyBytes bounds an /interpret request body.
+const maxBodyBytes = 8 << 20
+
+// Request is the /interpret wire format. Exactly one of Scene (a
+// named dataset) or Inline (a scene carried in the request) must be
+// set.
+type Request struct {
+	Scene  string       `json:"scene,omitempty"` // SF | DC | MOFF
+	Inline *InlineScene `json:"inline,omitempty"`
+	Tenant string       `json:"tenant,omitempty"` // or X-Tenant header
+
+	Level    int  `json:"level,omitempty"`    // LCC decomposition level 1..3
+	RTFBatch int  `json:"rtfBatch,omitempty"` // regions per RTF task
+	ReEntry  bool `json:"reentry,omitempty"`
+	// Degraded asks for a partial interpretation instead of an error
+	// when some tasks exhaust their retries.
+	Degraded bool `json:"degraded,omitempty"`
+
+	DeadlineMs   int `json:"deadlineMs,omitempty"`   // request deadline
+	FiringBudget int `json:"firingBudget,omitempty"` // per-task firing cap
+	MaxRetries   int `json:"maxRetries,omitempty"`
+
+	// Faults is a per-request deterministic chaos plan (only honored
+	// when the server runs with AllowFaults).
+	Faults *FaultConfig `json:"faults,omitempty"`
+}
+
+// FaultConfig mirrors faults.Config on the wire.
+type FaultConfig struct {
+	Seed              int64   `json:"seed"`
+	BuildFailRate     float64 `json:"buildFailRate,omitempty"`
+	PanicRate         float64 `json:"panicRate,omitempty"`
+	CrashRate         float64 `json:"crashRate,omitempty"`
+	PermanentFraction float64 `json:"permanentFraction,omitempty"`
+}
+
+// InlineScene is a scene carried in the request body.
+type InlineScene struct {
+	Name    string         `json:"name"`
+	Domain  string         `json:"domain"` // airport | suburban
+	W       float64        `json:"w"`
+	H       float64        `json:"h"`
+	Regions []InlineRegion `json:"regions"`
+}
+
+// InlineRegion is one region of an inline scene.
+type InlineRegion struct {
+	ID        int          `json:"id"`
+	Poly      [][2]float64 `json:"poly"`
+	Intensity float64      `json:"intensity"`
+	Texture   float64      `json:"texture"`
+	Kind      string       `json:"kind,omitempty"` // ground truth (evaluation only)
+}
+
+// maxInlineRegions bounds one inline scene.
+const maxInlineRegions = 2048
+
+func (is *InlineScene) toScene() (*scene.Scene, error) {
+	d := scene.Domain(is.Domain)
+	if d == "" {
+		d = scene.Airport
+	}
+	if d != scene.Airport && d != scene.Suburban {
+		return nil, fmt.Errorf("serve: unknown domain %q", is.Domain)
+	}
+	if len(is.Regions) == 0 {
+		return nil, errors.New("serve: inline scene has no regions")
+	}
+	if len(is.Regions) > maxInlineRegions {
+		return nil, fmt.Errorf("serve: inline scene has %d regions (max %d)",
+			len(is.Regions), maxInlineRegions)
+	}
+	name := is.Name
+	if name == "" {
+		name = "inline"
+	}
+	s := &scene.Scene{Name: name, Domain: d, W: is.W, H: is.H}
+	seen := map[int]bool{}
+	for _, r := range is.Regions {
+		if len(r.Poly) < 3 {
+			return nil, fmt.Errorf("serve: region %d: polygon needs >= 3 points", r.ID)
+		}
+		if seen[r.ID] {
+			return nil, fmt.Errorf("serve: duplicate region id %d", r.ID)
+		}
+		seen[r.ID] = true
+		poly := make(geom.Polygon, len(r.Poly))
+		for i, p := range r.Poly {
+			poly[i] = geom.Point{X: p[0], Y: p[1]}
+		}
+		s.Regions = append(s.Regions, &scene.Region{
+			ID: r.ID, Poly: poly, TrueKind: scene.Kind(r.Kind),
+			Intensity: r.Intensity, Texture: r.Texture,
+		})
+	}
+	return s, nil
+}
+
+// PhaseSummary is one phase of a Response: counts only, all of them
+// deterministic for a fixed request (timing never appears here).
+type PhaseSummary struct {
+	Phase       string `json:"phase"`
+	Tasks       int    `json:"tasks"`
+	Firings     int    `json:"firings"`
+	Hypotheses  int    `json:"hypotheses"`
+	Attempts    int    `json:"attempts"`
+	Retries     int    `json:"retries"`
+	Recovered   int    `json:"recovered"`
+	Quarantined int    `json:"quarantined"`
+	Cancelled   int    `json:"cancelled"`
+	Panics      int    `json:"panics"`
+	Injected    int    `json:"injected"`
+}
+
+// Response is the /interpret result. Its JSON encoding is a pure
+// function of the request (wall-clock time travels in the
+// X-Elapsed-Ms header), so concurrent serving can be differentially
+// tested against solo runs byte for byte.
+type Response struct {
+	Dataset      string            `json:"dataset"`
+	Degraded     bool              `json:"degraded"` // ran in degraded (partial-tolerant) mode
+	Completeness spam.Completeness `json:"completeness"`
+
+	Fragments       int  `json:"fragments"`
+	Pairs           int  `json:"pairs"`
+	Outcomes        int  `json:"outcomes"`
+	FunctionalAreas int  `json:"functionalAreas"`
+	Predictions     int  `json:"predictions"`
+	ModelFound      bool `json:"modelFound"`
+	ModelScore      int  `json:"modelScore"`
+	ModelFAs        int  `json:"modelFAs"`
+
+	Phases []PhaseSummary `json:"phases"`
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /interpret", s.handleInterpret)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeAPIError(w http.ResponseWriter, aerr *apiError) {
+	if aerr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
+	}
+	writeJSON(w, aerr.status, errorBody{Error: aerr.msg})
+}
+
+// parseRequest decodes and validates an /interpret body.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*Request, *apiError) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, &apiError{status: 400, msg: "bad request body: " + err.Error()}
+	}
+	if (req.Scene == "") == (req.Inline == nil) {
+		return nil, &apiError{status: 400, msg: "exactly one of scene or inline is required"}
+	}
+	if req.Level < 0 || req.Level > 3 {
+		return nil, &apiError{status: 400, msg: "level must be 1..3"}
+	}
+	if req.Faults != nil && !s.cfg.AllowFaults {
+		return nil, &apiError{status: 403, msg: "fault injection is disabled on this server"}
+	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	return &req, nil
+}
+
+// sharedRunner routes one request's phase queues to the server's
+// shared pool under the request's own pool configuration.
+type sharedRunner struct {
+	sp  *tlp.SharedPool
+	cfg *tlp.Pool
+}
+
+func (sr *sharedRunner) RunTasks(ctx context.Context, tasks []*tlp.Task) ([]*tlp.Result, error) {
+	return sr.sp.Submit(ctx, sr.cfg, tasks)
+}
+
+func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	req, aerr := s.parseRequest(w, r)
+	if aerr != nil {
+		s.rejected.Add(1)
+		s.writeAPIError(w, aerr)
+		return
+	}
+
+	release, aerr := s.admit(r.Context(), req.Tenant)
+	if aerr != nil {
+		s.writeAPIError(w, aerr)
+		return
+	}
+	defer release()
+
+	// Resolve the dataset only after admission: inline scenes build
+	// real state and must not bypass the concurrency budget.
+	var (
+		ds  *spam.Dataset
+		err error
+	)
+	if req.Scene != "" {
+		ds, err = s.cache.namedDataset(req.Scene)
+	} else {
+		ds, err = s.cache.inlineDataset(req.Inline)
+	}
+	if err != nil {
+		s.rejected.Add(1)
+		s.writeAPIError(w, &apiError{status: 400, msg: err.Error()})
+		return
+	}
+
+	// Request-scoped execution context: client disconnect plus the
+	// (clamped) deadline.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	var plan *faults.Plan
+	if req.Faults != nil {
+		plan = faults.New(faults.Config{
+			Seed:              req.Faults.Seed,
+			BuildFailRate:     req.Faults.BuildFailRate,
+			PanicRate:         req.Faults.PanicRate,
+			CrashRate:         req.Faults.CrashRate,
+			PermanentFraction: req.Faults.PermanentFraction,
+		})
+	}
+	opt := spam.InterpretOptions{
+		Level:    spam.Level(req.Level),
+		RTFBatch: req.RTFBatch,
+		ReEntry:  req.ReEntry,
+		Degraded: req.Degraded,
+		Runner: &sharedRunner{sp: s.pool, cfg: &tlp.Pool{
+			Faults:       plan,
+			MaxRetries:   req.MaxRetries,
+			RetryBackoff: s.cfg.RetryBackoff,
+			FiringBudget: req.FiringBudget,
+		}},
+	}
+
+	in, ierr := ds.InterpretContext(ctx, opt)
+	elapsed := time.Since(start)
+	status := http.StatusOK
+	switch {
+	case ierr == nil:
+		s.completed.Add(1)
+		if !in.Completeness.Complete {
+			s.degraded.Add(1)
+		}
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.timedOut.Add(1)
+		status = http.StatusGatewayTimeout
+	case ctx.Err() != nil:
+		// Client went away; nobody reads this response.
+		s.cancelled.Add(1)
+		status = http.StatusServiceUnavailable
+	default:
+		s.failed.Add(1)
+		status = http.StatusInternalServerError
+	}
+	s.record(requestReport(s.seq.Add(1), req, in, status, elapsed))
+
+	w.Header().Set("X-Elapsed-Ms", strconv.FormatFloat(float64(elapsed)/float64(time.Millisecond), 'f', 3, 64))
+	if ierr != nil {
+		writeJSON(w, status, errorBody{Error: ierr.Error()})
+		return
+	}
+	writeJSON(w, status, buildResponse(req, in))
+}
+
+func buildResponse(req *Request, in *spam.Interpretation) *Response {
+	resp := &Response{
+		Dataset:         in.Dataset.Name,
+		Degraded:        req.Degraded,
+		Completeness:    in.Completeness,
+		Fragments:       len(in.Fragments),
+		Pairs:           len(in.Pairs),
+		Outcomes:        len(in.Outcomes),
+		FunctionalAreas: len(in.FAs),
+		Predictions:     len(in.Predictions),
+		ModelFound:      in.ModelFound,
+	}
+	if in.ModelFound {
+		resp.ModelScore = in.Model.Score
+		resp.ModelFAs = in.Model.NFAs
+	}
+	for _, p := range in.Phases {
+		ps := PhaseSummary{
+			Phase:      p.Phase,
+			Tasks:      p.Tasks,
+			Firings:    p.Firings,
+			Hypotheses: p.Hypotheses,
+		}
+		if rep := p.Report; rep != nil {
+			ps.Attempts = rep.Attempts
+			ps.Retries = rep.Retries
+			ps.Recovered = rep.Recovered
+			ps.Quarantined = rep.Quarantined
+			ps.Cancelled = rep.Cancelled
+			ps.Panics = rep.Panics
+			ps.Injected = rep.Injected
+		}
+		resp.Phases = append(resp.Phases, ps)
+	}
+	return resp
+}
+
+func requestReport(seq int64, req *Request, in *spam.Interpretation, status int, elapsed time.Duration) RequestReport {
+	name := req.Scene
+	if name == "" && req.Inline != nil {
+		name = "inline:" + req.Inline.Name
+	}
+	rep := RequestReport{
+		Seq:       seq,
+		Dataset:   name,
+		Tenant:    req.Tenant,
+		Status:    status,
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	}
+	if in != nil {
+		rep.Complete = in.Completeness.Complete
+		rep.Tasks = in.Completeness.Tasks
+		rep.Cancelled = in.Completeness.Cancelled
+		for _, p := range in.Phases {
+			if p.Report == nil {
+				continue
+			}
+			rep.Attempts += p.Report.Attempts
+			rep.Retries += p.Report.Retries
+			rep.Panics += p.Report.Panics
+			rep.Quarantined += p.Report.Quarantined
+		}
+	}
+	return rep
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	body := map[string]any{
+		"status":      "ok",
+		"draining":    s.draining.Load(),
+		"poolHealthy": s.pool.Healthy(),
+		"quarantined": st.Quarantined,
+	}
+	code := http.StatusOK
+	if !s.Healthy() {
+		body["status"] = "unhealthy"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,6 +1,7 @@
 package spam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -46,13 +47,22 @@ func datasetFrom(s *scene.Scene, kb *KB) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewDatasetWith(s, kb, progs), nil
+}
+
+// NewDatasetWith builds a dataset over an existing scene, knowledge
+// base and already-compiled phase programs. Sharing one Programs
+// across many datasets shares the programs' compiled Rete templates
+// and per-variant caches: a long-running server pays rule compilation
+// once per knowledge base, not once per scene or per request.
+func NewDatasetWith(s *scene.Scene, kb *KB, progs *Programs) *Dataset {
 	return &Dataset{
 		Name:  s.Name,
 		KB:    kb,
 		Scene: s,
 		Store: NewRegionStore(s),
 		Progs: progs,
-	}, nil
+	}
 }
 
 // PhaseRun is the statistics of one interpretation phase.
@@ -78,6 +88,22 @@ func (p PhaseRun) MatchFraction() float64 {
 	return p.MatchInstr / p.Instr
 }
 
+// Completeness records how much of the decomposition's work survived
+// into an interpretation. A clean run is Complete with zero failures;
+// a degraded run (tasks exhausted their retries under
+// InterpretOptions.Degraded) is still a valid interpretation — every
+// hypothesis in it was produced by a successful task — but an
+// explicitly partial one, assembled from the surviving tasks only.
+type Completeness struct {
+	Complete  bool `json:"complete"`
+	Tasks     int  `json:"tasks"`     // tasks attempted across all phases
+	Failed    int  `json:"failed"`    // quarantined / exhausted retries
+	Cancelled int  `json:"cancelled"` // abandoned to context cancellation
+	// FailedTasks lists the failed (non-cancelled) task IDs in queue
+	// order, so a degraded result names exactly what is missing.
+	FailedTasks []string `json:"failedTasks,omitempty"`
+}
+
 // Interpretation is the result of a full four-phase run.
 type Interpretation struct {
 	Dataset     *Dataset
@@ -89,6 +115,9 @@ type Interpretation struct {
 	Predictions []Prediction
 	Model       Model
 	ModelFound  bool
+	// Completeness reports whether every task of every phase
+	// contributed (see InterpretOptions.Degraded).
+	Completeness Completeness
 }
 
 // Phase returns the named phase run (RTF/LCC/FA/MODEL), or nil.
@@ -130,6 +159,30 @@ func (in *Interpretation) Recovery() stats.Recovery {
 	return rec
 }
 
+// Runner executes one phase's task queue. *tlp.Pool-backed private
+// runners are the default; a serving layer passes a runner that
+// submits to a process-wide tlp.SharedPool so every concurrent
+// request's tasks multiplex onto one worker set.
+type Runner interface {
+	RunTasks(ctx context.Context, tasks []*tlp.Task) ([]*tlp.Result, error)
+}
+
+// poolRunner is the private-pool Runner built when InterpretOptions
+// carries no Runner: one pool per interpretation, optional parallel
+// engine prebuild before each phase.
+type poolRunner struct {
+	pool     *tlp.Pool
+	prebuild bool
+	builders int
+}
+
+func (pr *poolRunner) RunTasks(ctx context.Context, tasks []*tlp.Task) ([]*tlp.Result, error) {
+	if pr.prebuild {
+		pr.pool.Prebuild(tasks, pr.builders)
+	}
+	return pr.pool.RunContext(ctx, tasks)
+}
+
 // InterpretOptions configure a full run.
 type InterpretOptions struct {
 	Workers  int   // task processes for the real pool (default 1)
@@ -143,8 +196,22 @@ type InterpretOptions struct {
 	// Prebuild constructs each phase's task engines in parallel (on
 	// Workers builders) before the pool runs them, overlapping engine
 	// construction instead of paying it serially inside each task's
-	// first attempt.
+	// first attempt. Ignored when Runner is set.
 	Prebuild bool
+
+	// Runner, when non-nil, executes every phase's task queue instead
+	// of a private pool — the serving path, where all requests share
+	// one tlp.SharedPool. Workers/Prebuild and the fault-tolerance
+	// knobs below then configure the runner's own submission, not a
+	// pool built here.
+	Runner Runner
+
+	// Degraded switches the result assembler to partial-failure
+	// tolerance: a phase with quarantined tasks no longer aborts the
+	// interpretation; the phase's outputs are assembled from the
+	// surviving tasks and the loss is recorded in
+	// Interpretation.Completeness. Cancellation still aborts.
+	Degraded bool
 
 	// Fault tolerance (see docs/ROBUSTNESS.md). Zero values mean no
 	// injection, no timeout and no retries — the pre-fault behavior.
@@ -152,11 +219,12 @@ type InterpretOptions struct {
 	MaxRetries   int           // failed-task re-executions before quarantine
 	TaskTimeout  time.Duration // per-attempt wall-clock deadline; 0 = none
 	RetryBackoff time.Duration // delay before the first retry (doubles after)
+	FiringBudget int           // per-task firing deadline; 0 = none
 }
 
-func phaseStats(pool *tlp.Pool, name string, results []*tlp.Result, hypotheses int) PhaseRun {
+func phaseStats(name string, results []*tlp.Result, hypotheses int) PhaseRun {
 	p := PhaseRun{Phase: name, Tasks: len(results), Hypotheses: hypotheses, Results: results,
-		Report: pool.Report(results)}
+		Report: tlp.Report(results)}
 	for _, r := range results {
 		if r == nil || r.Err != nil {
 			continue
@@ -172,6 +240,16 @@ func phaseStats(pool *tlp.Pool, name string, results []*tlp.Result, hypotheses i
 // Interpret runs the full four-phase SPAM interpretation of the
 // dataset: RTF → LCC → FA (with optional LCC re-entry) → MODEL.
 func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
+	return d.InterpretContext(context.Background(), opt)
+}
+
+// InterpretContext is Interpret with request-scoped control: the
+// context cancels in-flight tasks cooperatively (a cancelled
+// interpretation aborts between — and inside — phases), and the
+// options' Runner/Degraded fields select the serving behaviors. With a
+// background context, no Runner and Degraded off, it is byte-for-byte
+// the classic Interpret.
+func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*Interpretation, error) {
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
@@ -181,28 +259,66 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if opt.RTFBatch < 1 {
 		opt.RTFBatch = 3
 	}
-	pool := &tlp.Pool{
-		Workers:      opt.Workers,
-		Faults:       opt.Faults,
-		MaxRetries:   opt.MaxRetries,
-		TaskTimeout:  opt.TaskTimeout,
-		RetryBackoff: opt.RetryBackoff,
+	runner := opt.Runner
+	if runner == nil {
+		// The builder count follows the machine, not opt.Workers: engine
+		// construction happens outside the simulated clock, so even the
+		// paper's one-task-process baseline may overlap it across every
+		// available CPU.
+		builders := opt.Workers
+		if g := runtime.GOMAXPROCS(0); g > builders {
+			builders = g
+		}
+		runner = &poolRunner{
+			pool: &tlp.Pool{
+				Workers:      opt.Workers,
+				Faults:       opt.Faults,
+				MaxRetries:   opt.MaxRetries,
+				TaskTimeout:  opt.TaskTimeout,
+				RetryBackoff: opt.RetryBackoff,
+				FiringBudget: opt.FiringBudget,
+			},
+			prebuild: opt.Prebuild,
+			builders: builders,
+		}
 	}
 	in := &Interpretation{Dataset: d}
-	// runPhase optionally prebuilds the phase's engines in parallel
-	// before the pool executes the tasks. The builder count follows the
-	// machine, not opt.Workers: engine construction happens outside the
-	// simulated clock, so even the paper's one-task-process baseline may
-	// overlap it across every available CPU.
-	builders := opt.Workers
-	if g := runtime.GOMAXPROCS(0); g > builders {
-		builders = g
-	}
 	runPhase := func(tasks []*tlp.Task) ([]*tlp.Result, error) {
-		if opt.Prebuild {
-			pool.Prebuild(tasks, builders)
+		// A degraded upstream phase may leave a later phase with no
+		// tasks at all; that is an empty phase, not an error.
+		if len(tasks) == 0 {
+			return nil, nil
 		}
-		return pool.Run(tasks)
+		return runner.RunTasks(ctx, tasks)
+	}
+	// endPhase settles one phase's results into the interpretation's
+	// completeness accounting and decides whether the run continues:
+	// cancellation always aborts; quarantined tasks abort unless the
+	// run is Degraded, in which case the phase's surviving outputs
+	// stand and the loss is recorded.
+	endPhase := func(name string, results []*tlp.Result) error {
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			in.Completeness.Tasks++
+			if r.Err == nil {
+				continue
+			}
+			if r.Cancelled {
+				in.Completeness.Cancelled++
+			} else {
+				in.Completeness.Failed++
+				in.Completeness.FailedTasks = append(in.Completeness.FailedTasks, r.TaskID)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("spam: %s: interpretation cancelled: %w", name, err)
+		}
+		if opt.Degraded {
+			return nil
+		}
+		return phaseError(name, results)
 	}
 
 	// Phase 1: RTF.
@@ -211,13 +327,13 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if err != nil {
 		return in, fmt.Errorf("spam: RTF: %w", err)
 	}
-	if err := phaseError("RTF", rtfResults); err != nil {
-		in.Phases = append(in.Phases, phaseStats(pool, "RTF", rtfResults, 0))
+	if err := endPhase("RTF", rtfResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, 0))
 		return in, err
 	}
 	in.Fragments = ExtractFragments(rtfResults)
 	releaseEngines(rtfResults)
-	in.Phases = append(in.Phases, phaseStats(pool, "RTF", rtfResults, len(in.Fragments)))
+	in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, len(in.Fragments)))
 
 	// Phase 2: LCC.
 	lccTasks := BuildLCCTasks(d.KB, d.Store, d.Progs.LCC, in.Fragments, opt.Level, opt.Capture)
@@ -225,8 +341,8 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if err != nil {
 		return in, fmt.Errorf("spam: LCC: %w", err)
 	}
-	if err := phaseError("LCC", lccResults); err != nil {
-		in.Phases = append(in.Phases, phaseStats(pool, "LCC", lccResults, 0))
+	if err := endPhase("LCC", lccResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("LCC", lccResults, 0))
 		return in, err
 	}
 	in.Pairs, in.Outcomes = ExtractLCC(lccResults)
@@ -240,8 +356,8 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 		if err != nil {
 			return in, fmt.Errorf("spam: FA: %w", err)
 		}
-		if err := phaseError("FA", faResults); err != nil {
-			in.Phases = append(in.Phases, phaseStats(pool, "FA", faResults, 0))
+		if err := endPhase("FA", faResults); err != nil {
+			in.Phases = append(in.Phases, phaseStats("FA", faResults, 0))
 			return in, err
 		}
 	}
@@ -263,8 +379,8 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 				if err != nil {
 					return in, fmt.Errorf("spam: LCC re-entry: %w", err)
 				}
-				if err := phaseError("LCC re-entry", reResults); err != nil {
-					in.Phases = append(in.Phases, phaseStats(pool, "LCC", reResults, 0))
+				if err := endPhase("LCC re-entry", reResults); err != nil {
+					in.Phases = append(in.Phases, phaseStats("LCC", reResults, 0))
 					return in, err
 				}
 				rePairs, reOuts := ExtractLCC(reResults)
@@ -276,8 +392,8 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 			}
 		}
 	}
-	in.Phases = append(in.Phases, phaseStats(pool, "LCC", lccResults, countConsistent(in.Outcomes)))
-	in.Phases = append(in.Phases, phaseStats(pool, "FA", faResults, countClosed(in.FAs)))
+	in.Phases = append(in.Phases, phaseStats("LCC", lccResults, countConsistent(in.Outcomes)))
+	in.Phases = append(in.Phases, phaseStats("FA", faResults, countClosed(in.FAs)))
 
 	// Phase 4: MODEL.
 	modelTask := BuildModelTask(d.KB, d.Store, d.Progs.Model, in.Fragments, in.FAs, opt.Capture)
@@ -285,17 +401,20 @@ func (d *Dataset) Interpret(opt InterpretOptions) (*Interpretation, error) {
 	if err != nil {
 		return in, fmt.Errorf("spam: MODEL: %w", err)
 	}
-	if err := phaseError("MODEL", modelResults); err != nil {
-		in.Phases = append(in.Phases, phaseStats(pool, "MODEL", modelResults, 0))
+	if err := endPhase("MODEL", modelResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, 0))
 		return in, err
 	}
+	// A degraded run whose single MODEL task failed still returns: the
+	// extractor sees no model WMEs and ModelFound stays false.
 	in.Model, in.ModelFound = ExtractModel(modelResults)
 	releaseEngines(modelResults)
 	nModels := 0
 	if in.ModelFound {
 		nModels = 1
 	}
-	in.Phases = append(in.Phases, phaseStats(pool, "MODEL", modelResults, nModels))
+	in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, nModels))
+	in.Completeness.Complete = in.Completeness.Failed == 0 && in.Completeness.Cancelled == 0
 	return in, nil
 }
 

@@ -1,6 +1,7 @@
 package tlp
 
 import (
+	"context"
 	"testing"
 
 	"spampsm/internal/faults"
@@ -65,7 +66,7 @@ func TestBuildFailReclaimsPrebuiltScratch(t *testing.T) {
 	}
 
 	scratch := &ops5.Scratch{}
-	r := p.attempt(task, 0, 0, 0, scratch)
+	r := p.attempt(context.Background(), task, 0, 0, 0, scratch)
 	if r.Err == nil {
 		t.Fatal("attempt under BuildFailRate=1 should fail")
 	}

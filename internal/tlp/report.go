@@ -40,6 +40,7 @@ type RunReport struct {
 	Succeeded   int
 	Recovered   int // succeeded after at least one failed attempt
 	Quarantined int
+	Cancelled   int // abandoned because the run's context was cancelled
 	Attempts    int // total attempts across all tasks
 	Retries     int // attempts beyond each task's first
 
@@ -49,14 +50,17 @@ type RunReport struct {
 	BudgetExceeds int
 	WorkerCrashes int
 	BuildFailures int
+	Cancels       int // attempts abandoned to context cancellation
 	Injected      int // failed attempts caused by the fault plan
 
 	// PerTask lists every non-clean task in queue order.
 	PerTask []TaskReport
 }
 
-// Report builds the run's attempt accounting from its results.
-func (p *Pool) Report(results []*Result) *RunReport {
+// Report builds the run's attempt accounting from its results. It is a
+// pure function of the results; the Pool method of the same name exists
+// for callers that already hold the pool.
+func Report(results []*Result) *RunReport {
 	rep := &RunReport{}
 	for _, r := range results {
 		if r == nil {
@@ -64,12 +68,19 @@ func (p *Pool) Report(results []*Result) *RunReport {
 		}
 		rep.Tasks++
 		rep.Attempts += r.Attempts
-		rep.Retries += r.Attempts - 1
+		// A task cancelled before its first attempt has Attempts == 0;
+		// it contributed no retries.
+		if r.Attempts > 0 {
+			rep.Retries += r.Attempts - 1
+		}
 		if r.Err == nil {
 			rep.Succeeded++
 		}
 		if r.Quarantined {
 			rep.Quarantined++
+		}
+		if r.Cancelled {
+			rep.Cancelled++
 		}
 		if r.Recovered() {
 			rep.Recovered++
@@ -98,11 +109,16 @@ func (p *Pool) Report(results []*Result) *RunReport {
 	return rep
 }
 
+// Report builds the run's attempt accounting from its results.
+func (p *Pool) Report(results []*Result) *RunReport { return Report(results) }
+
 func (rep *RunReport) classify(err error) {
 	var pe *PanicError
 	switch {
 	case errors.As(err, &pe):
 		rep.Panics++
+	case errors.Is(err, ErrCancelled):
+		rep.Cancels++
 	case errors.Is(err, ErrTimeout):
 		rep.Timeouts++
 	case errors.Is(err, ErrBudgetExceeded):
@@ -142,8 +158,14 @@ func (rep *RunReport) Recovery() stats.Recovery {
 // order.
 func (rep *RunReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run report: %d tasks, %d attempts (%d retries); %d succeeded (%d recovered), %d quarantined\n",
+	fmt.Fprintf(&b, "run report: %d tasks, %d attempts (%d retries); %d succeeded (%d recovered), %d quarantined",
 		rep.Tasks, rep.Attempts, rep.Retries, rep.Succeeded, rep.Recovered, rep.Quarantined)
+	// Cancellation is only mentioned when it happened, keeping clean
+	// and chaos reports byte-identical to their pre-cancellation form.
+	if rep.Cancelled > 0 {
+		fmt.Fprintf(&b, ", %d cancelled", rep.Cancelled)
+	}
+	b.WriteByte('\n')
 	if rep.Clean() {
 		return b.String()
 	}

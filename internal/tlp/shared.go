@@ -1,0 +1,209 @@
+package tlp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by SharedPool.Submit after Close.
+var ErrPoolClosed = errors.New("tlp: shared pool closed")
+
+// SharedPool multiplexes many concurrent runs onto one fixed set of
+// task processes — the serving configuration, where every in-flight
+// interpretation's tasks interleave on the same workers instead of
+// each run spawning its own pool. Isolation between runs is the
+// paper's independence property plus two pieces of machinery:
+//
+//   - Each submission carries its own context and its own Pool
+//     configuration (fault plan, retries, timeouts, budgets), so one
+//     run's cancellation, deadline, or chaos plan never touches
+//     another run's tasks.
+//   - Quarantines are accounted per class: poison tasks from live
+//     runs count against the pool's quarantine budget (Healthy),
+//     while tasks quarantined only because their run was cancelled,
+//     or under a run's own injected fault plan, do not — a client
+//     hanging up or chaos-testing itself is not evidence the shared
+//     workload is poisoned.
+//
+// Tasks are interleaved fairly by construction: workers drain one
+// shared FIFO of task-granular work items, so a run with many tasks
+// cannot monopolize the workers ahead of a small run submitted while
+// it executes.
+type SharedPool struct {
+	// QuarantineBudget is the number of non-cancelled quarantined
+	// tasks the pool tolerates before reporting itself unhealthy.
+	// 0 means no budget (always healthy). The budget is advisory —
+	// the pool keeps executing — so serving layers can drain and
+	// restart on a poisoned process without dropping in-flight work.
+	QuarantineBudget int
+
+	queue chan *workItem
+	wg    sync.WaitGroup // worker goroutines
+
+	mu     sync.Mutex
+	closed bool
+	subs   sync.WaitGroup // in-flight submissions
+
+	tasksRun    atomic.Int64
+	quarantined atomic.Int64 // live, uninjected runs' quarantines only
+	cancQuar    atomic.Int64 // quarantine-grade failures on cancelled runs
+	injQuar     atomic.Int64 // quarantines under a run's own fault plan
+	cancelled   atomic.Int64 // tasks abandoned to cancellation
+}
+
+// workItem is one task of one submission.
+type workItem struct {
+	sub *submission
+	idx int
+}
+
+// submission is one run's task queue entering the shared pool.
+type submission struct {
+	ctx     context.Context
+	cfg     *Pool
+	queue   []*Task
+	results []*Result
+	done    sync.WaitGroup
+}
+
+// NewSharedPool starts a shared pool with the given number of task
+// processes. queueDepth bounds the task backlog channel; submissions
+// beyond it block in Submit until workers drain (admission control for
+// whole runs belongs to the caller). workers and queueDepth default to
+// 1 and 64× workers.
+func NewSharedPool(workers, queueDepth int) *SharedPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 64 * workers
+	}
+	sp := &SharedPool{queue: make(chan *workItem, queueDepth)}
+	for w := 0; w < workers; w++ {
+		sp.wg.Add(1)
+		go func(worker int) {
+			defer sp.wg.Done()
+			for item := range sp.queue {
+				sp.runItem(item, worker)
+			}
+		}(w)
+	}
+	return sp
+}
+
+// runItem executes one queued task under its submission's context and
+// configuration, and settles the pool-level accounting.
+func (sp *SharedPool) runItem(item *workItem, worker int) {
+	sub := item.sub
+	defer sub.done.Done()
+	t := sub.queue[item.idx]
+	var r *Result
+	if err := sub.ctx.Err(); err != nil {
+		// The run is already dead; skip the task without building it.
+		r = cancelledResult(t, item.idx, 0, nil, err)
+	} else {
+		r = sub.cfg.runOne(sub.ctx, t, worker, item.idx, nil)
+	}
+	sp.tasksRun.Add(1)
+	if r.Cancelled {
+		sp.cancelled.Add(1)
+	}
+	if r.Quarantined {
+		// Quarantines on a cancelled run don't count against the
+		// budget: the task may have failed only because its run's
+		// context pulled resources out from under it, and its run no
+		// longer cares either way. Quarantines under a run's own
+		// injected fault plan don't either — one tenant's chaos test
+		// must not flip the shared pool's health for everyone else.
+		switch {
+		case sub.ctx.Err() != nil:
+			sp.cancQuar.Add(1)
+		case sub.cfg.Faults != nil:
+			sp.injQuar.Add(1)
+		default:
+			sp.quarantined.Add(1)
+		}
+	}
+	sub.results[item.idx] = r
+}
+
+// Submit runs one queue of tasks on the shared workers under the
+// given context and per-run configuration (cfg.Workers is ignored —
+// parallelism belongs to the pool). It blocks until every task has a
+// Result (executed, failed, or cancelled) and returns them in queue
+// order. Submissions from different goroutines interleave at task
+// granularity.
+func (sp *SharedPool) Submit(ctx context.Context, cfg *Pool, tasks []*Task) ([]*Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("tlp: empty task queue")
+	}
+	if cfg == nil {
+		cfg = &Pool{}
+	}
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	sp.subs.Add(1)
+	sp.mu.Unlock()
+	defer sp.subs.Done()
+
+	sub := &submission{
+		ctx:   ctx,
+		cfg:   cfg,
+		queue: cfg.order(tasks),
+	}
+	sub.results = make([]*Result, len(sub.queue))
+	sub.done.Add(len(sub.queue))
+	for i := range sub.queue {
+		sp.queue <- &workItem{sub: sub, idx: i}
+	}
+	sub.done.Wait()
+	return sub.results, nil
+}
+
+// Close stops accepting submissions, waits for in-flight ones to
+// finish, and shuts the workers down. Safe to call once; later Submits
+// fail with ErrPoolClosed.
+func (sp *SharedPool) Close() {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		sp.wg.Wait()
+		return
+	}
+	sp.closed = true
+	sp.mu.Unlock()
+	sp.subs.Wait()
+	close(sp.queue)
+	sp.wg.Wait()
+}
+
+// Healthy reports whether the pool is within its quarantine budget.
+func (sp *SharedPool) Healthy() bool {
+	return sp.QuarantineBudget <= 0 || sp.quarantined.Load() <= int64(sp.QuarantineBudget)
+}
+
+// Counters is a snapshot of the pool's lifetime task accounting.
+type Counters struct {
+	TasksRun             int64 // every task that got a Result
+	Quarantined          int64 // poison tasks from live uninjected runs (budgeted)
+	CancelledQuarantines int64 // quarantine-grade failures on cancelled runs
+	InjectedQuarantines  int64 // quarantines under a run's own fault plan
+	Cancelled            int64 // tasks abandoned to cancellation
+}
+
+// Stats returns a snapshot of the pool's lifetime counters.
+func (sp *SharedPool) Stats() Counters {
+	return Counters{
+		TasksRun:             sp.tasksRun.Load(),
+		Quarantined:          sp.quarantined.Load(),
+		CancelledQuarantines: sp.cancQuar.Load(),
+		InjectedQuarantines:  sp.injQuar.Load(),
+		Cancelled:            sp.cancelled.Load(),
+	}
+}

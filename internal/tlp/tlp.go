@@ -23,6 +23,7 @@
 package tlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -45,6 +46,12 @@ var (
 	// ErrWorkerCrash marks a task whose worker (simulated) crashed
 	// mid-execution; the partial work is lost.
 	ErrWorkerCrash = errors.New("tlp: worker crashed")
+	// ErrCancelled marks a task abandoned because its run's context was
+	// cancelled or timed out: skipped before starting, interrupted
+	// mid-attempt, or aborted during a retry backoff. A cancelled task
+	// is never quarantined — cancellation says nothing about whether
+	// the task itself is poison.
+	ErrCancelled = errors.New("tlp: task cancelled")
 )
 
 // PanicError is a recovered task panic. Its message deliberately
@@ -121,6 +128,10 @@ type Result struct {
 	// Quarantined marks a poison task: it failed every allowed attempt
 	// (or failed permanently) and was removed from further retrying.
 	Quarantined bool
+	// Cancelled marks a task abandoned because the run's context was
+	// cancelled (Err wraps ErrCancelled). Cancelled tasks are not
+	// quarantined and carry no verdict on the task itself.
+	Cancelled bool
 }
 
 // Recovered reports whether the task failed at least once but
@@ -197,6 +208,17 @@ func (p *Pool) order(tasks []*Task) []*Task {
 // faults — are reported in the Result, not as a Run error; Run fails
 // only on structural problems (no tasks, bad worker count).
 func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
+	return p.RunContext(context.Background(), tasks)
+}
+
+// RunContext is Run under a context: cancelling ctx aborts the run's
+// remaining work without failing RunContext itself. Tasks not yet
+// started are skipped, in-flight attempts are cooperatively
+// interrupted (ops5.Engine.Interrupt), and retry backoffs are cut
+// short; every abandoned task still gets a Result, with Err wrapping
+// ErrCancelled and Cancelled set, so callers can account for exactly
+// what was and was not executed.
+func (p *Pool) RunContext(ctx context.Context, tasks []*Task) ([]*Result, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("tlp: empty task queue")
 	}
@@ -227,7 +249,7 @@ func (p *Pool) Run(tasks []*Task) ([]*Result, error) {
 				if i >= len(queue) {
 					return
 				}
-				results[i] = p.runOne(queue[i], worker, i, scratch)
+				results[i] = p.runOne(ctx, queue[i], worker, i, scratch)
 			}
 		}(w)
 	}
@@ -281,18 +303,33 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 	return base << shift
 }
 
+// cancelledResult builds the Result of a task abandoned to
+// cancellation before (or between) attempts.
+func cancelledResult(t *Task, seq, attempts int, attemptErrs []error, cause error) *Result {
+	err := fmt.Errorf("tlp: task %s: %w: %w", t.ID, ErrCancelled, cause)
+	return &Result{
+		TaskID: t.ID, SeqInQ: seq, Err: err, Cancelled: true,
+		Attempts: attempts, AttemptErrs: append(attemptErrs, err),
+	}
+}
+
 // runOne executes one task with bounded retries: a failed attempt is
 // re-run on a freshly built engine after an exponential backoff, up to
 // 1+MaxRetries attempts; permanent faults and exhausted budgets
-// quarantine the task.
-func (p *Pool) runOne(t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
+// quarantine the task. Cancellation of ctx ends the loop wherever it
+// is — before an attempt, mid-attempt (via engine interrupt), or
+// during a backoff sleep — without quarantining the task.
+func (p *Pool) runOne(ctx context.Context, t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
 	maxAttempts := 1 + p.MaxRetries
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	var attemptErrs []error
 	for attempt := 1; ; attempt++ {
-		r := p.attempt(t, worker, seq, attempt, scratch)
+		if err := ctx.Err(); err != nil {
+			return cancelledResult(t, seq, attempt-1, attemptErrs, err)
+		}
+		r := p.attempt(ctx, t, worker, seq, attempt, scratch)
 		r.Attempts = attempt
 		if r.Err == nil {
 			r.AttemptErrs = attemptErrs
@@ -300,6 +337,12 @@ func (p *Pool) runOne(t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
 		}
 		attemptErrs = append(attemptErrs, r.Err)
 		r.AttemptErrs = attemptErrs
+		// A cancelled attempt is not a verdict on the task: stop
+		// retrying, skip quarantine.
+		if errors.Is(r.Err, ErrCancelled) {
+			r.Cancelled = true
+			return r
+		}
 		// Permanent faults cannot succeed on retry; don't burn the
 		// budget re-proving it.
 		if attempt >= maxAttempts || errors.Is(r.Err, faults.ErrPermanent) {
@@ -307,7 +350,15 @@ func (p *Pool) runOne(t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
 			return r
 		}
 		if p.RetryBackoff > 0 {
-			time.Sleep(retryDelay(p.RetryBackoff, attempt))
+			// A cancelled run must not sit out its backoff: the sleep
+			// races the context.
+			timer := time.NewTimer(retryDelay(p.RetryBackoff, attempt))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return cancelledResult(t, seq, attempt, attemptErrs, ctx.Err())
+			}
 		}
 	}
 }
@@ -317,7 +368,13 @@ func (p *Pool) runOne(t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
 // poison task can never take down the worker or the process. Whatever
 // statistics and cost log the engine accumulated before failing are
 // attached to the Result, so failed-task cost stays visible in reports.
-func (p *Pool) attempt(t *Task, worker, seq, attempt int, scratch *ops5.Scratch) (r *Result) {
+//
+// Cancelling ctx mid-attempt cooperatively interrupts the engine, and
+// the attempt fails with ErrCancelled. The check is best-effort at the
+// edges: a cancellation landing in the hair's breadth between the
+// pre-run check and the engine clearing its interrupt flag lets the
+// attempt run to completion — wasted work, never a wrong result.
+func (p *Pool) attempt(ctx context.Context, t *Task, worker, seq, attempt int, scratch *ops5.Scratch) (r *Result) {
 	r = &Result{TaskID: t.ID, Worker: worker, SeqInQ: seq}
 	var eng *ops5.Engine
 	defer func() {
@@ -385,16 +442,29 @@ func (p *Pool) attempt(t *Task, worker, seq, attempt int, scratch *ops5.Scratch)
 		timer := time.AfterFunc(p.TaskTimeout, eng.Interrupt)
 		defer timer.Stop()
 	}
+	// A context cancelled mid-run interrupts the engine the same way a
+	// timeout does; Run clears the interrupt flag when it starts, so
+	// an already-cancelled context must be caught here instead.
+	stopWatch := context.AfterFunc(ctx, eng.Interrupt)
+	defer stopWatch()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		r.Err = fmt.Errorf("tlp: run %s: %w: %w", t.ID, ErrCancelled, ctxErr)
+		return r
+	}
 	_, err = eng.Run(limit)
 	// Attach whatever the engine accumulated, even on failure: the
 	// cost of failed attempts is real work the reports must account.
 	r.Stats = eng.Stats()
 	r.Log = eng.Log()
 	if err != nil {
-		if errors.Is(err, ops5.ErrInterrupted) {
+		switch {
+		case errors.Is(err, ops5.ErrInterrupted) && ctx.Err() != nil:
+			r.Err = fmt.Errorf("tlp: run %s: %w after %d firings: %w",
+				t.ID, ErrCancelled, r.Stats.Firings, ctx.Err())
+		case errors.Is(err, ops5.ErrInterrupted):
 			r.Err = fmt.Errorf("tlp: run %s: %w after %v (%d firings)",
 				t.ID, ErrTimeout, p.TaskTimeout, r.Stats.Firings)
-		} else {
+		default:
 			r.Err = fmt.Errorf("tlp: run %s: %w", t.ID, err)
 		}
 		return r
