@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve oracle check
+.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve bench-memsched oracle check
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,11 @@ bench:
 	$(GO) test -bench . -benchtime 1x .
 
 # bench-quick is the CI smoke benchmark: the seed-load,
-# engine-construction, geometry-predicate and partner-search
-# microbenchmarks at a short benchtime, well under 60 s. It exists to
-# catch gross wall-clock regressions (an optimized variant suddenly
-# slower than its baseline) without the cost of the full bench-json
-# matrix.
+# engine-construction, geometry-predicate, partner-search and
+# task-scheduler microbenchmarks at a short benchtime, well under
+# 60 s. It exists to catch gross wall-clock regressions (an optimized
+# variant suddenly slower than its baseline) without the cost of the
+# full bench-json matrix.
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkSeedLoad|BenchmarkEngineBuild' \
 		-benchtime 0.3s ./internal/ops5/
@@ -30,6 +30,8 @@ bench-quick:
 		-benchtime 0.3s ./internal/geom/
 	$(GO) test -run '^$$' -bench 'BenchmarkPartnerSearch' \
 		-benchtime 0.3s ./internal/spam/
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerPolicies' \
+		-benchtime 0.3s ./internal/machine/
 
 # bench-json regenerates the perf-trajectory snapshot: Go benchmarks
 # over internal/rete, internal/ops5, internal/tlp, internal/matchbench,
@@ -59,16 +61,27 @@ bench-serve:
 	$(GO) run ./cmd/spamload -self-serve -out BENCH_6.json -check
 
 # oracle runs the differential oracles — indexed vs naive matcher,
-# template-instantiated vs fresh-compiled engines, and fast-vs-exact
-# geometry — at all four levels (rete scripts, ops5 engines, geometry
-# kernels, full-SPAM interpretations), under the race detector. These
-# are the byte-identity guarantees of docs/PERFORMANCE.md; everything
-# here also runs as part of `race`, but this target names the contract
-# and fails fast on it.
+# template-instantiated vs fresh-compiled engines, fast-vs-exact
+# geometry, and the scheduling policies (simulator vs Run anchor, pool
+# policies and memory budgets vs the serial FIFO baseline) — at every
+# level (rete scripts, ops5 engines, geometry kernels, the scheduler,
+# the task-process pool, full-SPAM interpretations), under the race
+# detector. These are the byte-identity guarantees of
+# docs/PERFORMANCE.md; everything here also runs as part of `race`,
+# but this target names the contract and fails fast on it.
 oracle:
 	$(GO) test -race \
 		-run 'Differential|Template|Concurrent|MatcherToggles|VariantCache' \
-		./internal/rete/ ./internal/ops5/ ./internal/geom/ ./internal/spam/
+		./internal/rete/ ./internal/ops5/ ./internal/geom/ ./internal/spam/ \
+		./internal/tlp/ ./internal/machine/
+
+# bench-memsched regenerates the committed BENCH_7.json snapshot: the
+# memory-aware scheduling experiment's makespan-vs-memory-budget
+# curves (every policy at P=1..64 over SF/DC/MOFF) plus the 10x-scale
+# stress scene where the bounded policy fits a budget FIFO's peak
+# exceeds. The report is invariant-checked before it is written.
+bench-memsched:
+	$(GO) run ./cmd/spambench -experiment ext-memsched -json BENCH_7.json
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, the differential oracles, and the race detector

@@ -65,6 +65,7 @@ var suite = []struct {
 	{"./internal/rete", "BenchmarkJoinChurn|BenchmarkWideEqJoin", ""},
 	{"./internal/ops5", "BenchmarkRecognizeActCycle|BenchmarkJoinHeavyMatch|BenchmarkCompile|BenchmarkEngineBuild|BenchmarkSeedLoad", ""},
 	{"./internal/tlp", "BenchmarkPoolDispatch", ""},
+	{"./internal/machine", "BenchmarkSchedulerPolicies", ""},
 	{"./internal/matchbench", "BenchmarkRubik|BenchmarkWeaver|BenchmarkTourney", ""},
 	{"./internal/geom", "BenchmarkGeomPredicates", ""},
 	{"./internal/spam", "BenchmarkPartnerSearch", ""},

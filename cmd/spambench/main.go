@@ -4,16 +4,24 @@
 //
 //	spambench [-experiment NAME] [-full-scale F] [-subset-scale F]
 //	          [-task-procs N] [-match-procs N]
+//	          [-sched fifo|largest|postorder] [-json FILE]
 //	          [-fault-seed N] [-crash-rate P]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
 // fig7, table9, fig8, fig9, an extension experiment (ext-levels,
 // ext-sched, ext-sync, ext-queues, ext-msgpass, ext-suburban,
-// ext-scale, ext-faults), or "all" (the default).
+// ext-scale, ext-faults, ext-memsched), or "all" (the default).
+//
+// -sched picks the task scheduling policy for the real
+// interpretations the harness runs (results are byte-identical across
+// policies), and -json writes the memory-aware scheduling
+// experiment's makespan-vs-memory-budget curves (the BENCH_7.json
+// document) to FILE.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,7 @@ import (
 
 	"spampsm/internal/bench"
 	"spampsm/internal/prof"
+	"spampsm/internal/tlp"
 )
 
 func main() {
@@ -38,11 +47,19 @@ func realMain() int {
 	taskProcs := flag.Int("task-procs", 14, "maximum task processes (paper: 14)")
 	matchProcs := flag.Int("match-procs", 13, "maximum dedicated match processes (paper: 13)")
 	csvDir := flag.String("csv", "", "also write the figure experiments' data series as CSV files into this directory")
+	sched := flag.String("sched", "fifo", "task scheduling policy for real interpretations: fifo, largest or postorder")
+	jsonOut := flag.String("json", "", "write the memory-aware scheduling experiment's curves to this JSON file")
 	faultSeed := flag.Int64("fault-seed", 1990, "seed for the ext-faults chaos experiment")
 	crashRate := flag.Float64("crash-rate", 0.1, "per-processor death rate for ext-faults' plan-driven row")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	policy, err := tlp.ParseQueuePolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spambench:", err)
+		return 2
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -62,6 +79,7 @@ func realMain() int {
 		MaxMatchProcs: *matchProcs,
 		FaultSeed:     *faultSeed,
 		CrashRate:     *crashRate,
+		Sched:         policy,
 	}
 	suite := bench.NewSuite(opt)
 	var out string
@@ -74,6 +92,26 @@ func realMain() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spambench:", err)
 		return 1
+	}
+	if *jsonOut != "" {
+		rep, err := suite.Memsched()
+		if err == nil {
+			err = rep.Check()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spambench:", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spambench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spambench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if *csvDir != "" {
 		names := []string{*experiment}

@@ -7,8 +7,14 @@
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
 //	        [-reentry] [-scale F] [-lisp] [-naive] [-no-seed-cache]
 //	        [-naive-geom] [-prebuild]
+//	        [-sched fifo|largest|postorder] [-mem-budget BYTES]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -sched orders each phase's task queue (per-task results are
+// byte-identical across policies) and -mem-budget throttles how much
+// modeled task footprint may run concurrently (simulated bytes, see
+// docs/PERFORMANCE.md "Task scheduling and memory").
 //
 // The fault flags run the interpretation under deterministic chaos
 // (see docs/ROBUSTNESS.md): a fixed -fault-seed reproduces the exact
@@ -41,6 +47,7 @@ import (
 	"spampsm/internal/scene"
 	"spampsm/internal/spam"
 	"spampsm/internal/stats"
+	"spampsm/internal/tlp"
 )
 
 func main() {
@@ -58,6 +65,8 @@ func realMain() int {
 	noSeedCache := flag.Bool("no-seed-cache", false, "load seed working memories per-WME without the route memo (same results, slower wall-clock)")
 	naiveGeom := flag.Bool("naive-geom", false, "exact geometry kernels without the predicate memo, derived cache or partner grid (same results, slower wall-clock)")
 	prebuild := flag.Bool("prebuild", false, "build each phase's task engines in parallel before running them")
+	sched := flag.String("sched", "fifo", "task scheduling policy: fifo, largest or postorder")
+	memBudget := flag.Float64("mem-budget", 0, "aggregate in-flight task footprint budget in simulated bytes (0 = unbounded)")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for deterministic fault injection (with -crash-rate)")
 	crashRate := flag.Float64("crash-rate", 0, "probability a task's worker crashes mid-task (0 disables injection)")
@@ -66,6 +75,12 @@ func realMain() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	policy, err := tlp.ParseQueuePolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamrun:", err)
+		return 2
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -119,6 +134,8 @@ func realMain() int {
 		Level:        spam.Level(*level),
 		ReEntry:      *reentry,
 		Prebuild:     *prebuild,
+		Sched:        policy,
+		MemBudget:    *memBudget,
 		Faults:       plan,
 		MaxRetries:   *maxRetries,
 		TaskTimeout:  *taskTimeout,
@@ -162,6 +179,20 @@ func realMain() int {
 		fmt.Printf("scene model: score=%d functional-areas=%d\n", in.Model.Score, in.Model.NFAs)
 	} else {
 		fmt.Println("no scene model produced")
+	}
+
+	var peakTask, seedBytes float64
+	for _, ph := range in.Phases {
+		if ph.PeakTaskBytes > peakTask {
+			peakTask = ph.PeakTaskBytes
+		}
+		seedBytes += ph.SeedBytes
+	}
+	fmt.Printf("memory (modeled): largest task peak %s, total seed WM %s\n",
+		stats.FormatBytes(peakTask), stats.FormatBytes(seedBytes))
+	if ms := in.MemSched; ms.Budget > 0 {
+		fmt.Printf("mem-sched [%s]: budget %s, peak reserved %s, throttle waits %d\n",
+			policy, stats.FormatBytes(ms.Budget), stats.FormatBytes(ms.PeakReserved), ms.ThrottleWaits)
 	}
 
 	if rec := in.Recovery(); rec.Retries > 0 {

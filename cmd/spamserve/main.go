@@ -8,6 +8,7 @@
 //	spamserve [-addr :8641] [-workers N] [-max-concurrent N]
 //	          [-max-queued N] [-per-tenant N] [-deadline D]
 //	          [-cache-regions N] [-quarantine-budget N] [-allow-faults]
+//	          [-sched fifo|largest|postorder] [-mem-budget BYTES]
 //
 // Endpoints:
 //
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"spampsm/internal/serve"
+	"spampsm/internal/tlp"
 )
 
 func main() {
@@ -49,7 +51,15 @@ func realMain() int {
 	quarantine := flag.Int("quarantine-budget", 32, "quarantined tasks from live uninjected runs tolerated before /healthz degrades (0 = unlimited)")
 	allowFaults := flag.Bool("allow-faults", false, "accept per-request fault-injection plans (chaos testing)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
+	sched := flag.String("sched", "fifo", "task scheduling policy: fifo, largest or postorder")
+	memBudget := flag.Float64("mem-budget", 0, "aggregate in-flight task footprint budget in simulated bytes (0 = unbounded)")
 	flag.Parse()
+
+	policy, err := tlp.ParseQueuePolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamserve:", err)
+		return 2
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:           *workers,
@@ -60,6 +70,8 @@ func realMain() int {
 		SceneCacheRegions: *cacheRegions,
 		QuarantineBudget:  *quarantine,
 		AllowFaults:       *allowFaults,
+		Sched:             policy,
+		MemBudget:         *memBudget,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -24,6 +24,7 @@ import (
 	"spampsm/internal/spam"
 	"spampsm/internal/stats"
 	"spampsm/internal/svm"
+	"spampsm/internal/tlp"
 )
 
 // Datasets is the evaluation's dataset order.
@@ -49,6 +50,10 @@ type Options struct {
 	// CrashRate is the per-processor death probability for ext-faults'
 	// plan-driven processor-failure row.
 	CrashRate float64
+	// Sched orders the task queue of every real interpretation the
+	// harness runs (the shared policy vocabulary; results are
+	// byte-identical across policies).
+	Sched tlp.QueuePolicy
 }
 
 // DefaultOptions mirror the paper's experimental setup.
@@ -145,7 +150,7 @@ func (s *Suite) Tables123() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		in, err := d.Interpret(spam.InterpretOptions{Workers: 1, ReEntry: true, Prebuild: true})
+		in, err := d.Interpret(spam.InterpretOptions{Workers: 1, ReEntry: true, Prebuild: true, Sched: s.Opt.Sched})
 		if err != nil {
 			return "", err
 		}
@@ -763,7 +768,7 @@ func Names() []string {
 
 // ExtNames lists the extension/ablation experiments beyond the paper.
 func ExtNames() []string {
-	return []string{"ext-levels", "ext-sched", "ext-sync", "ext-queues", "ext-msgpass", "ext-suburban", "ext-scale", "ext-faults"}
+	return []string{"ext-levels", "ext-sched", "ext-sync", "ext-queues", "ext-msgpass", "ext-suburban", "ext-scale", "ext-faults", "ext-memsched"}
 }
 
 // Run executes one experiment by name.
@@ -805,6 +810,8 @@ func (s *Suite) Run(name string) (string, error) {
 		return s.ExtScale()
 	case "ext-faults":
 		return s.ExtFaults()
+	case "ext-memsched":
+		return s.ExtMemsched()
 	default:
 		return "", fmt.Errorf("bench: unknown experiment %q (want one of %s)", name,
 			strings.Join(append(Names(), ExtNames()...), ", "))

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMemschedReport builds the full report at test scale, checks its
+// invariants, and makes sure the BENCH_7.json document round-trips
+// with every curve family present.
+func TestMemschedReport(t *testing.T) {
+	s := quickSuite()
+	rep, err := s.Memsched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MemschedReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatalf("after round-trip: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Curves {
+		seen[c.Dataset+"/"+c.Policy] = true
+	}
+	for _, ds := range Datasets {
+		for _, pol := range []string{"fifo", "largest", "postorder"} {
+			if !seen[ds+"/"+pol] {
+				t.Errorf("no curves for %s under %s", ds, pol)
+			}
+		}
+	}
+	if rep.Stress.BoundedWaits == 0 {
+		t.Error("stress scene never throttled: budget not binding")
+	}
+}

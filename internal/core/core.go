@@ -181,7 +181,7 @@ func (s *System) Measure(capture bool) (*Measurement, error) {
 	m := &Measurement{System: s}
 	var mtasks []machine.Task
 	for _, r := range results {
-		mtasks = append(mtasks, machine.Task{ID: r.TaskID, Log: r.Log})
+		mtasks = append(mtasks, machine.Task{ID: r.TaskID, Log: r.Log, Group: byID[r.TaskID]})
 		m.Firings += r.Stats.Firings
 		m.RHSActions += r.Stats.RHSActions
 		m.TaskTimes = append(m.TaskTimes, r.Stats.TotalInstr())

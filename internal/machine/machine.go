@@ -47,10 +47,13 @@ type Overheads struct {
 // tasks" task-management measurement: tens of milliseconds per task.
 var DefaultOverheads = Overheads{QueuePerTask: 30000, Fork: 0}
 
-// Task is one schedulable unit: a label plus its cost log.
+// Task is one schedulable unit: a label, its cost log (instruction
+// and memory records), and the decomposition subtree it belongs to
+// (the focal-class group — used by the post-order traversal policy).
 type Task struct {
-	ID  string
-	Log *ops5.CostLog
+	ID    string
+	Log   *ops5.CostLog
+	Group string
 }
 
 // Durations converts tasks to instruction durations under m dedicated
@@ -92,6 +95,12 @@ type Schedule struct {
 	Makespan float64   // instructions until the last task completes
 	Busy     []float64 // per-processor busy instructions
 	PerTask  []float64 // completion time of each task, in queue order
+	// PeakMem is the high-water mark of the aggregate in-flight
+	// modeled footprint (simulated bytes); ThrottleWaits counts the
+	// dispatches the memory budget stalled. Both are zero for the
+	// schedulers that do not model memory (Run, RunSynchronous).
+	PeakMem       float64
+	ThrottleWaits int
 }
 
 // Utilization returns mean processor utilization over the makespan.

@@ -51,11 +51,35 @@ func (c CycleCost) Total() float64 { return c.Resolve + c.Act + c.Match }
 
 // CostLog is the complete cost record of one engine run: the
 // initialization cost (loading the initial working memory through the
-// match network) and one CycleCost per production firing.
+// match network), one CycleCost per production firing, and the task's
+// modeled memory footprint.
 type CostLog struct {
 	Init      float64
 	InitRoots []*rete.Activation
 	Cycles    []CycleCost
+	Mem       MemStats
+}
+
+// MemStats is the modeled memory record of one engine run, in the
+// same simulated units as the instruction cost model (wm.WMEBytes,
+// rete.TokenBytes). It is observational only: recording it never
+// perturbs Counters or charges, so the differential oracles' byte
+// identity is preserved — and because the token create/delete sequence
+// is itself proven identical across matcher variants, so are the peaks.
+type MemStats struct {
+	// SeedWMEs / SeedBytes count the initial working memory asserted
+	// into the engine before the run (the task's distributed seed).
+	SeedWMEs  int
+	SeedBytes float64
+	// PeakWMEs / PeakTokens are high-water marks of simultaneously-live
+	// WMEs and beta tokens over the whole engine lifetime.
+	PeakWMEs   int
+	PeakTokens int
+	// PeakBytes is the modeled footprint the scheduler budgets against:
+	// peak WME bytes plus peak token bytes. The two peaks need not
+	// coincide in time, so this is a (tight, monotone) upper bound on
+	// the true combined instantaneous peak.
+	PeakBytes float64
 }
 
 // TotalInstr returns the run's total instruction count.
@@ -222,6 +246,9 @@ func (e *Engine) Assert(class string, sets map[string]symtab.Value) (*wm.WME, er
 	before := e.net.Totals().Cost
 	e.net.Add(w)
 	e.log.Init += e.net.Totals().Cost - before
+	e.log.Mem.SeedWMEs++
+	e.log.Mem.SeedBytes += wm.WMEBytes(len(w.Vals))
+	e.syncMem()
 	return w, nil
 }
 
@@ -244,6 +271,18 @@ func (e *Engine) Stats() RunStats {
 
 // Log returns the engine's cost log.
 func (e *Engine) Log() *CostLog { return e.log }
+
+// syncMem copies the working memory's and network's occupancy
+// high-water marks into the cost log. Called after every assertion
+// entry point and (deferred) from Run, so the log carries the task's
+// peak even when the run is interrupted or errors out — a failed
+// attempt's footprint still informs the scheduler.
+func (e *Engine) syncMem() {
+	m := &e.log.Mem
+	m.PeakWMEs = e.mem.PeakSize()
+	m.PeakTokens = e.net.PeakTokens()
+	m.PeakBytes = e.mem.PeakBytes() + float64(m.PeakTokens)*rete.TokenBytes
+}
 
 // MatchCounters returns the Rete network's aggregate match counters
 // (simulated instruction accounting). The differential oracle asserts
@@ -308,6 +347,7 @@ func (e *Engine) Run(maxFirings int) (int, error) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	defer e.syncMem()
 	e.interrupted.Store(false)
 	// Collect any activations pending from initialization.
 	initRoots := e.net.TakeBatch()

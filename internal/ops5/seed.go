@@ -15,6 +15,7 @@ import (
 
 	"spampsm/internal/rete"
 	"spampsm/internal/symtab"
+	"spampsm/internal/wm"
 )
 
 // WithPerWMEAssert makes AssertBatch fall back to the per-WME Assert
@@ -121,7 +122,10 @@ func (e *Engine) AssertBatch(seeds []Seed) error {
 			before := e.net.Totals().Cost
 			e.net.Add(w)
 			e.log.Init += e.net.Totals().Cost - before
+			e.log.Mem.SeedWMEs++
+			e.log.Mem.SeedBytes += wm.WMEBytes(len(w.Vals))
 		}
+		e.syncMem()
 		return nil
 	}
 	wmes := e.batchWMEs[:0]
@@ -133,11 +137,14 @@ func (e *Engine) AssertBatch(seeds []Seed) error {
 		}
 		wmes = append(wmes, w)
 		digests = append(digests, s.Digest)
+		e.log.Mem.SeedWMEs++
+		e.log.Mem.SeedBytes += wm.WMEBytes(len(s.Vals))
 	}
 	before := e.net.Totals().Cost
 	e.net.InsertBatch(wmes, digests)
 	e.log.Init += e.net.Totals().Cost - before
 	e.batchWMEs = wmes[:0]
 	e.batchDigests = digests[:0]
+	e.syncMem()
 	return nil
 }

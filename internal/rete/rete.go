@@ -1007,7 +1007,20 @@ type Network struct {
 	graveyard      []*Token
 	wmeEntryPool   []*wmeEntry
 	tokenEntryPool []*tokenEntry
+
+	// Token occupancy for the memory model: live tokens and their
+	// high-water mark. Purely observational — Counters and charges are
+	// untouched, so the simulated cost model stays byte-identical. The
+	// create/delete sequence is already proven identical between the
+	// indexed and naive matchers, so the peaks are too.
+	liveTokens int
+	peakTokens int
 }
+
+// TokenBytes is the modeled footprint of one beta-memory token, in
+// simulated bytes — a round model constant like the NS32332 instruction
+// costs, sized for the token record plus its intrusive list links.
+const TokenBytes = 96
 
 // New builds an empty network with its own private template, reporting
 // to the given agenda. Productions are added directly with
@@ -1040,6 +1053,10 @@ func (n *Network) Template() *Template { return n.tmpl }
 
 // Totals returns the aggregate match counters.
 func (n *Network) Totals() Counters { return n.totals }
+
+// PeakTokens returns the high-water mark of simultaneously-live beta
+// tokens (the dummy top token included).
+func (n *Network) PeakTokens() int { return n.peakTokens }
 
 // NumAlphaMems returns the number of distinct alpha memories, which is
 // less than the number of condition elements when patterns share
@@ -1153,6 +1170,10 @@ func (n *Network) state(w *wm.WME) *wmeState {
 func (n *Network) newToken(holder tokenHolder, parent *Token, w *wm.WME, level int) *Token {
 	n.charge(CostTokenOp)
 	n.totals.TokensCreated++
+	n.liveTokens++
+	if n.liveTokens > n.peakTokens {
+		n.peakTokens = n.liveTokens
+	}
 	var tok *Token
 	if k := len(n.tokenPool); k > 0 {
 		tok = n.tokenPool[k-1]
@@ -1255,6 +1276,7 @@ func (n *Network) deleteToken(tok *Token) {
 	}
 	n.charge(CostTokenOp)
 	n.totals.TokensDeleted++
+	n.liveTokens--
 	if p, ok := tok.node.(*PNode); ok {
 		n.charge(CostAgendaOp)
 		n.agenda.Deactivate(p, tok)

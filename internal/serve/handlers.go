@@ -281,6 +281,7 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 		ReEntry:  req.ReEntry,
 		Degraded: req.Degraded,
 		Runner: &sharedRunner{sp: s.pool, cfg: &tlp.Pool{
+			Policy:       s.cfg.Sched,
 			Faults:       plan,
 			MaxRetries:   req.MaxRetries,
 			RetryBackoff: s.cfg.RetryBackoff,

@@ -55,6 +55,14 @@ type Config struct {
 	AllowFaults bool
 	// RecentReports is how many per-request reports /stats retains.
 	RecentReports int
+	// Sched orders every submission's task queue (fifo, largest or
+	// postorder — the shared policy vocabulary). Per-task results are
+	// byte-identical across policies; only interleaving changes.
+	Sched tlp.QueuePolicy
+	// MemBudget bounds the aggregate modeled footprint of tasks in
+	// flight across all requests (simulated bytes; 0 = unbounded),
+	// throttling dispatch on the shared pool's memory gate.
+	MemBudget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +130,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	sp := tlp.NewSharedPool(cfg.Workers, cfg.QueueDepth)
 	sp.QuarantineBudget = cfg.QuarantineBudget
+	sp.MemBudget = cfg.MemBudget
 	return &Server{
 		cfg:     cfg,
 		pool:    sp,

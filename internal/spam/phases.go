@@ -78,6 +78,10 @@ type PhaseRun struct {
 	// Report is the phase's fault-handling accounting: attempts,
 	// retries, quarantines. Clean phases have a clean report.
 	Report *tlp.RunReport
+	// Modeled memory (ops5.MemStats units): the largest single task's
+	// peak footprint and the phase's total seed working memory.
+	PeakTaskBytes float64
+	SeedBytes     float64
 }
 
 // MatchFraction returns the phase's match fraction of total time.
@@ -118,6 +122,11 @@ type Interpretation struct {
 	// Completeness reports whether every task of every phase
 	// contributed (see InterpretOptions.Degraded).
 	Completeness Completeness
+	// MemSched is the run's memory-gate accounting — budget,
+	// reservation high-water mark, throttle waits — accumulated over
+	// all phases. Zero when the run was unbounded or a serving Runner
+	// executed the phases (the gate then belongs to the shared pool).
+	MemSched tlp.MemSchedStats
 }
 
 // Phase returns the named phase run (RTF/LCC/FA/MODEL), or nil.
@@ -220,6 +229,17 @@ type InterpretOptions struct {
 	TaskTimeout  time.Duration // per-attempt wall-clock deadline; 0 = none
 	RetryBackoff time.Duration // delay before the first retry (doubles after)
 	FiringBudget int           // per-task firing deadline; 0 = none
+
+	// Memory-aware scheduling (see docs/PERFORMANCE.md). Sched orders
+	// every phase's task queue — fifo, largest or postorder — and
+	// MemBudget bounds the aggregate modeled footprint in flight
+	// (simulated bytes; 0 = unbounded). Per-task results are
+	// byte-identical under every policy and budget; only order and
+	// timing change. With a Runner, Sched still orders each
+	// submission's queue, but the memory budget belongs to the shared
+	// pool behind the runner and MemBudget here is ignored.
+	Sched     tlp.QueuePolicy
+	MemBudget float64
 }
 
 func phaseStats(name string, results []*tlp.Result, hypotheses int) PhaseRun {
@@ -233,6 +253,12 @@ func phaseStats(name string, results []*tlp.Result, hypotheses int) PhaseRun {
 		p.RHSActions += r.Stats.RHSActions
 		p.Instr += r.Stats.TotalInstr()
 		p.MatchInstr += r.Stats.MatchInstr + r.Stats.InitInstr
+		if r.Log != nil {
+			if r.Log.Mem.PeakBytes > p.PeakTaskBytes {
+				p.PeakTaskBytes = r.Log.Mem.PeakBytes
+			}
+			p.SeedBytes += r.Log.Mem.SeedBytes
+		}
 	}
 	return p
 }
@@ -272,6 +298,8 @@ func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*
 		runner = &poolRunner{
 			pool: &tlp.Pool{
 				Workers:      opt.Workers,
+				Policy:       opt.Sched,
+				MemBudget:    opt.MemBudget,
 				Faults:       opt.Faults,
 				MaxRetries:   opt.MaxRetries,
 				TaskTimeout:  opt.TaskTimeout,
@@ -283,6 +311,9 @@ func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*
 		}
 	}
 	in := &Interpretation{Dataset: d}
+	if pr, ok := runner.(*poolRunner); ok {
+		defer func() { in.MemSched = pr.pool.MemSched() }()
+	}
 	runPhase := func(tasks []*tlp.Task) ([]*tlp.Result, error) {
 		// A degraded upstream phase may leave a later phase with no
 		// tasks at all; that is an empty phase, not an error.

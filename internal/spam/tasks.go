@@ -6,9 +6,11 @@ import (
 	"sync/atomic"
 
 	"spampsm/internal/ops5"
+	"spampsm/internal/rete"
 	"spampsm/internal/scene"
 	"spampsm/internal/symtab"
 	"spampsm/internal/tlp"
+	"spampsm/internal/wm"
 )
 
 // Level is the LCC decomposition level of Section 4: Level 4 = one
@@ -26,6 +28,17 @@ const (
 
 // sym shortens symbol construction in WM assembly.
 func sym(s string) symtab.Value { return symtab.Sym(s) }
+
+// taskMemEst models a task's peak footprint from the number of WMEs
+// it is expected to hold — seeds plus produced hypotheses — charging
+// each a nominal 8-slot WME plus one beta-token allowance, in the
+// same simulated-byte units as ops5.MemStats.PeakBytes. The estimate
+// feeds the schedulers (tlp.Task.MemEst) at queue-build time, before
+// any engine exists; the measured PeakBytes replaces it wherever a
+// cost log is available (machine.Specs).
+func taskMemEst(wmes int) float64 {
+	return float64(wmes) * (wm.WMEBytes(8) + rete.TokenBytes)
+}
 
 // naiveMatch selects the unindexed reference matcher for every engine
 // the package builds (see UseNaiveMatch).
@@ -210,7 +223,9 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 		tasks = append(tasks, &tlp.Task{
 			ID:        fmt.Sprintf("rtf-%s-%d", store.Scene().Name, batchID),
 			Label:     fmt.Sprintf("RTF batch %d (%d regions)", batchID, len(batchCopy)),
+			Group:     "rtf",
 			EstSize:   float64(len(batchCopy)),
+			MemEst:    taskMemEst(1 + 2*len(batchCopy)),
 			Build:     func() (*ops5.Engine, error) { return build(nil) },
 			BuildWith: build,
 		})
@@ -408,6 +423,7 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 				Label:     fmt.Sprintf("LCC L4 class %s (%d objects)", k, len(groupCopy)),
 				Group:     string(k),
 				EstSize:   float64(est),
+				MemEst:    taskMemEst(2*est + 3*len(groupCopy)),
 				Build:     func() (*ops5.Engine, error) { return build(nil) },
 				BuildWith: build,
 			})
@@ -425,6 +441,7 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 			Label:     fmt.Sprintf("LCC L%d object %d %s (%d checks)", level, uc.focal.ID, uc.cid, uc.expected),
 			Group:     string(uc.focal.Type),
 			EstSize:   float64(uc.expected),
+			MemEst:    taskMemEst(2*uc.expected + 3),
 			Build:     func() (*ops5.Engine, error) { return build(nil) },
 			BuildWith: build,
 		})
@@ -595,7 +612,9 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 			tasks = append(tasks, &tlp.Task{
 				ID:        fmt.Sprintf("fa-%s-%s-%d", store.Scene().Name, spec.Type, f.ID),
 				Label:     fmt.Sprintf("FA %s seed %d (%d members)", spec.Type, f.ID, expected),
+				Group:     "fa-" + string(spec.Type),
 				EstSize:   float64(expected + 1),
+				MemEst:    taskMemEst(expected + len(pairsCopy) + 2),
 				Build:     func() (*ops5.Engine, error) { return build(nil) },
 				BuildWith: build,
 			})
@@ -693,7 +712,9 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 	return &tlp.Task{
 		ID:        fmt.Sprintf("model-%s", store.Scene().Name),
 		Label:     fmt.Sprintf("MODEL (%d functional areas)", len(fasCopy)),
+		Group:     "model",
 		EstSize:   float64(len(fasCopy) + 1),
+		MemEst:    taskMemEst(2*len(fasCopy) + 1),
 		Build:     func() (*ops5.Engine, error) { return build(nil) },
 		BuildWith: build,
 	}

@@ -158,6 +158,23 @@ func FormatFloat(v float64) string {
 	}
 }
 
+// FormatBytes renders a modeled byte count compactly (KB/MB/GB are
+// powers of 1024). The schedulers' memory figures are model units, not
+// heap measurements, but reading them as sizes is what the unit is for.
+func FormatBytes(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av < 1024:
+		return fmt.Sprintf("%.0f B", v)
+	case av < 1024*1024:
+		return fmt.Sprintf("%.1f KB", v/1024)
+	case av < 1024*1024*1024:
+		return fmt.Sprintf("%.1f MB", v/(1024*1024))
+	default:
+		return fmt.Sprintf("%.2f GB", v/(1024*1024*1024))
+	}
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	var b strings.Builder

@@ -40,12 +40,20 @@ type SharedPool struct {
 	// restart on a poisoned process without dropping in-flight work.
 	QuarantineBudget int
 
+	// MemBudget bounds the aggregate modeled footprint of the tasks
+	// in flight across ALL submissions (simulated bytes; 0 disables).
+	// The budget belongs to the pool because the workers do: one
+	// tenant's per-run Pool.MemBudget is ignored here. Set it before
+	// the first Submit.
+	MemBudget float64
+
 	queue chan *workItem
 	wg    sync.WaitGroup // worker goroutines
 
 	mu     sync.Mutex
 	closed bool
 	subs   sync.WaitGroup // in-flight submissions
+	gate   *memGate       // lazily built from MemBudget on first use
 
 	tasksRun    atomic.Int64
 	quarantined atomic.Int64 // live, uninjected runs' quarantines only
@@ -104,8 +112,13 @@ func (sp *SharedPool) runItem(item *workItem, worker int) {
 	if err := sub.ctx.Err(); err != nil {
 		// The run is already dead; skip the task without building it.
 		r = cancelledResult(t, item.idx, 0, nil, err)
+	} else if got, err := sp.memGate().acquire(sub.ctx, t.MemEst); err != nil {
+		// The run died while the task waited for memory; same outcome
+		// as any other pre-attempt cancellation.
+		r = cancelledResult(t, item.idx, 0, nil, err)
 	} else {
 		r = sub.cfg.runOne(sub.ctx, t, worker, item.idx, nil)
+		sp.memGate().release(got)
 	}
 	sp.tasksRun.Add(1)
 	if r.Cancelled {
@@ -128,6 +141,17 @@ func (sp *SharedPool) runItem(item *workItem, worker int) {
 		}
 	}
 	sub.results[item.idx] = r
+}
+
+// memGate returns the pool-wide memory gate, built from MemBudget on
+// first use (nil — admit everything — when no budget is set).
+func (sp *SharedPool) memGate() *memGate {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.gate == nil && sp.MemBudget > 0 {
+		sp.gate = newMemGate(sp.MemBudget)
+	}
+	return sp.gate
 }
 
 // Submit runs one queue of tasks on the shared workers under the
@@ -195,15 +219,24 @@ type Counters struct {
 	CancelledQuarantines int64 // quarantine-grade failures on cancelled runs
 	InjectedQuarantines  int64 // quarantines under a run's own fault plan
 	Cancelled            int64 // tasks abandoned to cancellation
+
+	// Memory-gate accounting (zero when the pool runs unbounded).
+	MemBudget     float64 // configured footprint budget, simulated bytes
+	PeakMemEst    float64 // reservation high-water mark across all submissions
+	ThrottleWaits int64   // dispatches the budget blocked at least once
 }
 
 // Stats returns a snapshot of the pool's lifetime counters.
 func (sp *SharedPool) Stats() Counters {
+	ms := sp.memGate().stats()
 	return Counters{
 		TasksRun:             sp.tasksRun.Load(),
 		Quarantined:          sp.quarantined.Load(),
 		CancelledQuarantines: sp.cancQuar.Load(),
 		InjectedQuarantines:  sp.injQuar.Load(),
 		Cancelled:            sp.cancelled.Load(),
+		MemBudget:            ms.Budget,
+		PeakMemEst:           ms.PeakReserved,
+		ThrottleWaits:        ms.ThrottleWaits,
 	}
 }

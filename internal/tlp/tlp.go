@@ -91,7 +91,12 @@ type Task struct {
 	// necessary information to identify the sizes of the tasks");
 	// LargestFirst uses it to fight the tail-end effect.
 	EstSize float64
-	Build   func() (*ops5.Engine, error)
+	// MemEst is the task's modeled memory footprint in simulated bytes
+	// (seed working memory plus expected match state, see wm.WMEBytes).
+	// The PostOrder policy orders subtrees by it and the pool's
+	// MemBudget gate throttles dispatch against it.
+	MemEst float64
+	Build  func() (*ops5.Engine, error)
 	// BuildWith, when set, is preferred over Build and receives the
 	// worker's allocation scratch (nil when the pool keeps engines):
 	// task builders thread it to ops5.NewEngine via WithScratch so the
@@ -148,7 +153,38 @@ const (
 	// scheduling improvement the paper proposes as future work to
 	// remove the tail-end effect.
 	LargestFirst
+	// PostOrder emits the queue one decomposition subtree (Group) at a
+	// time — subtrees by decreasing aggregate MemEst, larger tasks
+	// first within a subtree — the memory-peak-minimizing traversal of
+	// Marchal et al. (see machine.PolicyPostOrder; the two packages
+	// share one policy vocabulary and one flag surface).
+	PostOrder
 )
+
+var queuePolicyNames = map[QueuePolicy]string{
+	FIFO:         "fifo",
+	LargestFirst: "largest",
+	PostOrder:    "postorder",
+}
+
+func (qp QueuePolicy) String() string {
+	if s, ok := queuePolicyNames[qp]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", uint8(qp))
+}
+
+// ParseQueuePolicy parses the shared policy vocabulary: "fifo",
+// "largest", "postorder" — the -sched flag of spamrun/spambench and
+// the spamserve scheduler config.
+func ParseQueuePolicy(s string) (QueuePolicy, error) {
+	for qp, name := range queuePolicyNames {
+		if s == name {
+			return qp, nil
+		}
+	}
+	return FIFO, fmt.Errorf("tlp: unknown scheduling policy %q (want fifo, largest or postorder)", s)
+}
 
 // Pool runs tasks on a fixed number of task processes.
 type Pool struct {
@@ -184,6 +220,21 @@ type Pool struct {
 	// nil injects nothing.
 	Faults *faults.Plan
 
+	// MemBudget bounds the aggregate modeled footprint (sum of running
+	// tasks' MemEst, simulated bytes) the pool lets in flight at once;
+	// 0 disables the gate. Workers block before building an engine
+	// whose reservation would overflow the budget — memory-bounded
+	// list scheduling on the real runtime. In SharedPool submissions
+	// this per-run field is ignored; the budget belongs to the shared
+	// pool (SharedPool.MemBudget), which owns the workers.
+	MemBudget float64
+
+	// gateMu guards lastGate, the pool's memory gate — built on the
+	// first run, shared by all runs so MemBudget spans them and
+	// MemSched reporting accumulates.
+	gateMu   sync.Mutex
+	lastGate *memGate
+
 	// prebuilt holds engines constructed ahead of Run by Prebuild,
 	// keyed by task. An entry is consumed by the task's first attempt
 	// (if that attempt draws an injected build fault the engine is
@@ -194,11 +245,39 @@ type Pool struct {
 	prebuilt   map[*Task]*ops5.Engine
 }
 
-// order returns the queue order under the pool's policy.
+// order returns the queue order under the pool's policy. Every policy
+// permutes the same task set, so per-task results are byte-identical
+// across policies (the differential scheduling oracle); only queue
+// positions and wall-clock interleaving differ.
 func (p *Pool) order(tasks []*Task) []*Task {
 	q := append([]*Task(nil), tasks...)
-	if p.Policy == LargestFirst {
+	switch p.Policy {
+	case LargestFirst:
 		sort.SliceStable(q, func(i, j int) bool { return q[i].EstSize > q[j].EstSize })
+	case PostOrder:
+		// Aggregate footprint per subtree; subtrees keep their
+		// first-appearance rank so ties stay deterministic.
+		rank := map[string]int{}
+		var mem []float64
+		for _, t := range q {
+			r, ok := rank[t.Group]
+			if !ok {
+				r = len(mem)
+				rank[t.Group] = r
+				mem = append(mem, 0)
+			}
+			mem[r] += t.MemEst
+		}
+		sort.SliceStable(q, func(i, j int) bool {
+			ri, rj := rank[q[i].Group], rank[q[j].Group]
+			if ri != rj {
+				if mem[ri] != mem[rj] {
+					return mem[ri] > mem[rj]
+				}
+				return ri < rj
+			}
+			return q[i].MemEst > q[j].MemEst
+		})
 	}
 	return q
 }
@@ -228,6 +307,15 @@ func (p *Pool) RunContext(ctx context.Context, tasks []*Task) ([]*Result, error)
 	}
 	queue := p.order(tasks)
 	results := make([]*Result, len(queue))
+	// The gate is built once per pool and shared by every run, so its
+	// budget spans concurrent runs and its throttle accounting
+	// accumulates across a multi-phase interpretation.
+	p.gateMu.Lock()
+	if p.lastGate == nil {
+		p.lastGate = newMemGate(p.MemBudget)
+	}
+	gate := p.lastGate
+	p.gateMu.Unlock()
 	// Task dispatch is a single atomic fetch-add on a shared cursor —
 	// the queue itself is immutable after ordering, so workers never
 	// contend on a lock to claim work.
@@ -249,12 +337,22 @@ func (p *Pool) RunContext(ctx context.Context, tasks []*Task) ([]*Result, error)
 				if i >= len(queue) {
 					return
 				}
-				results[i] = p.runOne(ctx, queue[i], worker, i, scratch)
+				results[i] = p.runGated(ctx, gate, queue[i], worker, i, scratch)
 			}
 		}(w)
 	}
 	wg.Wait()
 	return results, nil
+}
+
+// MemSched returns the memory-gate accounting of the pool's most
+// recent run: the configured budget, the reservation high-water mark,
+// and how many dispatches the budget blocked. Zero when the pool runs
+// unbounded.
+func (p *Pool) MemSched() MemSchedStats {
+	p.gateMu.Lock()
+	defer p.gateMu.Unlock()
+	return p.lastGate.stats()
 }
 
 // RunWithReport executes the tasks and additionally returns the

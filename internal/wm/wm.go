@@ -122,11 +122,36 @@ func (w *WME) String() string {
 	return b.String()
 }
 
+// Modeled WME memory footprint, in simulated bytes. Like the NS32332
+// instruction costs in internal/rete, these are round model constants,
+// not Go heap measurements: a WME record (class pointer, timetag,
+// value-vector header) plus one slot per declared attribute. They only
+// need to be consistent across tasks and policies — scheduling compares
+// footprints, it never allocates them.
+const (
+	// WMEBaseBytes is the fixed per-WME record overhead.
+	WMEBaseBytes = 64
+	// SlotBytes is the cost of one attribute slot.
+	SlotBytes = 16
+)
+
+// WMEBytes returns the modeled footprint of a WME with n attribute
+// slots.
+func WMEBytes(n int) float64 { return float64(WMEBaseBytes + n*SlotBytes) }
+
 // Memory is a working memory: the live set of WMEs keyed by timetag.
 type Memory struct {
 	classes *Classes
 	byTag   map[int]*WME
 	nextTag int
+
+	// Peak-occupancy accounting for the memory-aware scheduler: the
+	// high-water mark of live WMEs and of their modeled footprint.
+	// Asserts and retracts are sequential within one engine, so plain
+	// fields suffice.
+	liveBytes float64
+	peakBytes float64
+	peakSize  int
 }
 
 // NewMemory returns an empty working memory over the given classes.
@@ -153,6 +178,7 @@ func (m *Memory) Make(class string, sets map[string]symtab.Value) (*WME, error) 
 	}
 	m.nextTag++
 	m.byTag[w.TimeTag] = w
+	m.grew(len(w.Vals))
 	return w, nil
 }
 
@@ -173,7 +199,20 @@ func (m *Memory) MakeVals(class string, vals []symtab.Value) (*WME, error) {
 	w := &WME{Class: c, Vals: vals, TimeTag: m.nextTag}
 	m.nextTag++
 	m.byTag[w.TimeTag] = w
+	m.grew(len(w.Vals))
 	return w, nil
+}
+
+// grew records one asserted WME with n slots against the high-water
+// marks.
+func (m *Memory) grew(n int) {
+	m.liveBytes += WMEBytes(n)
+	if m.liveBytes > m.peakBytes {
+		m.peakBytes = m.liveBytes
+	}
+	if len(m.byTag) > m.peakSize {
+		m.peakSize = len(m.byTag)
+	}
 }
 
 // Remove retracts a WME. Removing a WME not in memory is an error
@@ -183,11 +222,19 @@ func (m *Memory) Remove(w *WME) error {
 		return fmt.Errorf("wm: remove of absent wme (timetag %d)", w.TimeTag)
 	}
 	delete(m.byTag, w.TimeTag)
+	m.liveBytes -= WMEBytes(len(w.Vals))
 	return nil
 }
 
 // Size returns the number of live WMEs.
 func (m *Memory) Size() int { return len(m.byTag) }
+
+// PeakSize returns the high-water mark of live WMEs.
+func (m *Memory) PeakSize() int { return m.peakSize }
+
+// PeakBytes returns the high-water mark of the modeled WME footprint
+// (WMEBytes summed over the largest simultaneously-live set).
+func (m *Memory) PeakBytes() float64 { return m.peakBytes }
 
 // Snapshot returns the live WMEs ordered by timetag.
 func (m *Memory) Snapshot() []*WME {
