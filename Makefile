@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve bench-memsched oracle check
+.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve bench-memsched bench-incremental incremental-smoke oracle check
 
 build:
 	$(GO) build ./...
@@ -46,13 +46,15 @@ bench-json:
 
 # serve-smoke is the CI smoke test for the interpretation service
 # (cmd/spamserve, docs/SERVING.md): it starts the server in-process,
-# fires a small mixed clean + fault-injected workload at it through the
-# load generator, and fails unless every /healthz probe passed and the
-# resulting serve-bench summary is well-formed. The document goes to a
-# scratch path so the committed BENCH_6.json snapshot is untouched.
+# fires a small mixed clean + fault-injected + incremental-session
+# workload at it through the load generator, and fails unless every
+# /healthz probe passed and the resulting serve-bench summary is
+# well-formed. The document goes to a scratch path so the committed
+# BENCH_6.json snapshot is untouched.
 serve-smoke:
 	$(GO) run ./cmd/spamload -self-serve -requests 6 -concurrency 3 \
-		-datasets DC,MOFF -out /tmp/BENCH_6.smoke.json -check
+		-datasets DC,MOFF -scenarios clean,faults,updates \
+		-session-updates 2 -out /tmp/BENCH_6.smoke.json -check
 
 # bench-serve regenerates the committed BENCH_6.json serving snapshot:
 # the full default workload (24 requests x 6 clients over SF/DC/MOFF,
@@ -62,10 +64,13 @@ bench-serve:
 
 # oracle runs the differential oracles — indexed vs naive matcher,
 # template-instantiated vs fresh-compiled engines, fast-vs-exact
-# geometry, and the scheduling policies (simulator vs Run anchor, pool
-# policies and memory budgets vs the serial FIFO baseline) — at every
-# level (rete scripts, ops5 engines, geometry kernels, the scheduler,
-# the task-process pool, full-SPAM interpretations), under the race
+# geometry, the scheduling policies (simulator vs Run anchor, pool
+# policies and memory budgets vs the serial FIFO baseline), and the
+# incremental-update path (retract/reassert vs fresh load, warm-engine
+# reset, session updates vs from-scratch re-interpretation, at the
+# engine, spam and serve layers) — at every level (rete scripts, ops5
+# engines, geometry kernels, the scheduler, the task-process pool,
+# full-SPAM interpretations, the HTTP session surface), under the race
 # detector. These are the byte-identity guarantees of
 # docs/PERFORMANCE.md; everything here also runs as part of `race`,
 # but this target names the contract and fails fast on it.
@@ -73,7 +78,7 @@ oracle:
 	$(GO) test -race \
 		-run 'Differential|Template|Concurrent|MatcherToggles|VariantCache' \
 		./internal/rete/ ./internal/ops5/ ./internal/geom/ ./internal/spam/ \
-		./internal/tlp/ ./internal/machine/
+		./internal/tlp/ ./internal/machine/ ./internal/serve/
 
 # bench-memsched regenerates the committed BENCH_7.json snapshot: the
 # memory-aware scheduling experiment's makespan-vs-memory-budget
@@ -82,6 +87,25 @@ oracle:
 # exceeds. The report is invariant-checked before it is written.
 bench-memsched:
 	$(GO) run ./cmd/spambench -experiment ext-memsched -json BENCH_7.json
+
+# bench-incremental regenerates the committed BENCH_8.json snapshot:
+# the incremental re-interpretation churn ladder (1/5/20% scene churn
+# over SF/DC/MOFF at calibrated scale, update cost vs a timed
+# from-scratch re-interpretation). The report is invariant-checked —
+# including byte-identity of every updated result and the calibrated
+# DC@1% proportionality bound — before it is written.
+bench-incremental:
+	$(GO) run ./cmd/spambench -experiment ext-incremental -json BENCH_8.json
+
+# incremental-smoke is the CI smoke version of bench-incremental: the
+# same ladder at reduced subset scale (where the proportionality bound
+# is deliberately not enforced — absolute constraint radii make small
+# scenes non-local) to a scratch path, leaving the committed
+# BENCH_8.json untouched. Identity and diff accounting are still
+# checked on every point.
+incremental-smoke:
+	$(GO) run ./cmd/spambench -experiment ext-incremental \
+		-subset-scale 0.35 -json /tmp/BENCH_8.smoke.json
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, the differential oracles, and the race detector

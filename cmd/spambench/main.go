@@ -11,13 +11,16 @@
 // NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
 // fig7, table9, fig8, fig9, an extension experiment (ext-levels,
 // ext-sched, ext-sync, ext-queues, ext-msgpass, ext-suburban,
-// ext-scale, ext-faults, ext-memsched), or "all" (the default).
+// ext-scale, ext-faults, ext-memsched, ext-incremental), or "all"
+// (the default).
 //
 // -sched picks the task scheduling policy for the real
 // interpretations the harness runs (results are byte-identical across
-// policies), and -json writes the memory-aware scheduling
-// experiment's makespan-vs-memory-budget curves (the BENCH_7.json
-// document) to FILE.
+// policies). -json writes the experiment's machine-readable document
+// to FILE: with -experiment ext-incremental the incremental
+// re-interpretation churn ladder (the BENCH_8.json document),
+// otherwise the memory-aware scheduling experiment's
+// makespan-vs-memory-budget curves (the BENCH_7.json document).
 package main
 
 import (
@@ -94,7 +97,17 @@ func realMain() int {
 		return 1
 	}
 	if *jsonOut != "" {
-		rep, err := suite.Memsched()
+		// Which document -json emits follows the experiment:
+		// ext-incremental writes its churn-ladder report (BENCH_8.json);
+		// everything else writes the memory-aware scheduling curves
+		// (BENCH_7.json), the historical default.
+		var rep interface{ Check() error }
+		switch *experiment {
+		case "ext-incremental":
+			rep, err = suite.Incremental()
+		default:
+			rep, err = suite.Memsched()
+		}
 		if err == nil {
 			err = rep.Check()
 		}

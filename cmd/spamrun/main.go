@@ -7,6 +7,7 @@
 //	spamrun [-dataset SF|DC|MOFF|suburban] [-workers N] [-level 1..4]
 //	        [-reentry] [-scale F] [-lisp] [-naive] [-no-seed-cache]
 //	        [-naive-geom] [-prebuild]
+//	        [-update N] [-churn F] [-churn-seed N]
 //	        [-sched fifo|largest|postorder] [-mem-budget BYTES]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
 //	        [-cpuprofile FILE] [-memprofile FILE]
@@ -22,6 +23,15 @@
 // fails after its retries, spamrun prints a per-task error summary and
 // exits non-zero.
 //
+// -update N interprets through a long-lived session instead of a
+// one-shot run: after the initial interpretation it applies N
+// generated churn deltas (-churn fraction of the regions each,
+// deterministic from -churn-seed) and re-interprets incrementally —
+// cached tasks reused, changed tasks re-run on their retained warm
+// Rete engines — printing one update-report row per delta (see
+// docs/PERFORMANCE.md "Incremental re-interpretation"). The phase
+// table then describes the final updated interpretation.
+//
 // -naive selects the unindexed reference matcher (identical results
 // and simulated costs, slower wall-clock; see docs/PERFORMANCE.md),
 // -no-seed-cache loads each task's seed working memory per-WME without
@@ -35,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,6 +76,9 @@ func realMain() int {
 	noSeedCache := flag.Bool("no-seed-cache", false, "load seed working memories per-WME without the route memo (same results, slower wall-clock)")
 	naiveGeom := flag.Bool("naive-geom", false, "exact geometry kernels without the predicate memo, derived cache or partner grid (same results, slower wall-clock)")
 	prebuild := flag.Bool("prebuild", false, "build each phase's task engines in parallel before running them")
+	updates := flag.Int("update", 0, "apply N incremental churn updates through an interpretation session after the initial run")
+	churn := flag.Float64("churn", 0.05, "churn fraction per -update delta (regions touched / scene regions)")
+	churnSeed := flag.Uint64("churn-seed", 1990, "deterministic seed for the -update churn deltas")
 	sched := flag.String("sched", "fifo", "task scheduling policy: fifo, largest or postorder")
 	memBudget := flag.Float64("mem-budget", 0, "aggregate in-flight task footprint budget in simulated bytes (0 = unbounded)")
 	svgOut := flag.String("svg", "", "write the scene segmentation (with best hypotheses) to this SVG file")
@@ -129,7 +143,7 @@ func realMain() int {
 		// retried task recovers and the run completes despite the chaos.
 		plan = faults.New(faults.Config{Seed: *faultSeed, CrashRate: *crashRate})
 	}
-	in, err := d.Interpret(spam.InterpretOptions{
+	iopt := spam.InterpretOptions{
 		Workers:      *workers,
 		Level:        spam.Level(*level),
 		ReEntry:      *reentry,
@@ -140,7 +154,37 @@ func realMain() int {
 		MaxRetries:   *maxRetries,
 		TaskTimeout:  *taskTimeout,
 		RetryBackoff: time.Millisecond,
-	})
+	}
+	var in *spam.Interpretation
+	if *updates > 0 {
+		// Session path: the initial interpretation plus -update churn
+		// deltas folded in incrementally. The phase table below then
+		// describes the final updated interpretation.
+		sess := spam.NewSession(d, iopt)
+		utb := stats.Table{
+			Title: fmt.Sprintf("Incremental updates of %s — %d deltas at %.0f%% churn (seed %d)",
+				d.Name, *updates, 100**churn, *churnSeed),
+			Headers: []string{"Update", "Δregions", "Tasks", "Reused", "Rerun", "Fresh",
+				"Dropped", "Retracted WMEs", "Charged (sec)", "Wall (ms)"},
+		}
+		var rep *spam.UpdateReport
+		in, rep, err = sess.Interpret(context.Background())
+		for i := 1; err == nil && i <= *updates; i++ {
+			utb.AddRow(rep.Update, rep.DeltaSize, rep.Tasks, rep.Reused, rep.Rerun, rep.Fresh,
+				rep.Dropped, rep.RetractedWMEs, machine.InstrToSec(rep.UpdateInstr),
+				float64(rep.Wall)/float64(time.Millisecond))
+			delta := sess.Scene().Churn(scene.DefaultChurn(*churnSeed+uint64(i-1), *churn))
+			in, rep, err = sess.Update(context.Background(), delta)
+		}
+		if err == nil {
+			utb.AddRow(rep.Update, rep.DeltaSize, rep.Tasks, rep.Reused, rep.Rerun, rep.Fresh,
+				rep.Dropped, rep.RetractedWMEs, machine.InstrToSec(rep.UpdateInstr),
+				float64(rep.Wall)/float64(time.Millisecond))
+			fmt.Println(utb.String())
+		}
+	} else {
+		in, err = d.Interpret(iopt)
+	}
 	if err != nil {
 		// The error aggregates every failed task; the reports break the
 		// failures down attempt by attempt.

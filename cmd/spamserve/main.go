@@ -9,12 +9,16 @@
 //	          [-max-queued N] [-per-tenant N] [-deadline D]
 //	          [-cache-regions N] [-quarantine-budget N] [-allow-faults]
 //	          [-sched fifo|largest|postorder] [-mem-budget BYTES]
+//	          [-max-sessions N]
 //
 // Endpoints:
 //
-//	POST /interpret  one interpretation (named or inline scene)
-//	GET  /healthz    liveness + shared-pool quarantine budget
-//	GET  /stats      counters, cache/eviction stats, recent requests
+//	POST   /interpret     one interpretation (named or inline scene)
+//	POST   /session       open an incremental session (interpret + keep warm)
+//	POST   /update        apply a scene delta to a session
+//	DELETE /session/{id}  close a session
+//	GET    /healthz       liveness + shared-pool quarantine budget
+//	GET    /stats         counters, cache/eviction/session stats, recent requests
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests are refused
 // with 503, in-flight interpretations run to completion, then the
@@ -53,6 +57,7 @@ func realMain() int {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "maximum graceful-drain wait on shutdown")
 	sched := flag.String("sched", "fifo", "task scheduling policy: fifo, largest or postorder")
 	memBudget := flag.Float64("mem-budget", 0, "aggregate in-flight task footprint budget in simulated bytes (0 = unbounded)")
+	maxSessions := flag.Int("max-sessions", 0, "live incremental-session bound, LRU-evicted (0 = default 8)")
 	flag.Parse()
 
 	policy, err := tlp.ParseQueuePolicy(*sched)
@@ -72,6 +77,7 @@ func realMain() int {
 		AllowFaults:       *allowFaults,
 		Sched:             policy,
 		MemBudget:         *memBudget,
+		MaxSessions:       *maxSessions,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

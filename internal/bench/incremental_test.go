@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestIncrementalReport runs the churn-ladder experiment on the
+// reduced subsets, validates its invariants, and round-trips the
+// BENCH_8 document through JSON. At subset scale the headline 15%
+// proportionality bound is (deliberately) not enforced by Check —
+// absolute constraint radii make small scenes pathologically
+// non-local — but identity, reuse and diff accounting are.
+func TestIncrementalReport(t *testing.T) {
+	s := quickSuite()
+	rep, err := s.Incremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale >= 1 {
+		t.Fatalf("quick suite should run below calibrated scale, got %g", rep.Scale)
+	}
+	if again, err := s.Incremental(); err != nil || again != rep {
+		t.Errorf("report must be cached on the suite: %v %v", again, err)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IncrementalReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Errorf("decoded document fails its own invariants: %v", err)
+	}
+
+	out, err := s.ExtIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"incremental update cost vs churn", "SF", "DC", "MOFF", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext-incremental output missing %q", want)
+		}
+	}
+}

@@ -82,8 +82,8 @@ func (sb *ServeBench) Render() ([]byte, error) {
 // schema, at least one clean and one faulted scenario, and every
 // scenario with successes carrying a full latency distribution.
 func (sb *ServeBench) Check() error {
-	if sb.Schema != "spampsm-serve-bench/v1" {
-		return fmt.Errorf("bench: bad schema %q", sb.Schema)
+	if err := sb.CheckScenarios(); err != nil {
+		return err
 	}
 	var clean, faulted bool
 	for _, sc := range sb.Scenarios {
@@ -92,6 +92,28 @@ func (sb *ServeBench) Check() error {
 		} else {
 			faulted = true
 		}
+	}
+	if !clean {
+		return fmt.Errorf("bench: no clean-traffic scenario")
+	}
+	if !faulted {
+		return fmt.Errorf("bench: no fault-injected scenario")
+	}
+	return nil
+}
+
+// CheckScenarios validates the schema and each scenario's internal
+// consistency without demanding the full clean+faulted smoke
+// coverage. Partial runs (e.g. spamload -scenarios updates) gate on
+// this instead of Check.
+func (sb *ServeBench) CheckScenarios() error {
+	if sb.Schema != "spampsm-serve-bench/v1" {
+		return fmt.Errorf("bench: bad schema %q", sb.Schema)
+	}
+	if len(sb.Scenarios) == 0 {
+		return fmt.Errorf("bench: document has no scenarios")
+	}
+	for _, sc := range sb.Scenarios {
 		if sc.Requests == 0 {
 			return fmt.Errorf("bench: scenario %q ran no requests", sc.Name)
 		}
@@ -108,12 +130,6 @@ func (sb *ServeBench) Check() error {
 		if sc.Succeeded+sc.Shed+sc.Failed+sc.Cancelled != sc.Requests {
 			return fmt.Errorf("bench: scenario %q outcomes do not sum to requests", sc.Name)
 		}
-	}
-	if !clean {
-		return fmt.Errorf("bench: no clean-traffic scenario")
-	}
-	if !faulted {
-		return fmt.Errorf("bench: no fault-injected scenario")
 	}
 	return nil
 }

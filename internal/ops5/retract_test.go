@@ -1,0 +1,325 @@
+package ops5
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spampsm/internal/rete"
+)
+
+// Engine-level incremental-update oracles: RetractBatch and
+// ResetForUpdate must leave a warm engine observably identical to a
+// fresh one loaded with the surviving seed set. Absolute timetags are
+// the one legitimate difference — a warm engine's tag counter never
+// rewinds — so the oracles compare tag-normalized projections: every
+// timetag is replaced by its rank in the engine's own sorted tag
+// population, which is invariant across the warm/fresh divide exactly
+// when the engines created and destroyed corresponding WMEs in the
+// same order.
+
+var (
+	fireLineRE = regexp.MustCompile(`^(\d+\. .+ )\[([0-9 ]*)\]$`)
+	wmLineRE   = regexp.MustCompile(`^((?:=>|<=)WM: )(\d+)( .*)$`)
+)
+
+// traceTags records every timetag a firing trace mentions.
+func traceTags(trace string, tags map[int]bool) {
+	for _, line := range strings.Split(trace, "\n") {
+		if m := fireLineRE.FindStringSubmatch(line); m != nil {
+			for _, f := range strings.Fields(m[2]) {
+				n, _ := strconv.Atoi(f)
+				tags[n] = true
+			}
+		} else if m := wmLineRE.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.Atoi(m[2])
+			tags[n] = true
+		}
+	}
+}
+
+// remapTrace rewrites the timetag fields of a firing trace through the
+// rank map, leaving WME bodies untouched.
+func remapTrace(trace string, rank map[int]int) string {
+	var b strings.Builder
+	for _, line := range strings.Split(trace, "\n") {
+		if m := fireLineRE.FindStringSubmatch(line); m != nil {
+			fields := strings.Fields(m[2])
+			for i, f := range fields {
+				n, _ := strconv.Atoi(f)
+				fields[i] = strconv.Itoa(rank[n])
+			}
+			b.WriteString(m[1] + "[" + strings.Join(fields, " ") + "]")
+		} else if m := wmLineRE.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.Atoi(m[2])
+			b.WriteString(m[1] + strconv.Itoa(rank[n]) + m[3])
+		} else {
+			b.WriteString(line)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// normState is the tag-normalized engine projection the incremental
+// oracles compare: firing trace, live WM, unfired conflict set, and
+// run statistics, with every timetag replaced by its rank.
+type normState struct {
+	trace    string
+	dump     string
+	conflict []string
+	stats    RunStats
+}
+
+func normalizedState(e *Engine, trace string) normState {
+	tags := map[int]bool{}
+	traceTags(trace, tags)
+	for _, w := range e.Memory().Snapshot() {
+		tags[w.TimeTag] = true
+	}
+	for _, in := range e.cs.insts {
+		for _, tg := range in.tags {
+			tags[tg] = true
+		}
+	}
+	sorted := make([]int, 0, len(tags))
+	for tg := range tags {
+		sorted = append(sorted, tg)
+	}
+	sort.Ints(sorted)
+	rank := make(map[int]int, len(sorted))
+	for i, tg := range sorted {
+		rank[tg] = i + 1
+	}
+
+	var dump bytes.Buffer
+	for _, w := range e.Memory().Snapshot() {
+		fmt.Fprintf(&dump, "%d: %s\n", rank[w.TimeTag], w)
+	}
+	var cs []string
+	for _, in := range e.cs.insts {
+		if in.fired {
+			continue
+		}
+		rtags := make([]int, len(in.tags))
+		for i, tg := range in.tags {
+			rtags[i] = rank[tg]
+		}
+		cs = append(cs, fmt.Sprintf("%s %v", in.cp.prod.Name, rtags))
+	}
+	sort.Strings(cs)
+	return normState{
+		trace:    remapTrace(trace, rank),
+		dump:     dump.String(),
+		conflict: cs,
+		stats:    e.Stats(),
+	}
+}
+
+func normStatesEqual(t *testing.T, label string, ref, got normState) {
+	t.Helper()
+	if ref.trace != got.trace {
+		t.Errorf("%s: firing traces differ:\nref:\n%s\ngot:\n%s", label, ref.trace, got.trace)
+	}
+	if ref.dump != got.dump {
+		t.Errorf("%s: WM snapshots differ:\nref:\n%s\ngot:\n%s", label, ref.dump, got.dump)
+	}
+	if !reflect.DeepEqual(ref.conflict, got.conflict) {
+		t.Errorf("%s: conflict sets differ:\nref: %v\ngot: %v", label, ref.conflict, got.conflict)
+	}
+	// InitInstr legitimately differs: a warm engine is charged for the
+	// retraction (network unloading) on top of the reload, where the
+	// fresh reference pays for its load alone. Everything else must be
+	// byte-identical; the extra init charge must never be negative.
+	refStats, gotStats := ref.stats, got.stats
+	refStats.InitInstr, gotStats.InitInstr = 0, 0
+	if refStats != gotStats {
+		t.Errorf("%s: run stats differ:\nref: %+v\ngot: %+v", label, ref.stats, got.stats)
+	}
+	if got.stats.InitInstr < ref.stats.InitInstr {
+		t.Errorf("%s: warm init charge %v below fresh %v — retract work uncharged?",
+			label, got.stats.InitInstr, ref.stats.InitInstr)
+	}
+}
+
+func subCounters(a, b rete.Counters) rete.Counters {
+	return rete.Counters{
+		ConstTests:    a.ConstTests - b.ConstTests,
+		JoinTests:     a.JoinTests - b.JoinTests,
+		TokensCreated: a.TokensCreated - b.TokensCreated,
+		TokensDeleted: a.TokensDeleted - b.TokensDeleted,
+		Activations:   a.Activations - b.Activations,
+		Cost:          a.Cost - b.Cost,
+	}
+}
+
+// TestDifferentialResetForUpdateVsFresh is the warm-engine oracle the
+// session layer's engine retention relies on: after a full
+// load-and-run cycle, ResetForUpdate + AssertBatch + Run must replay
+// the identical interpretation a fresh engine produces — same
+// normalized firing trace, WM, conflict set and run statistics, and
+// the same match-counter delta over the load+run window (token
+// creation included, proving the wiped network held no residue).
+func TestDifferentialResetForUpdateVsFresh(t *testing.T) {
+	for _, tc := range diffPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := diffSeedRows(t, prog)
+			seeds := make([]Seed, len(rows))
+			for i, r := range rows {
+				seeds[i] = r.seed
+			}
+
+			var freshTrace bytes.Buffer
+			fresh, err := NewEngine(prog, WithTrace(&freshTrace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.AssertBatch(seeds); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fresh.Run(5000); err != nil {
+				t.Fatal(err)
+			}
+			ref := normalizedState(fresh, freshTrace.String())
+			freshTotals := fresh.MatchCounters()
+
+			var warmTrace bytes.Buffer
+			warm, err := NewEngine(prog, WithTrace(&warmTrace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.AssertBatch(seeds); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Run(5000); err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.ResetForUpdate(); err != nil {
+				t.Fatal(err)
+			}
+			if n := warm.Memory().Size(); n != 0 {
+				t.Fatalf("reset left %d live WMEs", n)
+			}
+			if n := warm.ConflictSetSize(); n != 0 {
+				t.Fatalf("reset left %d live instantiations", n)
+			}
+			base := warm.MatchCounters()
+			warmTrace.Reset()
+			if err := warm.AssertBatch(seeds); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Run(5000); err != nil {
+				t.Fatal(err)
+			}
+			normStatesEqual(t, tc.name, ref, normalizedState(warm, warmTrace.String()))
+			if delta := subCounters(warm.MatchCounters(), base); delta != freshTotals {
+				t.Errorf("match-counter delta differs from fresh totals:\nfresh: %+v\ndelta: %+v",
+					freshTotals, delta)
+			}
+			if ref.trace == "" {
+				t.Fatal("trace empty: program did not fire")
+			}
+		})
+	}
+}
+
+// TestDifferentialRetractReassertChurn is the property-style churn
+// oracle (and the graveyard-reclamation regression test — make oracle
+// runs it under -race): for random seed subsets, loading everything,
+// retracting the subset and re-asserting it must be observably
+// identical to a fresh engine that asserted the kept rows followed by
+// the subset — before and after running to quiescence.
+func TestDifferentialRetractReassertChurn(t *testing.T) {
+	for _, tc := range diffPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := diffSeedRows(t, prog)
+			rng := rand.New(rand.NewSource(1990))
+			for trial := 0; trial < 12; trial++ {
+				inSubset := make([]bool, len(rows))
+				n := 0
+				for n == 0 || n == len(rows) {
+					n = 0
+					for i := range rows {
+						inSubset[i] = rng.Intn(3) == 0
+						if inSubset[i] {
+							n++
+						}
+					}
+				}
+				var kept, subset []Seed
+				for i, r := range rows {
+					if inSubset[i] {
+						subset = append(subset, r.seed)
+					} else {
+						kept = append(kept, r.seed)
+					}
+				}
+
+				var churnTrace bytes.Buffer
+				churn, err := NewEngine(prog, WithTrace(&churnTrace))
+				if err != nil {
+					t.Fatal(err)
+				}
+				all := make([]Seed, len(rows))
+				for i, r := range rows {
+					all[i] = r.seed
+				}
+				if err := churn.AssertBatch(all); err != nil {
+					t.Fatal(err)
+				}
+				// Seeds were asserted in row order into an empty memory,
+				// so snapshot position i is row i.
+				wmes := churn.Memory().Snapshot()
+				victims := wmes[:0:0]
+				for i, w := range wmes {
+					if inSubset[i] {
+						victims = append(victims, w)
+					}
+				}
+				if err := churn.RetractBatch(victims); err != nil {
+					t.Fatal(err)
+				}
+				if err := churn.AssertBatch(subset); err != nil {
+					t.Fatal(err)
+				}
+
+				var refTrace bytes.Buffer
+				ref, err := NewEngine(prog, WithTrace(&refTrace))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.AssertBatch(kept); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.AssertBatch(subset); err != nil {
+					t.Fatal(err)
+				}
+
+				label := fmt.Sprintf("trial %d (churn %d/%d)", trial, n, len(rows))
+				normStatesEqual(t, label+" preRun", normalizedState(ref, ""), normalizedState(churn, ""))
+				if _, err := churn.Run(5000); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.Run(5000); err != nil {
+					t.Fatal(err)
+				}
+				normStatesEqual(t, label, normalizedState(ref, refTrace.String()),
+					normalizedState(churn, churnTrace.String()))
+			}
+		})
+	}
+}

@@ -95,23 +95,33 @@ func (is *InlineScene) toScene() (*scene.Scene, error) {
 	s := &scene.Scene{Name: name, Domain: d, W: is.W, H: is.H}
 	seen := map[int]bool{}
 	for _, r := range is.Regions {
-		if len(r.Poly) < 3 {
-			return nil, fmt.Errorf("serve: region %d: polygon needs >= 3 points", r.ID)
-		}
 		if seen[r.ID] {
 			return nil, fmt.Errorf("serve: duplicate region id %d", r.ID)
 		}
 		seen[r.ID] = true
-		poly := make(geom.Polygon, len(r.Poly))
-		for i, p := range r.Poly {
-			poly[i] = geom.Point{X: p[0], Y: p[1]}
+		reg, err := toRegion(r)
+		if err != nil {
+			return nil, err
 		}
-		s.Regions = append(s.Regions, &scene.Region{
-			ID: r.ID, Poly: poly, TrueKind: scene.Kind(r.Kind),
-			Intensity: r.Intensity, Texture: r.Texture,
-		})
+		s.Regions = append(s.Regions, reg)
 	}
 	return s, nil
+}
+
+// toRegion converts one wire region, shared by inline scenes and
+// explicit session deltas.
+func toRegion(r InlineRegion) (*scene.Region, error) {
+	if len(r.Poly) < 3 {
+		return nil, fmt.Errorf("serve: region %d: polygon needs >= 3 points", r.ID)
+	}
+	poly := make(geom.Polygon, len(r.Poly))
+	for i, p := range r.Poly {
+		poly[i] = geom.Point{X: p[0], Y: p[1]}
+	}
+	return &scene.Region{
+		ID: r.ID, Poly: poly, TrueKind: scene.Kind(r.Kind),
+		Intensity: r.Intensity, Texture: r.Texture,
+	}, nil
 }
 
 // PhaseSummary is one phase of a Response: counts only, all of them
@@ -155,9 +165,22 @@ type Response struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /interpret", s.handleInterpret)
+	mux.HandleFunc("POST /session", s.handleSessionOpen)
+	mux.HandleFunc("POST /update", s.handleSessionUpdate)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
+}
+
+// decodeBody decodes a bounded, strict JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &apiError{status: 400, msg: "bad request body: " + err.Error()}
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

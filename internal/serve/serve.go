@@ -55,6 +55,11 @@ type Config struct {
 	AllowFaults bool
 	// RecentReports is how many per-request reports /stats retains.
 	RecentReports int
+	// MaxSessions bounds the live incremental sessions (POST /session);
+	// opening one past the cap evicts the least recently used. Each
+	// session retains every task's warm Rete engine, so the cap is the
+	// server's main memory lever for the incremental path.
+	MaxSessions int
 	// Sched orders every submission's task queue (fifo, largest or
 	// postorder — the shared policy vocabulary). Per-task results are
 	// byte-identical across policies; only interleaving changes.
@@ -93,16 +98,20 @@ func (c Config) withDefaults() Config {
 	if c.RecentReports < 1 {
 		c.RecentReports = 64
 	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 8
+	}
 	return c
 }
 
 // Server is one interpretation service instance.
 type Server struct {
-	cfg    Config
-	pool   *tlp.SharedPool
-	cache  *datasetCache
-	sem    chan struct{}
-	queued atomic.Int64
+	cfg      Config
+	pool     *tlp.SharedPool
+	cache    *datasetCache
+	sessions *sessionStore
+	sem      chan struct{}
+	queued   atomic.Int64
 
 	draining atomic.Bool
 	drainCh  chan struct{}
@@ -132,12 +141,13 @@ func New(cfg Config) *Server {
 	sp.QuarantineBudget = cfg.QuarantineBudget
 	sp.MemBudget = cfg.MemBudget
 	return &Server{
-		cfg:     cfg,
-		pool:    sp,
-		cache:   newDatasetCache(cfg.SceneCacheRegions),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		drainCh: make(chan struct{}),
-		tenants: map[string]int{},
+		cfg:      cfg,
+		pool:     sp,
+		cache:    newDatasetCache(cfg.SceneCacheRegions),
+		sessions: newSessionStore(cfg.MaxSessions),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		drainCh:  make(chan struct{}),
+		tenants:  map[string]int{},
 	}
 }
 
@@ -276,6 +286,7 @@ type Stats struct {
 
 	Pool       tlp.Counters    `json:"pool"`
 	SceneCache CacheStats      `json:"sceneCache"`
+	Sessions   SessionStats    `json:"sessions"`
 	Tenants    map[string]int  `json:"tenants,omitempty"`
 	Recent     []RequestReport `json:"recent,omitempty"`
 }
@@ -308,6 +319,7 @@ func (s *Server) Stats() Stats {
 		Queued:     s.queued.Load(),
 		Pool:       s.pool.Stats(),
 		SceneCache: s.cache.stats(),
+		Sessions:   s.sessions.stats(),
 		Tenants:    tenants,
 		Recent:     recent,
 	}

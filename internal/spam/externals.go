@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"spampsm/internal/geom"
 	"spampsm/internal/ops5"
@@ -32,6 +33,11 @@ const (
 	CostPredict = 150000
 	// CostStereo is the cost of one MODEL-phase stereo verification.
 	CostStereo = 250000
+
+	// faPredictRadius is the bbox expansion fa-predict-area scans for
+	// sub-area candidates. Sessions replicate the scan when signing FA
+	// tasks (Session.faNeighborhood), so the two must agree.
+	faPredictRadius = 800
 )
 
 // Fragment is one scene-fragment interpretation hypothesis, the unit
@@ -71,8 +77,78 @@ type RegionStore struct {
 	// Counters and firing sequences are unchanged. Same lock
 	// discipline as the fragment-seed cache. Disabled by
 	// UseUncachedGeo for the differential oracle and baselines.
-	geoMu   sync.RWMutex
-	geoMemo map[geoKey]bool
+	//
+	// The memo is bounded (geoCap entries, FIFO eviction) so a
+	// long-lived serving session cannot grow it forever, and entries
+	// are epoch-stamped: every memoised boolean records the epoch of
+	// both regions at evaluation time, and ApplyDelta invalidates a
+	// changed region's entries by bumping its epoch — O(1) per region,
+	// no scan, no wholesale flush. Stale entries are overwritten in
+	// place on the next evaluation or recycled by eviction.
+	geoMu       sync.RWMutex
+	geoMemo     map[geoKey]geoVal
+	geoQueue    []geoKey // insertion order; head geoHead (FIFO eviction)
+	geoHead     int
+	geoCap      int
+	regionEpoch map[int]uint32
+
+	geoHits      atomic.Int64
+	geoMisses    atomic.Int64
+	geoEvictions atomic.Int64
+
+	// epoch counts ApplyDelta calls (0 for a freshly built store).
+	epoch int
+}
+
+// geoVal is one memoised predicate result, stamped with the epochs of
+// both operand regions at evaluation time. A lookup whose stamps do
+// not match the regions' current epochs is a miss: the geometry the
+// boolean was computed over no longer exists.
+type geoVal struct {
+	ok     bool
+	ea, eb uint32
+}
+
+// DefaultGeoMemoCap bounds the spatial-predicate memo. Sized an order
+// of magnitude above the largest benchmark scene's working set, so
+// eviction never perturbs the experiments while a long-lived server
+// stays bounded.
+const DefaultGeoMemoCap = 1 << 18
+
+// GeoMemoStats is a snapshot of the predicate memo's occupancy and
+// lifetime counters, surfaced through the serving layer's /stats.
+type GeoMemoStats struct {
+	Entries   int   `json:"entries"`
+	Cap       int   `json:"cap"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// GeoStats returns the predicate memo's current statistics.
+func (st *RegionStore) GeoStats() GeoMemoStats {
+	st.geoMu.RLock()
+	n := len(st.geoMemo)
+	cap := st.geoCap
+	st.geoMu.RUnlock()
+	return GeoMemoStats{
+		Entries:   n,
+		Cap:       cap,
+		Hits:      st.geoHits.Load(),
+		Misses:    st.geoMisses.Load(),
+		Evictions: st.geoEvictions.Load(),
+	}
+}
+
+// SetGeoMemoCap overrides the predicate-memo entry cap (tests exercise
+// eviction with small caps). Values below 1 restore the default.
+func (st *RegionStore) SetGeoMemoCap(n int) {
+	if n < 1 {
+		n = DefaultGeoMemoCap
+	}
+	st.geoMu.Lock()
+	st.geoCap = n
+	st.geoMu.Unlock()
 }
 
 // geoKey identifies one spatial-predicate evaluation. For the
@@ -113,11 +189,13 @@ type fragSeedKey struct {
 // NewRegionStore indexes a scene.
 func NewRegionStore(s *scene.Scene) *RegionStore {
 	st := &RegionStore{
-		scene:     s,
-		byID:      make(map[int]*scene.Region, len(s.Regions)),
-		derived:   make(map[int]*geom.Derived, len(s.Regions)),
-		fragSeeds: map[fragSeedKey]ops5.Seed{},
-		geoMemo:   map[geoKey]bool{},
+		scene:       s,
+		byID:        make(map[int]*scene.Region, len(s.Regions)),
+		derived:     make(map[int]*geom.Derived, len(s.Regions)),
+		fragSeeds:   map[fragSeedKey]ops5.Seed{},
+		geoMemo:     map[geoKey]geoVal{},
+		geoCap:      DefaultGeoMemoCap,
+		regionEpoch: map[int]uint32{},
 	}
 	for _, r := range s.Regions {
 		st.byID[r.ID] = r
@@ -200,16 +278,38 @@ func (st *RegionStore) Test(rel string, aID, bID int, eps float64) (bool, float6
 	}
 	st.geoMu.RLock()
 	v, hit := st.geoMemo[key]
+	ea, eb := st.regionEpoch[key.a], st.regionEpoch[key.b]
 	st.geoMu.RUnlock()
-	if hit {
-		return v, cost, nil
+	if hit && v.ea == ea && v.eb == eb {
+		st.geoHits.Add(1)
+		return v.ok, cost, nil
 	}
+	st.geoMisses.Add(1)
 	ok, err := st.evalRel(rel, a, b, eps)
 	if err != nil {
 		return false, 0, err
 	}
 	st.geoMu.Lock()
-	st.geoMemo[key] = ok
+	if _, present := st.geoMemo[key]; !present {
+		// Inserting a fresh key: evict the oldest entry once the cap is
+		// reached. Every live key has exactly one queue slot, so one pop
+		// frees exactly one entry.
+		if len(st.geoMemo) >= st.geoCap {
+			old := st.geoQueue[st.geoHead]
+			st.geoHead++
+			delete(st.geoMemo, old)
+			st.geoEvictions.Add(1)
+			if st.geoHead >= 1024 && st.geoHead*2 >= len(st.geoQueue) {
+				st.geoQueue = append(st.geoQueue[:0], st.geoQueue[st.geoHead:]...)
+				st.geoHead = 0
+			}
+		}
+		st.geoQueue = append(st.geoQueue, key)
+	}
+	// Re-read the epochs under the write lock: a concurrent ApplyDelta
+	// cannot run during task execution, but the stamps must match the
+	// epochs the geometry was read under.
+	st.geoMemo[key] = geoVal{ok: ok, ea: st.regionEpoch[key.a], eb: st.regionEpoch[key.b]}
 	st.geoMu.Unlock()
 	return ok, cost, nil
 }
@@ -355,7 +455,7 @@ func (st *RegionStore) Register(e *ops5.Engine) {
 		// Count plausible sub-area candidates inside the seed's
 		// neighbourhood: regions overlapping the expanded bbox
 		// (cached boxes; same scan order and booleans).
-		bb := st.derived[r.ID].BBox.Expand(800)
+		bb := st.derived[r.ID].BBox.Expand(faPredictRadius)
 		n := 0
 		for _, other := range st.scene.Regions {
 			if other.ID != r.ID && bb.Intersects(st.derived[other.ID].BBox) {

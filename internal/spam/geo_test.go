@@ -186,6 +186,86 @@ func TestConcurrentGeoMemo(t *testing.T) {
 	}
 }
 
+// TestGeoMemoCapEviction pins the predicate memo's bound: with a tiny
+// cap the store must stay at or below it while answers remain
+// identical to the uncached reference, the eviction counter must
+// advance, and re-querying an evicted key must still produce the
+// reference answer (recomputed, not stale).
+func TestGeoMemoCapEviction(t *testing.T) {
+	d := smallDC(t)
+	st := d.Store
+	regions := d.Scene.Regions
+	if len(regions) > 20 {
+		regions = regions[:20]
+	}
+	const cap = 8
+	st.SetGeoMemoCap(cap)
+	defer st.SetGeoMemoCap(0)
+
+	type ans struct {
+		ok   bool
+		cost float64
+	}
+	want := map[geoKey]ans{}
+	UseUncachedGeo(true)
+	for _, rel := range geoRels {
+		for _, a := range regions {
+			for _, b := range regions {
+				ok, cost, err := st.Test(rel, a.ID, b.ID, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[geoKey{a.ID, b.ID, rel, 300}] = ans{ok, cost}
+			}
+		}
+	}
+	UseUncachedGeo(false)
+
+	before := st.GeoStats()
+	for pass := 0; pass < 2; pass++ {
+		for _, rel := range geoRels {
+			for _, a := range regions {
+				for _, b := range regions {
+					ok, cost, err := st.Test(rel, a.ID, b.ID, 300)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exp := want[geoKey{a.ID, b.ID, rel, 300}]
+					if ok != exp.ok || cost != exp.cost {
+						t.Fatalf("%s(%d,%d) pass %d under cap: (%v,%v) want (%v,%v)",
+							rel, a.ID, b.ID, pass, ok, cost, exp.ok, exp.cost)
+					}
+					if s := st.GeoStats(); s.Entries > cap {
+						t.Fatalf("memo holds %d entries, cap %d", s.Entries, cap)
+					}
+				}
+			}
+		}
+	}
+	after := st.GeoStats()
+	if after.Cap != cap {
+		t.Errorf("GeoStats cap = %d, want %d", after.Cap, cap)
+	}
+	if after.Evictions <= before.Evictions {
+		t.Errorf("evictions did not advance: %d -> %d", before.Evictions, after.Evictions)
+	}
+	if after.Misses <= before.Misses {
+		t.Errorf("misses did not advance: %d -> %d", before.Misses, after.Misses)
+	}
+	// The sweep's working set dwarfs the cap, so FIFO eviction kills
+	// every entry before its re-reference: the sweep itself scores no
+	// hits. An immediate back-to-back repeat must hit.
+	if _, _, err := st.Test(RelNear, regions[0].ID, regions[1].ID, 300); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Test(RelNear, regions[0].ID, regions[1].ID, 300); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.GeoStats(); s.Hits <= after.Hits {
+		t.Errorf("back-to-back repeat did not hit the memo: %d -> %d", after.Hits, s.Hits)
+	}
+}
+
 // BenchmarkPartnerSearch measures the grid-indexed partner query
 // against the linear fragment scan it replaces.
 func BenchmarkPartnerSearch(b *testing.B) {

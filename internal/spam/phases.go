@@ -322,34 +322,8 @@ func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*
 		}
 		return runner.RunTasks(ctx, tasks)
 	}
-	// endPhase settles one phase's results into the interpretation's
-	// completeness accounting and decides whether the run continues:
-	// cancellation always aborts; quarantined tasks abort unless the
-	// run is Degraded, in which case the phase's surviving outputs
-	// stand and the loss is recorded.
 	endPhase := func(name string, results []*tlp.Result) error {
-		for _, r := range results {
-			if r == nil {
-				continue
-			}
-			in.Completeness.Tasks++
-			if r.Err == nil {
-				continue
-			}
-			if r.Cancelled {
-				in.Completeness.Cancelled++
-			} else {
-				in.Completeness.Failed++
-				in.Completeness.FailedTasks = append(in.Completeness.FailedTasks, r.TaskID)
-			}
-		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("spam: %s: interpretation cancelled: %w", name, err)
-		}
-		if opt.Degraded {
-			return nil
-		}
-		return phaseError(name, results)
+		return settlePhase(ctx, in, opt.Degraded, name, results)
 	}
 
 	// Phase 1: RTF.
@@ -447,6 +421,36 @@ func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*
 	in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, nModels))
 	in.Completeness.Complete = in.Completeness.Failed == 0 && in.Completeness.Cancelled == 0
 	return in, nil
+}
+
+// settlePhase settles one phase's results into the interpretation's
+// completeness accounting and decides whether the run continues:
+// cancellation always aborts; quarantined tasks abort unless the run
+// is degraded, in which case the phase's surviving outputs stand and
+// the loss is recorded. Shared between InterpretContext and Session.
+func settlePhase(ctx context.Context, in *Interpretation, degraded bool, name string, results []*tlp.Result) error {
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		in.Completeness.Tasks++
+		if r.Err == nil {
+			continue
+		}
+		if r.Cancelled {
+			in.Completeness.Cancelled++
+		} else {
+			in.Completeness.Failed++
+			in.Completeness.FailedTasks = append(in.Completeness.FailedTasks, r.TaskID)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("spam: %s: interpretation cancelled: %w", name, err)
+	}
+	if degraded {
+		return nil
+	}
+	return phaseError(name, results)
 }
 
 // phaseError aggregates every failed (quarantined) task of a phase

@@ -1,0 +1,801 @@
+// Interpretation sessions: incremental re-interpretation with cost
+// proportional to scene churn.
+//
+// A Session holds a live interpretation of one scene — a private scene
+// clone, its RegionStore, a persistent fragment grid, and every phase
+// task's quiesced Rete engine — and folds scene deltas into it. The
+// decomposition is keyed stably and identically to the classic
+// builders (RTF position batches, LCC units by focal fragment and
+// constraint, FA tasks by seed fragment), so the same logical task
+// keeps its identity across updates — identical decomposition matters
+// because RTF classification is batch-composition-dependent
+// (rtf-align boosts pairs within a batch). On each run the session
+// reassembles every task's seed working memory, collapses each seed
+// to its rete.RouteDigest, appends the geometry epochs of the regions
+// the task's externals can read (geo-test booleans and fa-predict-area
+// candidate scans depend on region geometry the seed rows don't
+// capture), and diffs the signature against the one the task last ran
+// with:
+//
+//   - unchanged signature → the task's cached result (and its warm
+//     engine, holding the final working memory) is reused outright, at
+//     zero simulated cost beyond the digest comparison;
+//   - changed signature with a retained engine → the engine is returned
+//     to the empty-WM state (ops5.ResetForUpdate retracts the live WM
+//     through the Rete network), reloaded with the new seeds, and
+//     re-run — the warm engine keeps its compiled network, token pools
+//     and hash indexes, and the retract+reload charge is the update's
+//     honestly accounted cost;
+//   - new key → a fresh engine, as in a from-scratch run;
+//   - disappeared key → the task and its engine are dropped.
+//
+// Because tasks share nothing and extraction orders every output, the
+// updated Interpretation is byte-identical to interpreting the updated
+// scene from scratch — the property the incremental differential
+// oracle (session_test.go, `make oracle`) enforces. Only the charged
+// cost differs: proportional to churn instead of scene size.
+//
+// Sessions are single-threaded by contract: one Update at a time, no
+// concurrent Interpret. The serving layer wraps each session in its
+// own mutex (per-session serialization, cross-session parallelism).
+package spam
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/rete"
+	"spampsm/internal/scene"
+	"spampsm/internal/tlp"
+)
+
+// diffInstrPerSeed is the modeled charge of one seed-digest comparison
+// during update diffing — a table probe, costed like one alpha-memory
+// scan step so the diff itself stays visible in the update's simulated
+// cost (UpdateReport.DiffInstr) rather than pretending to be free.
+const diffInstrPerSeed = rete.CostAlphaScan
+
+// Session is a live, updatable interpretation of one scene.
+type Session struct {
+	ds   *Dataset // private: cloned scene, own RegionStore; shared KB/Progs
+	opt  InterpretOptions
+	pool *tlp.Pool // private runner when opt.Runner is nil; persists across updates
+	grid *liveGrid // session-persistent LCC partner index
+
+	tasks   map[string]*sessTask
+	last    *Interpretation
+	updates int
+}
+
+// sessTask is one stable task's retained state between runs.
+type sessTask struct {
+	sig  string      // seed-digest signature of the last run
+	res  *tlp.Result // cached result; Engine retained warm for reuse/reset
+	live bool        // touched by the current run (sweep mark)
+}
+
+// UpdateReport accounts one session run's incremental work. The
+// initial interpretation is update 0 (everything Fresh); subsequent
+// updates show the reuse the stable decomposition achieved and the
+// charged cost of exactly the work that re-ran.
+type UpdateReport struct {
+	Update    int `json:"update"`
+	DeltaSize int `json:"deltaSize"` // region changes folded in by this update
+
+	Tasks   int `json:"tasks"`   // tasks enumerated this run
+	Reused  int `json:"reused"`  // unchanged signature: cached result returned
+	Rerun   int `json:"rerun"`   // warm engine reset, reloaded and re-run
+	Fresh   int `json:"fresh"`   // newly built engines
+	Dropped int `json:"dropped"` // stale tasks (and engines) discarded
+
+	// SeedsDiffed counts the seed digests compared; DiffInstr is their
+	// modeled charge (diffInstrPerSeed each), included in UpdateInstr.
+	SeedsDiffed int     `json:"seedsDiffed"`
+	DiffInstr   float64 `json:"diffInstr"`
+
+	// RetractedWMEs is the seed volume unloaded from warm engines
+	// (ops5.MemStats.RetractedWMEs summed over the reset tasks).
+	RetractedWMEs int `json:"retractedWMEs"`
+
+	// UpdateInstr is the charged simulated cost of this run: the diff
+	// charge plus the full cost (retract + reload + match + act) of the
+	// tasks that actually ran. Reused tasks contribute nothing.
+	UpdateInstr float64 `json:"updateInstr"`
+
+	Wall time.Duration `json:"wallNs"`
+
+	// Grid and Geo surface the session's incremental index counters:
+	// the live grid's patch work and the store's predicate-memo
+	// hit/eviction accounting.
+	Grid LiveGridStats `json:"grid"`
+	Geo  GeoMemoStats  `json:"geo"`
+}
+
+// NewSession opens a session over the dataset: the scene is cloned
+// (the dataset — often shared and pinned — is never mutated), the
+// store is private, and the knowledge base and compiled programs are
+// shared. Call Interpret once for the initial interpretation, then
+// Update per scene delta. The options are fixed for the session's
+// lifetime so the decomposition stays stable.
+func NewSession(ds *Dataset, opt InterpretOptions) *Session {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	if opt.Level == 0 {
+		opt.Level = Level3
+	}
+	if opt.RTFBatch < 1 {
+		opt.RTFBatch = 3
+	}
+	// Prebuild overlaps first-run engine construction but is pointless
+	// (and would fight warm-engine reuse) on updates; sessions skip it.
+	opt.Prebuild = false
+	s := &Session{
+		ds:    NewDatasetWith(ds.Scene.Clone(), ds.KB, ds.Progs),
+		opt:   opt,
+		tasks: map[string]*sessTask{},
+	}
+	if opt.Runner == nil {
+		// One pool for the session's lifetime: its workers, memory gate
+		// and throttle accounting span every update.
+		s.pool = &tlp.Pool{
+			Workers:      opt.Workers,
+			Policy:       opt.Sched,
+			MemBudget:    opt.MemBudget,
+			Faults:       opt.Faults,
+			MaxRetries:   opt.MaxRetries,
+			TaskTimeout:  opt.TaskTimeout,
+			RetryBackoff: opt.RetryBackoff,
+			FiringBudget: opt.FiringBudget,
+		}
+	}
+	return s
+}
+
+// Scene returns the session's private scene (mutated by Update).
+func (s *Session) Scene() *scene.Scene { return s.ds.Scene }
+
+// Store returns the session's private region store.
+func (s *Session) Store() *RegionStore { return s.ds.Store }
+
+// Updates returns the number of deltas folded in so far.
+func (s *Session) Updates() int { return s.updates }
+
+// Last returns the most recent interpretation, or nil before the
+// first Interpret.
+func (s *Session) Last() *Interpretation { return s.last }
+
+// GridStats returns the persistent fragment grid's update counters
+// (zero while the session runs the scan path).
+func (s *Session) GridStats() LiveGridStats { return s.grid.Stats() }
+
+// Interpret runs the initial interpretation (or re-runs the current
+// scene state; an unchanged scene reuses every cached task).
+func (s *Session) Interpret(ctx context.Context) (*Interpretation, *UpdateReport, error) {
+	return s.run(ctx, 0)
+}
+
+// Update folds a scene delta into the session and re-interprets: the
+// store applies the delta (derived geometry, predicate-memo epochs and
+// the fragment-seed cache invalidate for exactly the changed regions),
+// and only the tasks whose seed signatures changed re-run, on their
+// retained warm engines. The returned interpretation is byte-identical
+// to a from-scratch interpretation of the updated scene.
+func (s *Session) Update(ctx context.Context, d *scene.Delta) (*Interpretation, *UpdateReport, error) {
+	if err := s.ds.Store.ApplyDelta(d); err != nil {
+		return nil, nil, err
+	}
+	s.updates++
+	return s.run(ctx, d.Size())
+}
+
+// taskSpec is one stable task of the current decomposition: its key,
+// its full seed working memory (already assembled, so the signature
+// can be diffed before deciding to run), and the engine-build inputs.
+type taskSpec struct {
+	key   string
+	label string
+	group string
+	est   float64
+	mem   float64
+	prog  *ops5.Program
+	seeds []ops5.Seed
+	geo   string // geometry-epoch signature component (geoSig)
+	geoN  int    // epoch entries in geo, for diff-cost accounting
+}
+
+// seedSig collapses a seed set to its order-sensitive digest
+// signature. Each seed's RouteDigest is length-prefixed, so no two
+// distinct seed sequences share a signature by concatenation.
+func seedSig(seeds []ops5.Seed) string {
+	b := make([]byte, 0, 64*len(seeds))
+	for _, sd := range seeds {
+		d := sd.Digest
+		if d == "" {
+			d = rete.RouteDigest(sd.Class, sd.Vals)
+		}
+		b = binary.AppendUvarint(b, uint64(len(d)))
+		b = append(b, d...)
+	}
+	return string(b)
+}
+
+// geoSig encodes the geometry epochs of the regions a task's externals
+// can read, as sorted deduplicated (id, epoch) pairs. The seed rows
+// alone under-determine a task's output whenever an external reads the
+// store: geo-test booleans (LCC) and fa-predict-area candidate counts
+// (FA) change with region geometry while the fragment tuples and
+// quantized measurements stay identical. Folding the epochs into the
+// signature makes every such task re-run exactly when a delta touched
+// geometry it can observe.
+func (s *Session) geoSig(ids []int) (string, int) {
+	if len(ids) == 0 {
+		return "", 0
+	}
+	sort.Ints(ids)
+	b := make([]byte, 0, 4*len(ids))
+	last, n := -1, 0
+	for _, id := range ids {
+		if id == last {
+			continue
+		}
+		last = id
+		b = binary.AppendUvarint(b, uint64(id))
+		b = binary.AppendUvarint(b, uint64(s.ds.Store.EpochOf(id)))
+		n++
+	}
+	return string(b), n
+}
+
+// lccUnitRegions collects the regions an LCC task's geo-test calls can
+// read: the focal fragment's region and every partner's region.
+func lccUnitRegions(units []lccUnit) []int {
+	var ids []int
+	for _, u := range units {
+		ids = append(ids, u.focal.RegionID)
+		for _, ps := range u.partners {
+			for _, p := range ps {
+				ids = append(ids, p.RegionID)
+			}
+		}
+	}
+	return ids
+}
+
+// faNeighborhood collects the regions an FA task's fa-predict-area
+// scan can read: the seed region plus every region whose bbox
+// intersects the seed bbox expanded by faPredictRadius — the
+// external's exact candidate-set determination, so the signature
+// changes iff a prediction's candidate count could.
+func (s *Session) faNeighborhood(seedRegion int) []int {
+	st := s.ds.Store
+	ids := []int{seedRegion}
+	d := st.Derived(seedRegion)
+	if d == nil {
+		return ids
+	}
+	bb := d.BBox.Expand(faPredictRadius)
+	for _, other := range st.Scene().Regions {
+		if other.ID == seedRegion {
+			continue
+		}
+		if od := st.Derived(other.ID); od != nil && bb.Intersects(od.BBox) {
+			ids = append(ids, other.ID)
+		}
+	}
+	return ids
+}
+
+// run executes the four-phase interpretation over the session's
+// current scene state, reusing cached tasks wherever the stable key's
+// seed signature is unchanged.
+func (s *Session) run(ctx context.Context, deltaSize int) (*Interpretation, *UpdateReport, error) {
+	start := time.Now()
+	rep := &UpdateReport{Update: s.updates, DeltaSize: deltaSize}
+	runner := s.opt.Runner
+	if runner == nil {
+		runner = &poolRunner{pool: s.pool}
+	}
+	in := &Interpretation{Dataset: s.ds}
+	if s.pool != nil {
+		defer func() { in.MemSched = s.pool.MemSched() }()
+	}
+	for _, st := range s.tasks {
+		st.live = false
+	}
+	finish := func() {
+		for k, st := range s.tasks {
+			if !st.live {
+				delete(s.tasks, k)
+				rep.Dropped++
+			}
+		}
+		rep.UpdateInstr += rep.DiffInstr
+		rep.Wall = time.Since(start)
+		rep.Grid = s.grid.Stats()
+		rep.Geo = s.ds.Store.GeoStats()
+	}
+
+	// Phase 1: RTF.
+	rtf, err := s.rtfSpecs()
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session RTF: %w", err)
+	}
+	rtfResults, err := s.runSpecs(ctx, runner, rep, rtf)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session RTF: %w", err)
+	}
+	if err := settlePhase(ctx, in, s.opt.Degraded, "RTF", rtfResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, 0))
+		finish()
+		return in, rep, err
+	}
+	in.Fragments = ExtractFragments(rtfResults)
+	if s.grid == nil {
+		s.grid = newLiveGrid(s.ds.Store, in.Fragments)
+	} else {
+		s.grid.refresh(in.Fragments)
+	}
+	in.Phases = append(in.Phases, phaseStats("RTF", rtfResults, len(in.Fragments)))
+
+	// Phase 2: LCC, partner queries through the persistent grid.
+	lcc, err := s.lccSpecs(in.Fragments)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session LCC: %w", err)
+	}
+	lccResults, err := s.runSpecs(ctx, runner, rep, lcc)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session LCC: %w", err)
+	}
+	if err := settlePhase(ctx, in, s.opt.Degraded, "LCC", lccResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("LCC", lccResults, 0))
+		finish()
+		return in, rep, err
+	}
+	in.Pairs, in.Outcomes = ExtractLCC(lccResults)
+
+	// Phase 3: FA.
+	fa, err := s.faSpecs(in.Fragments, in.Pairs, in.Outcomes)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session FA: %w", err)
+	}
+	faResults, err := s.runSpecs(ctx, runner, rep, fa)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session FA: %w", err)
+	}
+	if len(faResults) > 0 {
+		if err := settlePhase(ctx, in, s.opt.Degraded, "FA", faResults); err != nil {
+			in.Phases = append(in.Phases, phaseStats("FA", faResults, 0))
+			finish()
+			return in, rep, err
+		}
+	}
+	in.FAs, in.Predictions = ExtractFA(faResults)
+
+	// FA→LCC re-entry, as in InterpretContext. Re-entry fragments get
+	// pool-dependent fresh IDs, so their tasks key under a distinct
+	// "lccr" namespace and simply re-run whenever the pool shifts.
+	if s.opt.ReEntry && len(in.Predictions) > 0 {
+		extra := s.ds.reEntryFragments(in)
+		if len(extra) > 0 {
+			pool2 := append(append([]*Fragment(nil), in.Fragments...), extra...)
+			re, err := s.reEntrySpecs(extra, pool2)
+			if err != nil {
+				finish()
+				return in, rep, fmt.Errorf("spam: session LCC re-entry: %w", err)
+			}
+			if len(re) > 0 {
+				reResults, err := s.runSpecs(ctx, runner, rep, re)
+				if err != nil {
+					finish()
+					return in, rep, fmt.Errorf("spam: session LCC re-entry: %w", err)
+				}
+				if err := settlePhase(ctx, in, s.opt.Degraded, "LCC re-entry", reResults); err != nil {
+					in.Phases = append(in.Phases, phaseStats("LCC", reResults, 0))
+					finish()
+					return in, rep, err
+				}
+				rePairs, reOuts := ExtractLCC(reResults)
+				in.Pairs = append(in.Pairs, rePairs...)
+				in.Outcomes = append(in.Outcomes, reOuts...)
+				in.Fragments = append(in.Fragments, extra...)
+				lccResults = append(lccResults, reResults...)
+			}
+		}
+	}
+	in.Phases = append(in.Phases, phaseStats("LCC", lccResults, countConsistent(in.Outcomes)))
+	in.Phases = append(in.Phases, phaseStats("FA", faResults, countClosed(in.FAs)))
+
+	// Phase 4: MODEL.
+	model, err := s.modelSpec(in.Fragments, in.FAs)
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session MODEL: %w", err)
+	}
+	modelResults, err := s.runSpecs(ctx, runner, rep, []taskSpec{model})
+	if err != nil {
+		finish()
+		return in, rep, fmt.Errorf("spam: session MODEL: %w", err)
+	}
+	if err := settlePhase(ctx, in, s.opt.Degraded, "MODEL", modelResults); err != nil {
+		in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, 0))
+		finish()
+		return in, rep, err
+	}
+	in.Model, in.ModelFound = ExtractModel(modelResults)
+	nModels := 0
+	if in.ModelFound {
+		nModels = 1
+	}
+	in.Phases = append(in.Phases, phaseStats("MODEL", modelResults, nModels))
+	in.Completeness.Complete = in.Completeness.Failed == 0 && in.Completeness.Cancelled == 0
+	finish()
+	s.last = in
+	return in, rep, nil
+}
+
+// runSpecs diffs each spec's seed signature against the cached task
+// state, reuses unchanged tasks, and runs the changed/new remainder
+// as one queue through the session's runner (retaining the pool's
+// retry, quarantine and memory-gate semantics). Results come back in
+// spec order; engines stay attached for extraction and warm reuse.
+func (s *Session) runSpecs(ctx context.Context, runner Runner, rep *UpdateReport, specs []taskSpec) ([]*tlp.Result, error) {
+	results := make([]*tlp.Result, len(specs))
+	var tasks []*tlp.Task
+	var pending []int // spec index per submitted task
+	for i := range specs {
+		sp := &specs[i]
+		rep.Tasks++
+		rep.SeedsDiffed += len(sp.seeds) + sp.geoN
+		rep.DiffInstr += float64(len(sp.seeds)+sp.geoN) * diffInstrPerSeed
+		st := s.tasks[sp.key]
+		if st != nil && st.live {
+			return nil, fmt.Errorf("spam: session: duplicate task key %s", sp.key)
+		}
+		// seedSig is a prefix code, so appending the epoch component
+		// keeps the combined signature collision-free.
+		sig := seedSig(sp.seeds) + sp.geo
+		if st != nil && st.sig == sig && st.res != nil && st.res.Err == nil {
+			st.live = true
+			results[i] = st.res
+			rep.Reused++
+			continue
+		}
+		// Changed or new: take the warm engine (if any) for a
+		// reset+reload; the cached result is dead either way.
+		var warm *ops5.Engine
+		if st != nil {
+			if st.res != nil {
+				warm = st.res.Engine
+				st.res = nil
+			}
+		} else {
+			st = &sessTask{}
+			s.tasks[sp.key] = st
+		}
+		if warm != nil {
+			rep.Rerun++
+		} else {
+			rep.Fresh++
+		}
+		st.sig = sig
+		st.live = true
+		seeds := sp.seeds
+		prog := sp.prog
+		capture := s.opt.Capture
+		store := s.ds.Store
+		build := func(sc *ops5.Scratch) (*ops5.Engine, error) {
+			// The warm engine is consumed by the first attempt only: a
+			// retry after a failed attempt rebuilds from scratch, keeping
+			// re-execution idempotent even if the failure left the warm
+			// engine mid-operation.
+			if e := warm; e != nil {
+				warm = nil
+				if err := e.ResetForUpdate(); err != nil {
+					return nil, err
+				}
+				if err := e.AssertBatch(seeds); err != nil {
+					return nil, err
+				}
+				return e, nil
+			}
+			e, err := newTaskEngine(prog, capture, sc)
+			if err != nil {
+				return nil, err
+			}
+			store.Register(e)
+			if err := e.AssertBatch(seeds); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		tasks = append(tasks, &tlp.Task{
+			ID:        sp.key,
+			Label:     sp.label,
+			Group:     sp.group,
+			EstSize:   sp.est,
+			MemEst:    sp.mem,
+			Build:     func() (*ops5.Engine, error) { return build(nil) },
+			BuildWith: build,
+		})
+		pending = append(pending, i)
+	}
+	if len(tasks) == 0 {
+		return results, nil
+	}
+	rs, err := runner.RunTasks(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	// Results return in queue order, which a scheduling policy may
+	// permute; rejoin them to their specs by task ID.
+	byID := make(map[string]*tlp.Result, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			byID[r.TaskID] = r
+		}
+	}
+	for _, i := range pending {
+		r := byID[specs[i].key]
+		results[i] = r
+		s.tasks[specs[i].key].res = r
+		if r != nil && r.Err == nil {
+			rep.UpdateInstr += r.Stats.TotalInstr()
+			if r.Log != nil {
+				rep.RetractedWMEs += r.Log.Mem.RetractedWMEs
+			}
+		}
+	}
+	return results, nil
+}
+
+// rtfSpecs enumerates the RTF tasks over the current scene with the
+// classic position batching (regions[start:end], batchID =
+// start/RTFBatch). The batching must be identical to BuildRTFTasks —
+// not merely stable — because RTF classification depends on batch
+// composition: rtf-align boosts fragment pairs within one task's
+// working memory, so grouping regions differently than a from-scratch
+// run changes confidences. The price is that a removal shifts every
+// later region's batch, re-running those batches; RTF is the cheapest
+// phase, so the churn-proportionality of the whole update survives.
+//
+// The batch regions' geometry epochs join the signature: the alignment
+// calls read region geometry that can move while the quantized
+// measurement rows stay identical.
+func (s *Session) rtfSpecs() ([]taskSpec, error) {
+	store := s.ds.Store
+	prog := s.ds.Progs.RTF
+	name := store.Scene().Name
+	regions := store.Scene().Regions
+	batchSize := s.opt.RTFBatch
+	var specs []taskSpec
+	for start := 0; start < len(regions); start += batchSize {
+		end := start + batchSize
+		if end > len(regions) {
+			end = len(regions)
+		}
+		regs := regions[start:end]
+		batchID := start / batchSize
+		seeds, err := rtfSeeds(prog, store, batchID, regs)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int, len(regs))
+		for i, r := range regs {
+			ids[i] = r.ID
+		}
+		geo, geoN := s.geoSig(ids)
+		specs = append(specs, taskSpec{
+			key:   fmt.Sprintf("rtf-%s-%d", name, batchID),
+			label: fmt.Sprintf("RTF batch %d (%d regions)", batchID, len(regs)),
+			group: "rtf",
+			est:   float64(len(regs)),
+			mem:   taskMemEst(1 + 2*len(regs)),
+			prog:  prog,
+			seeds: seeds,
+			geo:   geo,
+			geoN:  geoN,
+		})
+	}
+	return specs, nil
+}
+
+// gridQuery is the session's partner query: the persistent grid when
+// one was built, NearbyFragments' scan otherwise — the same candidate
+// sets, in the same ascending-ID order, either way.
+func (s *Session) gridQuery(all []*Fragment) func(*Fragment, Constraint) []*Fragment {
+	return func(f *Fragment, c Constraint) []*Fragment {
+		if s.grid != nil {
+			return s.grid.query(f, c.Object, c.Radius)
+		}
+		return NearbyFragments(s.ds.Store, f, c.Object, all, c.Radius)
+	}
+}
+
+// lccSpecs enumerates the LCC tasks at the session's level with stable
+// keys: Level 4 by object class, Level 3 by focal fragment, Level 2 by
+// (focal, constraint), Level 1 by (focal, constraint, partner).
+func (s *Session) lccSpecs(frags []*Fragment) ([]taskSpec, error) {
+	units := unitsWith(s.ds.KB, frags, s.opt.Level, s.gridQuery(frags))
+	return s.lccUnitSpecs(units, "lcc")
+}
+
+// reEntrySpecs enumerates the FA→LCC re-entry tasks under the "lccr"
+// key namespace. The re-entry pool includes fragments the persistent
+// grid does not hold, so partner queries use the classic transient
+// index path.
+func (s *Session) reEntrySpecs(extra, pool []*Fragment) ([]taskSpec, error) {
+	units := unitsForLevel(s.ds.KB, s.ds.Store, extra, pool, s.opt.Level)
+	return s.lccUnitSpecs(units, "lccr")
+}
+
+// lccUnitSpecs converts LCC work units to stable-keyed task specs.
+func (s *Session) lccUnitSpecs(units []lccUnit, prefix string) ([]taskSpec, error) {
+	store := s.ds.Store
+	prog := s.ds.Progs.LCC
+	name := store.Scene().Name
+	level := s.opt.Level
+	if level == Level4 {
+		byClass := map[scene.Kind][]lccUnit{}
+		for _, u := range units {
+			byClass[u.focal.Type] = append(byClass[u.focal.Type], u)
+		}
+		var classes []scene.Kind
+		for k := range byClass {
+			classes = append(classes, k)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		specs := make([]taskSpec, 0, len(classes))
+		for _, k := range classes {
+			group := byClass[k]
+			est := 0
+			for _, u := range group {
+				est += u.expected
+			}
+			seeds, err := lccSeeds(prog, store, group)
+			if err != nil {
+				return nil, err
+			}
+			geo, geoN := s.geoSig(lccUnitRegions(group))
+			specs = append(specs, taskSpec{
+				key:   fmt.Sprintf("%s4-%s-%s", prefix, name, k),
+				label: fmt.Sprintf("LCC L4 class %s (%d objects)", k, len(group)),
+				group: string(k),
+				est:   float64(est),
+				mem:   taskMemEst(2*est + 3*len(group)),
+				prog:  prog,
+				seeds: seeds,
+				geo:   geo,
+				geoN:  geoN,
+			})
+		}
+		return specs, nil
+	}
+	specs := make([]taskSpec, 0, len(units))
+	for _, u := range units {
+		key := fmt.Sprintf("%s%d-%s-o%d", prefix, level, name, u.focal.ID)
+		switch level {
+		case Level2:
+			key += "-" + u.cid
+		case Level1:
+			pid := 0
+			for _, ps := range u.partners {
+				for _, p := range ps {
+					pid = p.ID
+				}
+			}
+			key += fmt.Sprintf("-%s-p%d", u.cid, pid)
+		}
+		seeds, err := lccSeeds(prog, store, []lccUnit{u})
+		if err != nil {
+			return nil, err
+		}
+		geo, geoN := s.geoSig(lccUnitRegions([]lccUnit{u}))
+		specs = append(specs, taskSpec{
+			key:   key,
+			label: fmt.Sprintf("LCC L%d object %d %s (%d checks)", level, u.focal.ID, u.cid, u.expected),
+			group: string(u.focal.Type),
+			est:   float64(u.expected),
+			mem:   taskMemEst(2*u.expected + 3),
+			prog:  prog,
+			seeds: seeds,
+			geo:   geo,
+			geoN:  geoN,
+		})
+	}
+	return specs, nil
+}
+
+// faSpecs enumerates the FA tasks — one per (spec, consistent seed
+// fragment), keyed by the seed fragment's ID as in BuildFATasks.
+func (s *Session) faSpecs(frags []*Fragment, pairs []ConsistentPair, outcomes []LCCOutcome) ([]taskSpec, error) {
+	store := s.ds.Store
+	prog := s.ds.Progs.FA
+	name := store.Scene().Name
+	byID := map[int]*Fragment{}
+	for _, f := range frags {
+		byID[f.ID] = f
+	}
+	consistent := map[int]bool{}
+	for _, o := range outcomes {
+		if o.Status == "consistent" {
+			consistent[o.Object] = true
+		}
+	}
+	pairsByObject := map[int][]ConsistentPair{}
+	for _, p := range pairs {
+		pairsByObject[p.Object] = append(pairsByObject[p.Object], p)
+	}
+	var specs []taskSpec
+	for _, spec := range s.ds.KB.FAs {
+		memberKinds := map[scene.Kind]bool{}
+		for _, m := range spec.Members {
+			memberKinds[m] = true
+		}
+		for _, f := range frags {
+			if f.Type != spec.Seed || !consistent[f.ID] {
+				continue
+			}
+			var members []*Fragment
+			var memberPairs []ConsistentPair
+			seen := map[int]bool{}
+			for _, p := range pairsByObject[f.ID] {
+				pf := byID[p.Partner]
+				if pf == nil || !memberKinds[pf.Type] {
+					continue
+				}
+				memberPairs = append(memberPairs, p)
+				if !seen[pf.ID] {
+					seen[pf.ID] = true
+					members = append(members, pf)
+				}
+			}
+			seeds, err := faSeeds(prog, store, f, members, memberPairs, spec.Type)
+			if err != nil {
+				return nil, err
+			}
+			geo, geoN := s.geoSig(s.faNeighborhood(f.RegionID))
+			specs = append(specs, taskSpec{
+				key:   fmt.Sprintf("fa-%s-%s-%d", name, spec.Type, f.ID),
+				label: fmt.Sprintf("FA %s seed %d (%d members)", spec.Type, f.ID, len(members)),
+				group: "fa-" + string(spec.Type),
+				est:   float64(len(members) + 1),
+				mem:   taskMemEst(len(members) + len(memberPairs) + 2),
+				prog:  prog,
+				seeds: seeds,
+				geo:   geo,
+				geoN:  geoN,
+			})
+		}
+	}
+	return specs, nil
+}
+
+// modelSpec builds the single MODEL task spec.
+func (s *Session) modelSpec(frags []*Fragment, fas []FunctionalArea) (taskSpec, error) {
+	store := s.ds.Store
+	prog := s.ds.Progs.Model
+	seeds, err := modelSeeds(prog, store, frags, fas)
+	if err != nil {
+		return taskSpec{}, err
+	}
+	return taskSpec{
+		key:   fmt.Sprintf("model-%s", store.Scene().Name),
+		label: fmt.Sprintf("MODEL (%d functional areas)", len(fas)),
+		group: "model",
+		est:   float64(len(fas) + 1),
+		mem:   taskMemEst(2*len(fas) + 1),
+		prog:  prog,
+		seeds: seeds,
+	}, nil
+}

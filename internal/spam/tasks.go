@@ -194,28 +194,11 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 				return nil, err
 			}
 			store.Register(e)
-			ss := seedSet{prog: prog, store: store}
-			if err := ss.add("rtf-task", map[string]symtab.Value{
-				"batch": symtab.Int(int64(batchID)), "status": sym("active"),
-			}); err != nil {
+			seeds, err := rtfSeeds(prog, store, batchID, batchCopy)
+			if err != nil {
 				return nil, err
 			}
-			for _, r := range batchCopy {
-				area, elong, compact, intensity, texture := store.MeasurementsOf(r)
-				if err := ss.add("region", map[string]symtab.Value{
-					"id":        symtab.Int(int64(r.ID)),
-					"batch":     symtab.Int(int64(batchID)),
-					"area":      symtab.Float(area),
-					"elong":     symtab.Float(elong),
-					"compact":   symtab.Float(compact),
-					"intensity": symtab.Float(intensity),
-					"texture":   symtab.Float(texture),
-					"status":    sym("measured"),
-				}); err != nil {
-					return nil, err
-				}
-			}
-			if err := e.AssertBatch(ss.seeds); err != nil {
+			if err := e.AssertBatch(seeds); err != nil {
 				return nil, err
 			}
 			return e, nil
@@ -231,6 +214,35 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 		})
 	}
 	return tasks
+}
+
+// rtfSeeds assembles one RTF task's seed working memory — the task
+// control row plus a measured-region row per batch member, in
+// assertion order. Shared between the classic task builder and the
+// incremental session, so both load byte-identical seed sets.
+func rtfSeeds(prog *ops5.Program, store *RegionStore, batchID int, regions []*scene.Region) ([]ops5.Seed, error) {
+	ss := seedSet{prog: prog, store: store}
+	if err := ss.add("rtf-task", map[string]symtab.Value{
+		"batch": symtab.Int(int64(batchID)), "status": sym("active"),
+	}); err != nil {
+		return nil, err
+	}
+	for _, r := range regions {
+		area, elong, compact, intensity, texture := store.MeasurementsOf(r)
+		if err := ss.add("region", map[string]symtab.Value{
+			"id":        symtab.Int(int64(r.ID)),
+			"batch":     symtab.Int(int64(batchID)),
+			"area":      symtab.Float(area),
+			"elong":     symtab.Float(elong),
+			"compact":   symtab.Float(compact),
+			"intensity": symtab.Float(intensity),
+			"texture":   symtab.Float(texture),
+			"status":    sym("measured"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ss.seeds, nil
 }
 
 // ExtractFragments collects the fragment hypotheses produced by RTF
@@ -279,8 +291,16 @@ func partnersFor(store *RegionStore, ix *fragIndex, focal *Fragment, c Constrain
 // indexed once here so level enumeration stops scanning every
 // fragment per constraint.
 func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Level) []lccUnit {
-	frags := all
-	ix := buildFragIndex(store, frags)
+	ix := buildFragIndex(store, all)
+	return unitsWith(kb, focals, level, func(f *Fragment, c Constraint) []*Fragment {
+		return partnersFor(store, ix, f, c, all)
+	})
+}
+
+// unitsWith enumerates the work units of a decomposition level with a
+// caller-supplied partner query — the transient per-build grid above,
+// or a Session's persistent live grid.
+func unitsWith(kb *KB, focals []*Fragment, level Level, query func(*Fragment, Constraint) []*Fragment) []lccUnit {
 	var units []lccUnit
 	for _, f := range focals {
 		cons := kb.ConstraintsFor(f.Type)
@@ -291,14 +311,14 @@ func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Le
 		case Level3, Level4:
 			u := lccUnit{focal: f, cid: "all", partners: map[string][]*Fragment{}}
 			for _, c := range cons {
-				ps := partnersFor(store, ix, f, c, frags)
+				ps := query(f, c)
 				u.partners[c.ID] = ps
 				u.expected += len(ps)
 			}
 			units = append(units, u)
 		case Level2:
 			for _, c := range cons {
-				ps := partnersFor(store, ix, f, c, frags)
+				ps := query(f, c)
 				units = append(units, lccUnit{
 					focal: f, cid: c.ID,
 					partners: map[string][]*Fragment{c.ID: ps},
@@ -307,7 +327,7 @@ func unitsForLevel(kb *KB, store *RegionStore, focals, all []*Fragment, level Le
 			}
 		case Level1:
 			for _, c := range cons {
-				for _, p := range partnersFor(store, ix, f, c, frags) {
+				for _, p := range query(f, c) {
 					units = append(units, lccUnit{
 						focal: f, cid: c.ID,
 						partners: map[string][]*Fragment{c.ID: {p}},
@@ -328,6 +348,21 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 		return nil, err
 	}
 	store.Register(e)
+	seeds, err := lccSeeds(prog, store, units)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.AssertBatch(seeds); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// lccSeeds assembles the seed working memory of a set of LCC work
+// units, in assertion order: per unit, the (deduplicated) focal and
+// partner fragments with their scope triples, then the support and
+// task control rows. Shared between buildLCCEngine and the session.
+func lccSeeds(prog *ops5.Program, store *RegionStore, units []lccUnit) ([]ops5.Seed, error) {
 	ss := seedSet{prog: prog, store: store}
 	seen := map[int]bool{}
 	addFrag := func(f *Fragment) error {
@@ -341,8 +376,16 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 		if err := addFrag(u.focal); err != nil {
 			return nil, err
 		}
-		for cid, ps := range u.partners {
-			for _, p := range ps {
+		// Deterministic constraint order: the scope rows' assertion order
+		// must be stable run-to-run so the session's seed-signature diff
+		// never sees a spurious change (map iteration order is not).
+		cids := make([]string, 0, len(u.partners))
+		for cid := range u.partners {
+			cids = append(cids, cid)
+		}
+		sort.Strings(cids)
+		for _, cid := range cids {
+			for _, p := range u.partners[cid] {
 				if err := addFrag(p); err != nil {
 					return nil, err
 				}
@@ -375,10 +418,7 @@ func buildLCCEngine(kb *KB, store *RegionStore, prog *ops5.Program, units []lccU
 			return nil, err
 		}
 	}
-	if err := e.AssertBatch(ss.seeds); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return ss.seeds, nil
 }
 
 // BuildLCCTasks decomposes the LCC phase at the chosen level. The
@@ -577,34 +617,11 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 					return nil, err
 				}
 				store.Register(e)
-				ss := seedSet{prog: prog, store: store}
-				if err := ss.addFragment(seed); err != nil {
+				seeds, err := faSeeds(prog, store, seed, membersCopy, pairsCopy, specCopy.Type)
+				if err != nil {
 					return nil, err
 				}
-				for _, m := range membersCopy {
-					if err := ss.addFragment(m); err != nil {
-						return nil, err
-					}
-				}
-				for _, p := range pairsCopy {
-					if err := ss.add("consistency", map[string]symtab.Value{
-						"object":   symtab.Int(int64(p.Object)),
-						"partner":  symtab.Int(int64(p.Partner)),
-						"relation": sym(p.Relation),
-						"result":   sym("t"),
-					}); err != nil {
-						return nil, err
-					}
-				}
-				if err := ss.add("fa-task", map[string]symtab.Value{
-					"seed":     symtab.Int(int64(seed.ID)),
-					"fatype":   sym(specCopy.Type),
-					"expected": symtab.Int(int64(len(pairsCopy))),
-					"status":   sym("active"),
-				}); err != nil {
-					return nil, err
-				}
-				if err := e.AssertBatch(ss.seeds); err != nil {
+				if err := e.AssertBatch(seeds); err != nil {
 					return nil, err
 				}
 				return e, nil
@@ -621,6 +638,43 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 		}
 	}
 	return tasks
+}
+
+// faSeeds assembles one FA task's seed working memory: the seed
+// fragment, its member fragments, the consistency rows supporting the
+// aggregation, and the task control row, in assertion order. Shared
+// between the classic task builder and the incremental session.
+func faSeeds(prog *ops5.Program, store *RegionStore, seed *Fragment,
+	members []*Fragment, pairs []ConsistentPair, faType string) ([]ops5.Seed, error) {
+
+	ss := seedSet{prog: prog, store: store}
+	if err := ss.addFragment(seed); err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if err := ss.addFragment(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range pairs {
+		if err := ss.add("consistency", map[string]symtab.Value{
+			"object":   symtab.Int(int64(p.Object)),
+			"partner":  symtab.Int(int64(p.Partner)),
+			"relation": sym(p.Relation),
+			"result":   sym("t"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := ss.add("fa-task", map[string]symtab.Value{
+		"seed":     symtab.Int(int64(seed.ID)),
+		"fatype":   sym(faType),
+		"expected": symtab.Int(int64(len(pairs))),
+		"status":   sym("active"),
+	}); err != nil {
+		return nil, err
+	}
+	return ss.seeds, nil
 }
 
 // ExtractFA collects the closed functional areas and predictions.
@@ -666,10 +720,7 @@ type Model struct {
 func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 	frags []*Fragment, fas []FunctionalArea, capture bool) *tlp.Task {
 
-	byID := map[int]*Fragment{}
-	for _, f := range frags {
-		byID[f.ID] = f
-	}
+	fragsCopy := append([]*Fragment(nil), frags...)
 	fasCopy := append([]FunctionalArea(nil), fas...)
 	build := func(s *ops5.Scratch) (*ops5.Engine, error) {
 		e, err := newTaskEngine(prog, capture, s)
@@ -677,34 +728,11 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 			return nil, err
 		}
 		store.Register(e)
-		ss := seedSet{prog: prog, store: store}
-		seen := map[int]bool{}
-		for _, fa := range fasCopy {
-			if fa.Status != "closed" {
-				continue
-			}
-			if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
-				seen[f.ID] = true
-				if err := ss.addFragment(f); err != nil {
-					return nil, err
-				}
-			}
-			if err := ss.add("fa", map[string]symtab.Value{
-				"id":       symtab.Int(int64(fa.Seed)),
-				"seed":     symtab.Int(int64(fa.Seed)),
-				"fatype":   sym(fa.Type),
-				"nmembers": symtab.Int(int64(fa.NMembers)),
-				"status":   sym("closed"),
-			}); err != nil {
-				return nil, err
-			}
-		}
-		if err := ss.add("model-task", map[string]symtab.Value{
-			"status": sym("active"),
-		}); err != nil {
+		seeds, err := modelSeeds(prog, store, fragsCopy, fasCopy)
+		if err != nil {
 			return nil, err
 		}
-		if err := e.AssertBatch(ss.seeds); err != nil {
+		if err := e.AssertBatch(seeds); err != nil {
 			return nil, err
 		}
 		return e, nil
@@ -718,6 +746,45 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 		Build:     func() (*ops5.Engine, error) { return build(nil) },
 		BuildWith: build,
 	}
+}
+
+// modelSeeds assembles the MODEL task's seed working memory: per
+// closed functional area its (deduplicated) seed fragment and fa row,
+// then the task control row, in assertion order. Shared between the
+// classic task builder and the incremental session.
+func modelSeeds(prog *ops5.Program, store *RegionStore, frags []*Fragment, fas []FunctionalArea) ([]ops5.Seed, error) {
+	byID := map[int]*Fragment{}
+	for _, f := range frags {
+		byID[f.ID] = f
+	}
+	ss := seedSet{prog: prog, store: store}
+	seen := map[int]bool{}
+	for _, fa := range fas {
+		if fa.Status != "closed" {
+			continue
+		}
+		if f := byID[fa.Seed]; f != nil && !seen[f.ID] {
+			seen[f.ID] = true
+			if err := ss.addFragment(f); err != nil {
+				return nil, err
+			}
+		}
+		if err := ss.add("fa", map[string]symtab.Value{
+			"id":       symtab.Int(int64(fa.Seed)),
+			"seed":     symtab.Int(int64(fa.Seed)),
+			"fatype":   sym(fa.Type),
+			"nmembers": symtab.Int(int64(fa.NMembers)),
+			"status":   sym("closed"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := ss.add("model-task", map[string]symtab.Value{
+		"status": sym("active"),
+	}); err != nil {
+		return nil, err
+	}
+	return ss.seeds, nil
 }
 
 // ExtractModel returns the final model from the MODEL task result.
