@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick bench-json serve-smoke bench-serve bench-memsched bench-incremental incremental-smoke oracle check
+# BENCH_BASELINE is the perf-trajectory snapshot regressions are
+# warned against: the latest committed spampsm-bench/v2 document
+# (BENCH_6+ are serve/memsched/incremental/cluster documents with
+# their own schemas, which benchjson refuses to compare). Both
+# bench-json and CI's bench-radar route through this variable, so a
+# future snapshot bump edits one line here instead of hardcoded paths.
+BENCH_BASELINE ?= BENCH_5.json
+
+.PHONY: build test vet race bench bench-quick bench-json bench-radar serve-smoke bench-serve bench-memsched bench-incremental incremental-smoke bench-cluster cluster-smoke oracle check
 
 build:
 	$(GO) build ./...
@@ -44,6 +52,14 @@ bench-quick:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_5.json -compare BENCH_4.json
 
+# bench-radar is CI's wall-clock regression radar: one fast min-of-1
+# pass over the benchjson matrix compared against $(BENCH_BASELINE).
+# Warnings are non-fatal by design — short benchtimes on shared CI
+# runners are noisy — but land in the log for review.
+bench-radar:
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH.ci.json -benchtime 0.2s -count 1 \
+		-compare $(BENCH_BASELINE)
+
 # serve-smoke is the CI smoke test for the interpretation service
 # (cmd/spamserve, docs/SERVING.md): it starts the server in-process,
 # fires a small mixed clean + fault-injected + incremental-session
@@ -78,7 +94,7 @@ oracle:
 	$(GO) test -race \
 		-run 'Differential|Template|Concurrent|MatcherToggles|VariantCache' \
 		./internal/rete/ ./internal/ops5/ ./internal/geom/ ./internal/spam/ \
-		./internal/tlp/ ./internal/machine/ ./internal/serve/
+		./internal/tlp/ ./internal/machine/ ./internal/serve/ ./internal/cluster/
 
 # bench-memsched regenerates the committed BENCH_7.json snapshot: the
 # memory-aware scheduling experiment's makespan-vs-memory-budget
@@ -106,6 +122,26 @@ bench-incremental:
 incremental-smoke:
 	$(GO) run ./cmd/spambench -experiment ext-incremental \
 		-subset-scale 0.35 -json /tmp/BENCH_8.smoke.json
+
+# bench-cluster regenerates the committed BENCH_9.json snapshot: the
+# multi-process cluster scale-out experiment (SF/DC/MOFF and the
+# 10x-scale stress scene at 1/2/4 worker processes, wire-volume
+# accounting against the simulated svm/msgpass projections) plus the
+# worker-kill recovery run, at the subset scale the snapshot was
+# calibrated at. The report is invariant-checked before it is written;
+# wall-clock columns are host-dependent and deliberately ungated.
+bench-cluster:
+	$(GO) run ./cmd/spambench -experiment ext-cluster -subset-scale 0.4 -json BENCH_9.json
+
+# cluster-smoke is the CI smoke test for the multi-process cluster
+# runtime (internal/cluster, docs/CLUSTER.md): a real scaled-down DC
+# interpretation over two worker processes, then the same scene
+# re-interpreted single-process in-process, failing unless the outputs
+# are byte-identical and the run shipped its whole task queue over the
+# wire.
+cluster-smoke:
+	$(GO) run ./cmd/spamrun -dataset DC -scale 0.4 -workers 2 \
+		-cluster-workers 2 -cluster-check
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, the differential oracles, and the race detector

@@ -375,6 +375,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compareWith, err)
 			os.Exit(1)
 		}
+		// A baseline with a foreign schema (e.g. a serve- or
+		// cluster-bench document) would match nothing and the radar
+		// would silently go blind; refuse it instead.
+		if old.Schema != rep.Schema {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has schema %q, want %q — not a comparable snapshot\n",
+				*compareWith, old.Schema, rep.Schema)
+			os.Exit(1)
+		}
 		if n := warnRegressions(&old, &rep, 0.10); n == 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: no >10%% regressions vs %s\n", *compareWith)
 		}

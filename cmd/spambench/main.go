@@ -11,14 +11,15 @@
 // NAME is one of: tables123, table4, tables567, table8, fig3, fig6,
 // fig7, table9, fig8, fig9, an extension experiment (ext-levels,
 // ext-sched, ext-sync, ext-queues, ext-msgpass, ext-suburban,
-// ext-scale, ext-faults, ext-memsched, ext-incremental), or "all"
-// (the default).
+// ext-scale, ext-faults, ext-memsched, ext-incremental, ext-cluster),
+// or "all" (the default).
 //
 // -sched picks the task scheduling policy for the real
 // interpretations the harness runs (results are byte-identical across
 // policies). -json writes the experiment's machine-readable document
 // to FILE: with -experiment ext-incremental the incremental
-// re-interpretation churn ladder (the BENCH_8.json document),
+// re-interpretation churn ladder (the BENCH_8.json document), with
+// ext-cluster the multi-process scale-out report (BENCH_9.json),
 // otherwise the memory-aware scheduling experiment's
 // makespan-vs-memory-budget curves (the BENCH_7.json document).
 package main
@@ -32,11 +33,13 @@ import (
 	"strings"
 
 	"spampsm/internal/bench"
+	"spampsm/internal/cluster"
 	"spampsm/internal/prof"
 	"spampsm/internal/tlp"
 )
 
 func main() {
+	cluster.MaybeWorker()
 	os.Exit(realMain())
 }
 
@@ -98,13 +101,16 @@ func realMain() int {
 	}
 	if *jsonOut != "" {
 		// Which document -json emits follows the experiment:
-		// ext-incremental writes its churn-ladder report (BENCH_8.json);
+		// ext-incremental writes its churn-ladder report (BENCH_8.json),
+		// ext-cluster the multi-process scale-out report (BENCH_9.json);
 		// everything else writes the memory-aware scheduling curves
 		// (BENCH_7.json), the historical default.
 		var rep interface{ Check() error }
 		switch *experiment {
 		case "ext-incremental":
 			rep, err = suite.Incremental()
+		case "ext-cluster":
+			rep, err = suite.Cluster()
 		default:
 			rep, err = suite.Memsched()
 		}

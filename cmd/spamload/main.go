@@ -6,9 +6,9 @@
 //
 //	spamload [-url http://host:8641 | -self-serve] [-requests N]
 //	         [-concurrency C] [-rate R] [-datasets SF,DC,MOFF]
-//	         [-scenarios clean,faults,updates] [-fault-seed N]
+//	         [-scenarios clean,faults,updates,cluster] [-fault-seed N]
 //	         [-build-fail-rate P] [-panic-rate P] [-permanent-fraction P]
-//	         [-session-updates K] [-churn F]
+//	         [-session-updates K] [-churn F] [-cluster-workers N]
 //	         [-max-retries K] [-cancel-every N] [-out BENCH_6.json]
 //	         [-check]
 //
@@ -26,6 +26,13 @@
 // is the whole open-update-close cycle. Sessions from concurrent
 // clients coexist under the server's LRU session cap, so the scenario
 // also exercises eviction under load.
+//
+// The cluster scenario fires clean named-scene traffic at a server
+// whose /interpret requests execute across worker processes, and
+// records the wire bytes the server shipped (from /stats deltas).
+// With -self-serve it brings up the cluster backend itself
+// (-cluster-workers processes); against -url the target must have
+// been started with spamserve -cluster-workers.
 package main
 
 import (
@@ -44,6 +51,8 @@ import (
 	"time"
 
 	"spampsm/internal/bench"
+	"spampsm/internal/cluster"
+	"spampsm/internal/core"
 	"spampsm/internal/serve"
 )
 
@@ -70,6 +79,7 @@ type cli struct {
 }
 
 func main() {
+	cluster.MaybeWorker()
 	os.Exit(realMain())
 }
 
@@ -82,7 +92,7 @@ func realMain() int {
 	rate := flag.Float64("rate", 0, "arrival rate in requests/second (0 = closed loop)")
 	datasets := flag.String("datasets", "SF,DC,MOFF", "comma-separated dataset mix")
 	tenants := flag.Int("tenants", 3, "distinct tenants to rotate across requests")
-	scenarios := flag.String("scenarios", "clean,faults", "scenarios to run: clean, faults, updates")
+	scenarios := flag.String("scenarios", "clean,faults", "scenarios to run: clean, faults, updates, cluster")
 	faultSeed := flag.Int64("fault-seed", 1990, "fault-plan seed for the faults scenario")
 	buildFail := flag.Float64("build-fail-rate", 0.2, "faults scenario: task build-failure probability")
 	panicRate := flag.Float64("panic-rate", 0.05, "faults scenario: task panic probability")
@@ -90,6 +100,7 @@ func realMain() int {
 	maxRetries := flag.Int("max-retries", 2, "faults scenario: per-task retries before quarantine")
 	sessionUpdates := flag.Int("session-updates", 3, "updates scenario: incremental churn updates per session")
 	churnFrac := flag.Float64("churn", 0.05, "updates scenario: churn fraction per update delta")
+	clusterWorkers := flag.Int("cluster-workers", 2, "cluster scenario: worker processes behind the self-served backend")
 	cancelEvery := flag.Int("cancel-every", 0, "abort every Nth request mid-flight (0 = never)")
 	out := flag.String("out", "", "write the serve-bench JSON document to this file")
 	issue := flag.Int("issue", 6, "issue number recorded in the document")
@@ -124,6 +135,32 @@ func realMain() int {
 			fmt.Fprintln(os.Stderr, "spamload: -url and -self-serve are mutually exclusive")
 			return 2
 		}
+		// The cluster scenario needs a server whose named-scene requests
+		// execute across worker processes; bring the backend up only when
+		// asked, since it spawns real processes.
+		var clusterBackend serve.ClusterBackend
+		if strings.Contains(*scenarios, "cluster") {
+			co, err := cluster.Start(cluster.Config{
+				Workers:      *clusterWorkers,
+				LocalWorkers: *workers,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spamload:", err)
+				return 1
+			}
+			defer co.Close()
+			for _, name := range c.datasets {
+				spec, err := core.ClusterSpec(strings.TrimSpace(name))
+				if err == nil {
+					err = co.RegisterDataset(spec)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "spamload:", err)
+					return 1
+				}
+			}
+			clusterBackend = co
+		}
 		srv = serve.New(serve.Config{
 			Workers:     *workers,
 			AllowFaults: true,
@@ -132,6 +169,7 @@ func realMain() int {
 			// which the shared pool class-splits out of this budget —
 			// so a real budget here still passes the health probes.
 			QuarantineBudget: 32,
+			Cluster:          clusterBackend,
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -174,9 +212,13 @@ func realMain() int {
 		}
 		doc.Scenarios = append(doc.Scenarios, *sc)
 		c.probeHealth()
-		fmt.Printf("%-8s %3d req  %3d ok (%d degraded)  %2d shed  %2d failed  %2d cancelled  %6.2f req/s  p50 %.0fms  p95 %.0fms  p99 %.0fms\n",
+		shipped := ""
+		if sc.ShippedBytes > 0 {
+			shipped = fmt.Sprintf("  %.1f KB shipped", float64(sc.ShippedBytes)/1024)
+		}
+		fmt.Printf("%-8s %3d req  %3d ok (%d degraded)  %2d shed  %2d failed  %2d cancelled  %6.2f req/s  p50 %.0fms  p95 %.0fms  p99 %.0fms%s\n",
 			name, sc.Requests, sc.Succeeded, sc.Degraded, sc.Shed, sc.Failed, sc.Cancelled,
-			sc.Throughput, sc.LatencyMs.P50, sc.LatencyMs.P95, sc.LatencyMs.P99)
+			sc.Throughput, sc.LatencyMs.P50, sc.LatencyMs.P95, sc.LatencyMs.P99, shipped)
 	}
 	fmt.Printf("health checks: %d/%d passed\n", c.healthProbes-c.healthFailed, c.healthProbes)
 
@@ -251,15 +293,17 @@ func (c *cli) body(scenario string, i int) string {
 
 func (c *cli) runScenario(name string) (*bench.ServeScenario, error) {
 	switch name {
-	case "clean", "faults", "updates":
+	case "clean", "faults", "updates", "cluster":
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (want clean, faults or updates)", name)
+		return nil, fmt.Errorf("unknown scenario %q (want clean, faults, updates or cluster)", name)
 	}
 	sc := &bench.ServeScenario{Name: name}
 	if name == "faults" {
 		sc.Faults = fmt.Sprintf("seed=%d buildFail=%g panic=%g permanent=%g retries=%d",
 			c.faultSeed, c.buildFail, c.panicRate, c.permanent, c.maxRetries)
 	}
+
+	shippedBefore := c.statsShipped()
 
 	// Arrivals: closed-loop when rate is 0, else spaced at 1/rate.
 	arrivals := make(chan int, c.requests)
@@ -310,7 +354,28 @@ func (c *cli) runScenario(name string) (*bench.ServeScenario, error) {
 		sc.Throughput = float64(sc.Succeeded) / sc.ElapsedSec
 	}
 	sc.LatencyMs = bench.NewServeLatency(latencies)
+	if after := c.statsShipped(); shippedBefore >= 0 && after >= shippedBefore {
+		sc.ShippedBytes = after - shippedBefore
+	}
 	return sc, nil
+}
+
+// statsShipped reads the server's cumulative shipped-wire-bytes
+// counter from /stats (-1 when unreadable); scenario deltas of it are
+// the per-scenario cluster wire volume.
+func (c *cli) statsShipped() int64 {
+	resp, err := c.client.Get(c.url + "/stats")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ShippedBytes int64 `json:"shippedBytes"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return -1
+	}
+	return st.ShippedBytes
 }
 
 // fire issues one request and classifies its outcome.

@@ -10,7 +10,16 @@
 //	        [-update N] [-churn F] [-churn-seed N]
 //	        [-sched fifo|largest|postorder] [-mem-budget BYTES]
 //	        [-fault-seed N] [-crash-rate P] [-task-timeout D] [-max-retries K]
+//	        [-cluster-workers N] [-cluster-addr HOST:PORT] [-cluster-check]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cluster-workers N executes each phase's task queue across N worker
+// processes instead of an in-process pool: the coordinator ships task
+// specs (seed working memories and run knobs) over unix sockets — or
+// TCP with -cluster-addr — and -workers becomes each process's local
+// pool size (see docs/CLUSTER.md). -cluster-check additionally runs
+// the single-process interpretation and verifies the cluster produced
+// byte-identical outputs.
 //
 // -sched orders each phase's task queue (per-task results are
 // byte-identical across policies) and -mem-budget throttles how much
@@ -51,6 +60,7 @@ import (
 	"os"
 	"time"
 
+	"spampsm/internal/cluster"
 	"spampsm/internal/faults"
 	"spampsm/internal/geom"
 	"spampsm/internal/machine"
@@ -62,6 +72,7 @@ import (
 )
 
 func main() {
+	cluster.MaybeWorker()
 	os.Exit(realMain())
 }
 
@@ -86,6 +97,9 @@ func realMain() int {
 	crashRate := flag.Float64("crash-rate", 0, "probability a task's worker crashes mid-task (0 disables injection)")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
 	maxRetries := flag.Int("max-retries", 2, "failed-task re-executions before quarantine")
+	clusterWorkers := flag.Int("cluster-workers", 0, "run phases across N worker processes instead of an in-process pool (0 disables)")
+	clusterAddr := flag.String("cluster-addr", "", "TCP listen address for the cluster coordinator (default: a private unix socket)")
+	clusterCheck := flag.Bool("cluster-check", false, "with -cluster-workers, also interpret single-process and verify identical outputs")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -113,10 +127,13 @@ func realMain() int {
 	spam.UseUncachedGeo(*naiveGeom)
 
 	var d *spam.Dataset
+	var dspec cluster.DatasetSpec
 	if *dataset == "suburban" {
-		d, err = spam.NewSuburbanDataset(scene.SuburbanParams{
+		sp := scene.SuburbanParams{
 			Name: "suburban", Seed: 1990, Blocks: int(8 * *scale), HousesPerBlock: 6, Verts: 12,
-		})
+		}
+		dspec = cluster.SuburbanSpec(sp)
+		d, err = spam.NewSuburbanDataset(sp)
 	} else {
 		params := map[string]scene.Params{"SF": scene.SF, "DC": scene.DC, "MOFF": scene.MOFF}
 		p, ok := params[*dataset]
@@ -127,6 +144,7 @@ func realMain() int {
 		if *scale != 1 {
 			p = p.Scale(*scale)
 		}
+		dspec = cluster.AirportSpec(p)
 		d, err = spam.NewDataset(p)
 	}
 	if err != nil {
@@ -154,6 +172,44 @@ func realMain() int {
 		MaxRetries:   *maxRetries,
 		TaskTimeout:  *taskTimeout,
 		RetryBackoff: time.Millisecond,
+	}
+	if *clusterWorkers > 0 {
+		if *updates > 0 {
+			fmt.Fprintln(os.Stderr, "spamrun: -update sessions keep warm engines in-process; combine with -workers, not -cluster-workers")
+			return 2
+		}
+		ccfg := cluster.Config{
+			Workers:      *clusterWorkers,
+			LocalWorkers: *workers,
+			MemBudget:    *memBudget,
+			Prebuild:     *prebuild,
+			Toggles: cluster.Toggles{
+				NaiveMatch:    *naive,
+				UnbatchedSeed: *noSeedCache,
+				UncachedGeo:   *naiveGeom,
+				ExactGeom:     *naiveGeom,
+			},
+		}
+		if *clusterAddr != "" {
+			ccfg.Network, ccfg.Addr = "tcp", *clusterAddr
+		}
+		co, err := cluster.Start(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamrun:", err)
+			return 1
+		}
+		defer co.Close()
+		if err := co.RegisterDataset(dspec); err != nil {
+			fmt.Fprintln(os.Stderr, "spamrun:", err)
+			return 1
+		}
+		iopt.Runner = cluster.NewRunner(co, iopt)
+		defer func() {
+			st := co.Stats()
+			fmt.Printf("cluster: %d procs × %d local workers, %d tasks shipped (%s on the wire), %d steals, %d requeued, %d worker deaths\n",
+				st.Workers, *workers, st.TasksShipped, stats.FormatBytes(float64(st.ShippedBytes)),
+				st.Steals, st.Requeued, st.WorkerDeaths)
+		}()
 	}
 	var in *spam.Interpretation
 	if *updates > 0 {
@@ -195,6 +251,21 @@ func realMain() int {
 		return 1
 	}
 	printReports(in)
+
+	if *clusterWorkers > 0 && *clusterCheck {
+		localOpt := iopt
+		localOpt.Runner = nil
+		lin, lerr := d.Interpret(localOpt)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "spamrun: cluster check reference run:", lerr)
+			return 1
+		}
+		if !spam.SameOutputs(lin, in) {
+			fmt.Fprintln(os.Stderr, "spamrun: cluster check FAILED: cluster outputs differ from the single-process run")
+			return 1
+		}
+		fmt.Println("cluster check: cluster outputs identical to single-process run")
+	}
 
 	factor := 1.0
 	unit := "sec (simulated, C/ParaOPS5 baseline)"

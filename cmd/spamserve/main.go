@@ -9,7 +9,13 @@
 //	          [-max-queued N] [-per-tenant N] [-deadline D]
 //	          [-cache-regions N] [-quarantine-budget N] [-allow-faults]
 //	          [-sched fifo|largest|postorder] [-mem-budget BYTES]
-//	          [-max-sessions N]
+//	          [-max-sessions N] [-cluster-workers N]
+//
+// -cluster-workers N backs named-scene /interpret requests with N
+// worker processes over the cluster runtime (-workers becomes each
+// process's local pool size; see docs/CLUSTER.md); inline scenes and
+// sessions stay on the in-process shared pool. /stats then reports
+// total and per-request shipped wire bytes.
 //
 // Endpoints:
 //
@@ -36,11 +42,14 @@ import (
 	"syscall"
 	"time"
 
+	"spampsm/internal/cluster"
+	"spampsm/internal/core"
 	"spampsm/internal/serve"
 	"spampsm/internal/tlp"
 )
 
 func main() {
+	cluster.MaybeWorker()
 	os.Exit(realMain())
 }
 
@@ -58,12 +67,40 @@ func realMain() int {
 	sched := flag.String("sched", "fifo", "task scheduling policy: fifo, largest or postorder")
 	memBudget := flag.Float64("mem-budget", 0, "aggregate in-flight task footprint budget in simulated bytes (0 = unbounded)")
 	maxSessions := flag.Int("max-sessions", 0, "live incremental-session bound, LRU-evicted (0 = default 8)")
+	clusterWorkers := flag.Int("cluster-workers", 0, "execute named-scene requests across N worker processes (0 = in-process pool)")
 	flag.Parse()
 
 	policy, err := tlp.ParseQueuePolicy(*sched)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spamserve:", err)
 		return 2
+	}
+
+	var clusterBackend serve.ClusterBackend
+	if *clusterWorkers > 0 {
+		co, err := cluster.Start(cluster.Config{
+			Workers:      *clusterWorkers,
+			LocalWorkers: *workers,
+			MemBudget:    *memBudget,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamserve:", err)
+			return 1
+		}
+		defer co.Close()
+		for _, name := range []string{"SF", "DC", "MOFF"} {
+			spec, err := core.ClusterSpec(name)
+			if err == nil {
+				err = co.RegisterDataset(spec)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spamserve:", err)
+				return 1
+			}
+		}
+		clusterBackend = co
+		fmt.Fprintf(os.Stderr, "spamserve: cluster backend up: %d worker processes x %d local workers\n",
+			*clusterWorkers, *workers)
 	}
 
 	srv := serve.New(serve.Config{
@@ -78,6 +115,7 @@ func realMain() int {
 		Sched:             policy,
 		MemBudget:         *memBudget,
 		MaxSessions:       *maxSessions,
+		Cluster:           clusterBackend,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -175,6 +175,16 @@ func TestSubsetScaleApplied(t *testing.T) {
 func TestExtensionExperiments(t *testing.T) {
 	s := quickSuite()
 	for _, name := range ExtNames() {
+		if name == "ext-cluster" {
+			// Spawns real worker processes by re-exec'ing the binary,
+			// which a test binary without cluster.MaybeWorker in its
+			// TestMain cannot host, and costs minutes of wall clock.
+			// The multi-process path is covered by internal/cluster's
+			// differential and chaos tests, `make cluster-smoke`, and
+			// `make bench-cluster`; the report validation by
+			// TestClusterReportCheck.
+			continue
+		}
 		out, err := s.Run(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

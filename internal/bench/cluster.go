@@ -1,0 +1,401 @@
+// The cluster scale-out benchmark: real wall-clock interpretation
+// across worker processes over the message-passing runtime
+// (internal/cluster), emitted as BENCH_9.json by cmd/spambench -json.
+// Each point runs a full interpretation with the task queue sharded
+// over N processes and records what actually crossed the wire; the
+// simulated columns place the same task population on the Section 9
+// projection machines (shared virtual memory, message-passing
+// multicomputer) for comparison. A recovery run SIGKILLs workers
+// mid-interpretation and demonstrates exactly-once result delivery.
+//
+// Wall-clock figures are machine- and load-dependent, so Check gates
+// only on structure and on the accounting invariants (everything
+// shipped, exactly-once under crashes), never on observed speedups.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"spampsm/internal/cluster"
+	"spampsm/internal/core"
+	"spampsm/internal/faults"
+	"spampsm/internal/machine"
+	"spampsm/internal/msgpass"
+	"spampsm/internal/scene"
+	"spampsm/internal/spam"
+	"spampsm/internal/stats"
+	"spampsm/internal/svm"
+	"spampsm/internal/tlp"
+)
+
+// ClusterSchema versions the BENCH_9.json document.
+const ClusterSchema = "spampsm-cluster-bench/v1"
+
+// clusterProcs is the worker-process axis: every dataset interpreted
+// at each of these process counts.
+var clusterProcs = []int{1, 2, 4}
+
+// clusterLocalWorkers is each worker process's local pool size.
+const clusterLocalWorkers = 2
+
+// ClusterPoint is one (dataset, worker processes) interpretation run.
+type ClusterPoint struct {
+	Dataset      string  `json:"dataset"`
+	Procs        int     `json:"procs"`        // worker processes
+	LocalWorkers int     `json:"localWorkers"` // task processes per worker
+	WallMS       float64 `json:"wallMs"`
+	Speedup      float64 `json:"speedup"` // vs this dataset's 1-process point
+
+	Tasks        int     `json:"tasks"`        // tasks across all phases
+	TasksShipped int     `json:"tasksShipped"` // task frames sent (incl. re-ships)
+	ShippedBytes int64   `json:"shippedBytes"` // task + result frames on the wire
+	ShipShare    float64 `json:"shipShare"`    // wire bytes per modeled seed WM byte
+	Steals       int     `json:"steals"`
+
+	// Simulated counterparts on the Section 9 projection machines,
+	// same processor placement: speedup over one uniprocessor.
+	SVMSpeedup     float64 `json:"svmSpeedup"`
+	MsgpassSpeedup float64 `json:"msgpassSpeedup"`
+}
+
+// ClusterRecovery is the crash-recovery demonstration: deterministic
+// process-level chaos SIGKILLs workers mid-run; the coordinator
+// requeues, respawns, and still merges exactly one result per task.
+type ClusterRecovery struct {
+	Dataset      string  `json:"dataset"`
+	Procs        int     `json:"procs"`
+	CrashSeed    int64   `json:"crashSeed"`
+	CrashRate    float64 `json:"crashRate"`
+	Tasks        int     `json:"tasks"`
+	Completed    int     `json:"completed"` // results merged by the coordinator
+	WorkerDeaths int     `json:"workerDeaths"`
+	Respawns     int     `json:"respawns"`
+	Requeued     int     `json:"requeued"`
+	ExactlyOnce  bool    `json:"exactlyOnce"` // one non-nil result per task, no duplicates
+}
+
+// ClusterReport is the BENCH_9.json document.
+type ClusterReport struct {
+	Schema       string          `json:"schema"`
+	LocalWorkers int             `json:"localWorkers"`
+	Points       []ClusterPoint  `json:"points"`
+	Recovery     ClusterRecovery `json:"recovery"`
+}
+
+// clusterParams returns the generator parameters for one dataset at
+// the suite's subset scale — the same parameters the local Suite
+// dataset was built from, so coordinator and workers agree bytewise.
+func (s *Suite) clusterParams(name string) (scene.Params, error) {
+	base := map[string]scene.Params{"SF": scene.SF, "DC": scene.DC, "MOFF": scene.MOFF}
+	p, ok := base[name]
+	if !ok {
+		return scene.Params{}, fmt.Errorf("bench: unknown dataset %q", name)
+	}
+	if s.Opt.SubsetScale != 0 && s.Opt.SubsetScale != 1 {
+		p = p.Scale(s.Opt.SubsetScale)
+		p.Name = name
+	}
+	return p, nil
+}
+
+// clusterStressParams is the scale demonstration scene: SF at 10x the
+// suite's subset scale, the memsched stress convention.
+func (s *Suite) clusterStressParams() scene.Params {
+	factor := 10.0
+	if s.Opt.SubsetScale != 0 {
+		factor *= s.Opt.SubsetScale
+	}
+	p := scene.SF.Scale(factor)
+	p.Name = "SF-x10"
+	return p
+}
+
+// clusterRun interprets one dataset over a fresh procs-process
+// cluster and returns the wall time and the coordinator's wire
+// accounting for the timed run (warmup excluded).
+func clusterRun(d *spam.Dataset, params scene.Params, procs int) (*spam.Interpretation, float64, cluster.Stats, error) {
+	co, err := cluster.Start(cluster.Config{Workers: procs, LocalWorkers: clusterLocalWorkers})
+	if err != nil {
+		return nil, 0, cluster.Stats{}, err
+	}
+	defer co.Close()
+	if err := co.RegisterDataset(cluster.AirportSpec(params)); err != nil {
+		return nil, 0, cluster.Stats{}, err
+	}
+
+	opt := spam.InterpretOptions{Workers: clusterLocalWorkers, ReEntry: true}
+	opt.Runner = cluster.NewRunner(co, opt)
+
+	// Warmup: push the RTF queue through once so every worker has
+	// regenerated the dataset (workers build it inline in their frame
+	// loop) before the clock starts.
+	warm := spam.BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, 3, false)
+	if _, err := co.RunTasks(context.Background(), tlp.FIFO, cluster.RunConfig{}, warm); err != nil {
+		return nil, 0, cluster.Stats{}, err
+	}
+	before := co.Stats()
+
+	start := time.Now()
+	in, err := d.Interpret(opt)
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return nil, 0, cluster.Stats{}, err
+	}
+	after := co.Stats()
+	return in, wallMS, cluster.Stats{
+		Workers:      after.Workers,
+		TasksShipped: after.TasksShipped - before.TasksShipped,
+		ShippedBytes: after.ShippedBytes - before.ShippedBytes,
+		Steals:       after.Steals - before.Steals,
+		Requeued:     after.Requeued - before.Requeued,
+	}, nil
+}
+
+// clusterRecovery runs DC under deterministic process chaos: workers
+// SIGKILL themselves on fated (task, attempt) draws, the coordinator
+// requeues the dead process's in-flight tasks and respawns within the
+// budget, and the merged result set is still exactly-once.
+func (s *Suite) clusterRecovery() (ClusterRecovery, error) {
+	const (
+		procs     = 2
+		crashSeed = 7
+		crashRate = 0.05
+	)
+	d, err := s.Dataset("DC")
+	if err != nil {
+		return ClusterRecovery{}, err
+	}
+	params, err := s.clusterParams("DC")
+	if err != nil {
+		return ClusterRecovery{}, err
+	}
+	co, err := cluster.Start(cluster.Config{
+		Workers:      procs,
+		LocalWorkers: 1,
+		ShipWindow:   1, // minimal pipelining: fewer in-flight casualties per death
+		MaxRespawns:  8,
+		ProcFaults:   faults.Config{Seed: crashSeed, CrashRate: crashRate},
+	})
+	if err != nil {
+		return ClusterRecovery{}, err
+	}
+	defer co.Close()
+	if err := co.RegisterDataset(cluster.AirportSpec(params)); err != nil {
+		return ClusterRecovery{}, err
+	}
+
+	opt := spam.InterpretOptions{Workers: procs, MaxRetries: 2}
+	opt.Runner = cluster.NewRunner(co, opt)
+	in, err := d.Interpret(opt)
+	if err != nil {
+		return ClusterRecovery{}, err
+	}
+
+	seen := map[string]bool{}
+	exactly := true
+	for _, ph := range in.Phases {
+		for _, r := range ph.Results {
+			if r == nil || seen[r.TaskID] {
+				exactly = false
+				continue
+			}
+			seen[r.TaskID] = true
+		}
+	}
+	if len(seen) != in.Completeness.Tasks {
+		exactly = false
+	}
+	st := co.Stats()
+	return ClusterRecovery{
+		Dataset:      "DC",
+		Procs:        procs,
+		CrashSeed:    crashSeed,
+		CrashRate:    crashRate,
+		Tasks:        in.Completeness.Tasks,
+		Completed:    st.TasksCompleted,
+		WorkerDeaths: st.WorkerDeaths,
+		Respawns:     st.Respawns,
+		Requeued:     st.Requeued,
+		ExactlyOnce:  exactly,
+	}, nil
+}
+
+// Cluster runs the full experiment: the three datasets plus the
+// 10x-scale stress scene at each worker-process count, then the
+// crash-recovery run. Expensive (every point is a real multi-process
+// interpretation), so the report is built once per suite.
+func (s *Suite) Cluster() (*ClusterReport, error) {
+	if s.clus != nil {
+		return s.clus, nil
+	}
+	rep := &ClusterReport{Schema: ClusterSchema, LocalWorkers: clusterLocalWorkers}
+
+	type target struct {
+		name   string
+		d      *spam.Dataset
+		params scene.Params
+		m      *core.Measurement
+	}
+	var targets []target
+	for _, ds := range Datasets {
+		d, err := s.Dataset(ds)
+		if err != nil {
+			return nil, err
+		}
+		params, err := s.clusterParams(ds)
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.Measurement(ds, core.LCC, spam.Level3, false)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{ds, d, params, m})
+	}
+	stressParams := s.clusterStressParams()
+	stressD, err := spam.NewDataset(stressParams)
+	if err != nil {
+		return nil, err
+	}
+	stressM, err := core.NewSystem(stressD, core.LCC, spam.Level3).Measure(false)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, target{stressParams.Name, stressD, stressParams, stressM})
+
+	for _, tg := range targets {
+		durs := machine.Durations(tg.m.Exp.Tasks, 0, tg.m.Exp.Model)
+		ov := tg.m.Exp.Overheads
+		var base float64
+		for _, procs := range clusterProcs {
+			in, wallMS, st, err := clusterRun(tg.d, tg.params, procs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cluster %s procs=%d: %w", tg.name, procs, err)
+			}
+			if procs == clusterProcs[0] {
+				base = wallMS
+			}
+			var seedBytes float64
+			tasks := 0
+			for _, ph := range in.Phases {
+				seedBytes += ph.SeedBytes
+				tasks += ph.Tasks
+			}
+			pt := ClusterPoint{
+				Dataset:      tg.name,
+				Procs:        procs,
+				LocalWorkers: clusterLocalWorkers,
+				WallMS:       wallMS,
+				Tasks:        tasks,
+				TasksShipped: st.TasksShipped,
+				ShippedBytes: st.ShippedBytes,
+				Steals:       st.Steals,
+				SVMSpeedup: svm.Speedup(durs, svm.Cluster{
+					Node0Procs:  clusterLocalWorkers,
+					RemoteProcs: (procs - 1) * clusterLocalWorkers,
+				}, svm.DefaultConfig(), ov),
+				MsgpassSpeedup: msgpass.Speedup(durs, msgpass.DefaultConfig(procs*clusterLocalWorkers), msgpass.Dynamic),
+			}
+			if wallMS > 0 && base > 0 {
+				pt.Speedup = base / wallMS
+			}
+			if seedBytes > 0 {
+				pt.ShipShare = float64(st.ShippedBytes) / seedBytes
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+
+	rec, err := s.clusterRecovery()
+	if err != nil {
+		return nil, fmt.Errorf("bench: cluster recovery: %w", err)
+	}
+	rep.Recovery = rec
+	s.clus = rep
+	return rep, nil
+}
+
+// Check validates the report's structure and accounting invariants:
+// full (dataset x procs) coverage, every point a real run with its
+// whole task population shipped over the wire, and the recovery run
+// demonstrating exactly-once delivery through at least one worker
+// death. Observed wall-clock speedups are recorded, not gated — they
+// depend on the host.
+func (r *ClusterReport) Check() error {
+	if r.Schema != ClusterSchema {
+		return fmt.Errorf("cluster: schema %q, want %q", r.Schema, ClusterSchema)
+	}
+	want := map[string]map[int]bool{}
+	for _, ds := range append(append([]string{}, Datasets...), "SF-x10") {
+		want[ds] = map[int]bool{}
+		for _, p := range clusterProcs {
+			want[ds][p] = true
+		}
+	}
+	for _, pt := range r.Points {
+		if want[pt.Dataset] == nil || !want[pt.Dataset][pt.Procs] {
+			return fmt.Errorf("cluster: unexpected point %s/procs=%d", pt.Dataset, pt.Procs)
+		}
+		delete(want[pt.Dataset], pt.Procs)
+		if pt.WallMS <= 0 || pt.Tasks <= 0 {
+			return fmt.Errorf("cluster: point %s/procs=%d is not a real run (wall=%g tasks=%d)",
+				pt.Dataset, pt.Procs, pt.WallMS, pt.Tasks)
+		}
+		if pt.TasksShipped < pt.Tasks || pt.ShippedBytes <= 0 {
+			return fmt.Errorf("cluster: point %s/procs=%d shipped %d tasks / %d bytes, want >= %d tasks",
+				pt.Dataset, pt.Procs, pt.TasksShipped, pt.ShippedBytes, pt.Tasks)
+		}
+		if pt.Procs == clusterProcs[0] && pt.Speedup != 1 {
+			return fmt.Errorf("cluster: point %s base speedup %g, want 1", pt.Dataset, pt.Speedup)
+		}
+	}
+	for ds, procs := range want {
+		if len(procs) > 0 {
+			return fmt.Errorf("cluster: dataset %s missing %d points", ds, len(procs))
+		}
+	}
+	rec := r.Recovery
+	if rec.WorkerDeaths < 1 {
+		return fmt.Errorf("cluster: recovery saw no worker deaths")
+	}
+	if !rec.ExactlyOnce || rec.Tasks <= 0 {
+		return fmt.Errorf("cluster: recovery not exactly-once (%d tasks)", rec.Tasks)
+	}
+	if rec.Requeued < 1 || rec.Completed < rec.Tasks {
+		return fmt.Errorf("cluster: recovery requeued=%d completed=%d tasks=%d",
+			rec.Requeued, rec.Completed, rec.Tasks)
+	}
+	return nil
+}
+
+// ExtCluster renders the experiment as text: one table over the
+// (dataset, procs) grid, then the recovery summary. The full document
+// ships in BENCH_9.json (spambench -json).
+func (s *Suite) ExtCluster() (string, error) {
+	rep, err := s.Cluster()
+	if err != nil {
+		return "", err
+	}
+	if err := rep.Check(); err != nil {
+		return "", err
+	}
+	tb := stats.Table{
+		Title: fmt.Sprintf("Extension: multi-process cluster interpretation (%d local workers per process)",
+			rep.LocalWorkers),
+		Headers: []string{"Dataset", "Procs", "Wall (ms)", "Speedup", "Tasks", "Shipped",
+			"Wire bytes", "Steals", "SVM (sim)", "Msgpass (sim)"},
+	}
+	for _, pt := range rep.Points {
+		tb.AddRow(pt.Dataset, pt.Procs, pt.WallMS, pt.Speedup, pt.Tasks, pt.TasksShipped,
+			stats.FormatBytes(float64(pt.ShippedBytes)), pt.Steals, pt.SVMSpeedup, pt.MsgpassSpeedup)
+	}
+	rec := rep.Recovery
+	out := tb.String() + "\n"
+	out += fmt.Sprintf("Recovery: %s over %d procs, crash seed %d rate %g — %d worker deaths, "+
+		"%d respawns, %d tasks requeued; %d tasks merged exactly-once\n",
+		rec.Dataset, rec.Procs, rec.CrashSeed, rec.CrashRate, rec.WorkerDeaths,
+		rec.Respawns, rec.Requeued, rec.Tasks)
+	return out, nil
+}

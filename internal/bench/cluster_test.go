@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"spampsm/internal/scene"
+)
+
+// validClusterReport hand-builds a report satisfying every Check
+// invariant: full (dataset x procs) coverage, real-run wall times,
+// whole queues shipped, exactly-once recovery through worker deaths.
+func validClusterReport() *ClusterReport {
+	rep := &ClusterReport{Schema: ClusterSchema, LocalWorkers: clusterLocalWorkers}
+	for _, ds := range append(append([]string{}, Datasets...), "SF-x10") {
+		for _, procs := range clusterProcs {
+			pt := ClusterPoint{
+				Dataset: ds, Procs: procs, LocalWorkers: clusterLocalWorkers,
+				WallMS: 100, Tasks: 40, TasksShipped: 41, ShippedBytes: 50_000,
+				ShipShare: 0.5, SVMSpeedup: 2, MsgpassSpeedup: 2,
+			}
+			if procs == clusterProcs[0] {
+				pt.Speedup = 1
+			} else {
+				pt.Speedup = 0.9
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	rep.Recovery = ClusterRecovery{
+		Dataset: "DC", Procs: 2, CrashSeed: 7, CrashRate: 0.05,
+		Tasks: 85, Completed: 85, WorkerDeaths: 4, Respawns: 4,
+		Requeued: 4, ExactlyOnce: true,
+	}
+	return rep
+}
+
+func TestClusterReportCheck(t *testing.T) {
+	if err := validClusterReport().Check(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	breaks := []struct {
+		name    string
+		mutate  func(*ClusterReport)
+		wantErr string
+	}{
+		{"wrong schema", func(r *ClusterReport) { r.Schema = "nope" }, "schema"},
+		{"missing point", func(r *ClusterReport) { r.Points = r.Points[1:] }, "missing"},
+		{"duplicate point", func(r *ClusterReport) { r.Points = append(r.Points, r.Points[0]) }, "unexpected point"},
+		{"foreign dataset", func(r *ClusterReport) { r.Points[0].Dataset = "LAX" }, "unexpected point"},
+		{"zero wall", func(r *ClusterReport) { r.Points[0].WallMS = 0 }, "not a real run"},
+		{"under-shipped", func(r *ClusterReport) { r.Points[0].TasksShipped = r.Points[0].Tasks - 1 }, "shipped"},
+		{"no wire bytes", func(r *ClusterReport) { r.Points[0].ShippedBytes = 0 }, "shipped"},
+		{"base speedup", func(r *ClusterReport) { r.Points[0].Speedup = 1.2 }, "base speedup"},
+		{"no deaths", func(r *ClusterReport) { r.Recovery.WorkerDeaths = 0 }, "no worker deaths"},
+		{"duplicated result", func(r *ClusterReport) { r.Recovery.ExactlyOnce = false }, "exactly-once"},
+		{"lost result", func(r *ClusterReport) { r.Recovery.Completed = r.Recovery.Tasks - 1 }, "requeued"},
+		{"no requeue", func(r *ClusterReport) { r.Recovery.Requeued = 0 }, "requeued"},
+	}
+	for _, br := range breaks {
+		rep := validClusterReport()
+		br.mutate(rep)
+		err := rep.Check()
+		if err == nil {
+			t.Errorf("%s: Check passed, want error", br.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), br.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", br.name, err, br.wantErr)
+		}
+	}
+}
+
+// TestClusterParamsMatchSuiteDatasets pins the identity the cluster
+// experiment rests on: the generator parameters shipped to workers
+// must describe exactly the dataset the coordinator-side suite built,
+// or the differential guarantee is void.
+func TestClusterParamsMatchSuiteDatasets(t *testing.T) {
+	s := quickSuite()
+	for _, ds := range Datasets {
+		d, err := s.Dataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s.clusterParams(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != ds {
+			t.Errorf("%s: params name %q", ds, p.Name)
+		}
+		// Scene generation is deterministic in its parameters, so a
+		// scene regenerated from the shipped params (exactly what a
+		// worker does) must reproduce the suite dataset's scene.
+		regen := scene.Generate(p)
+		if regen.Name != d.Scene.Name || len(regen.Regions) != len(d.Scene.Regions) {
+			t.Errorf("%s: regenerated scene %s/%d regions, suite dataset %s/%d",
+				ds, regen.Name, len(regen.Regions), d.Scene.Name, len(d.Scene.Regions))
+		}
+	}
+	if name := s.clusterStressParams().Name; name != "SF-x10" {
+		t.Errorf("stress scene name %q", name)
+	}
+}

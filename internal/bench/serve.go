@@ -38,6 +38,11 @@ type ServeScenario struct {
 	ElapsedSec float64 `json:"elapsedSec"`
 	Throughput float64 `json:"throughputRps"` // succeeded / elapsed
 
+	// ShippedBytes is the wire volume the server shipped to cluster
+	// worker processes during this scenario (from /stats deltas; 0 for
+	// in-process execution or servers without a cluster backend).
+	ShippedBytes int64 `json:"shippedBytes,omitempty"`
+
 	LatencyMs ServeLatency `json:"latencyMs"`
 }
 

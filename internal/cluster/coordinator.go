@@ -1,0 +1,818 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/ops5"
+	"spampsm/internal/tlp"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers is the number of worker processes to spawn (default 2).
+	Workers int
+	// LocalWorkers is each worker process's tlp.Pool size (default 1).
+	LocalWorkers int
+	// MemBudget is each worker pool's modeled memory budget (simulated
+	// bytes; 0 = unbounded), the cluster analogue of -mem-budget.
+	MemBudget float64
+	// Prebuild overlaps each shipped task's engine construction with
+	// execution on the worker, the cluster analogue of -prebuild.
+	Prebuild bool
+	// Toggles replays the coordinator process's observational-
+	// equivalence switches on every worker.
+	Toggles Toggles
+	// ProcFaults seeds process-level chaos: a Crash draw for a shipped
+	// (task, attempt) SIGKILLs the receiving worker process.
+	ProcFaults faults.Config
+	// Network/Addr select the transport: "unix" (default, socket in a
+	// private temp dir) or "tcp" with an explicit listen address —
+	// multi-host is one flag away (see docs/CLUSTER.md).
+	Network string
+	Addr    string
+	// MaxRespawns bounds worker-process respawns after connection loss
+	// (default 1, the bounded-restart discipline of the pool's retry
+	// budget lifted to processes). Negative disables respawn.
+	MaxRespawns int
+	// ShipWindow is the per-worker in-flight task cap (default
+	// 2×LocalWorkers): enough to overlap shipping with execution,
+	// small enough to bound what a worker death requeues.
+	ShipWindow int
+	// Exe is the worker executable (default: this binary, which flips
+	// into worker mode through WorkerEnv — see MaybeWorker).
+	Exe string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.LocalWorkers < 1 {
+		c.LocalWorkers = 1
+	}
+	if c.Network == "" {
+		c.Network = "unix"
+	}
+	if c.MaxRespawns == 0 {
+		c.MaxRespawns = 1
+	}
+	if c.ShipWindow < 1 {
+		c.ShipWindow = 2 * c.LocalWorkers
+	}
+	return c
+}
+
+// Stats is the coordinator's cumulative accounting.
+type Stats struct {
+	Workers        int   // configured worker processes
+	TasksShipped   int   // task frames sent (including re-ships)
+	TasksCompleted int   // results merged (including synthesized)
+	ShippedBytes   int64 // task + result frame bytes on the wire
+	Steals         int   // tasks claimed from another shard's deque
+	Requeued       int   // in-flight tasks recovered from dead workers
+	WorkerDeaths   int   // connections lost mid-run
+	Respawns       int   // replacement processes spawned
+}
+
+// task states within a run.
+const (
+	statePending = iota
+	stateInflight
+	stateDone
+)
+
+// run is one RunTasks invocation in flight: the ordered queue, its
+// shard deques, and the merge state. Several runs can be active at
+// once (the serving path); workers drain them in creation order.
+type run struct {
+	id     uint64
+	cfg    RunConfig
+	tasks  []*tlp.Task
+	specs  []*tlp.WireSpec
+	state  []uint8
+	// startAttempt is the global attempt number the task's next
+	// delivery resumes from; it advances when a worker dies holding
+	// the task, charging the loss against the task's retry budget.
+	startAttempt []int
+	// priorErrs accumulates the process-loss errors charged to a task
+	// before its final result, prepended to the result's AttemptErrs
+	// so RunReport sees the full attempt history.
+	priorErrs [][]error
+	shipBytes []int
+	results   []*tlp.Result
+	remaining int
+	shards    [][]int // per-slot pending deques of queue indices
+	overflow  []int   // requeued work, served before shard work
+	failed    error
+	cancelled bool
+}
+
+type flightKey struct {
+	runID uint64
+	seq   int
+}
+
+// wconn is one live worker connection.
+type wconn struct {
+	c        net.Conn
+	bw       *bufio.Writer
+	writeMu  sync.Mutex
+	slot     int
+	dead     bool
+	inflight map[flightKey]*run
+}
+
+type proc struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+// Coordinator shards task queues across worker processes. Create with
+// Start, submit with RunTasks (any number of concurrent runs), and
+// release the processes with Close.
+type Coordinator struct {
+	cfg  Config
+	addr string
+	ln   net.Listener
+	dir  string // private socket dir (unix transport)
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	conns         []*wconn
+	slots         []*wconn
+	datasets      []DatasetSpec
+	dsNames       map[string]bool
+	runs          []*run
+	runSeq        uint64
+	respawnsLeft  int
+	pendingSpawns int
+	spawnFailed   error
+	closed        bool
+	stats         Stats
+
+	procMu sync.Mutex
+	procs  []*proc
+}
+
+// Start listens, spawns the worker processes, and waits for all of
+// them to connect.
+func Start(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	co := &Coordinator{
+		cfg:          cfg,
+		dsNames:      map[string]bool{},
+		slots:        make([]*wconn, cfg.Workers),
+		respawnsLeft: cfg.MaxRespawns,
+		runSeq:       1,
+	}
+	if co.respawnsLeft < 0 {
+		co.respawnsLeft = 0
+	}
+	co.cond = sync.NewCond(&co.mu)
+	co.stats.Workers = cfg.Workers
+
+	addr := cfg.Addr
+	if cfg.Network == "unix" && addr == "" {
+		dir, err := os.MkdirTemp("", "spamclu")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: socket dir: %w", err)
+		}
+		co.dir = dir
+		addr = filepath.Join(dir, "coord.sock")
+	}
+	ln, err := net.Listen(cfg.Network, addr)
+	if err != nil {
+		co.cleanupDir()
+		return nil, fmt.Errorf("cluster: listen %s %s: %w", cfg.Network, addr, err)
+	}
+	co.ln = ln
+	co.addr = ln.Addr().String()
+	go co.acceptLoop()
+
+	for i := 0; i < cfg.Workers; i++ {
+		if err := co.spawn(); err != nil {
+			co.Close()
+			return nil, err
+		}
+	}
+	if err := co.waitConnected(cfg.Workers, 30*time.Second); err != nil {
+		co.Close()
+		return nil, err
+	}
+	return co, nil
+}
+
+func (co *Coordinator) cleanupDir() {
+	if co.dir != "" {
+		os.RemoveAll(co.dir)
+	}
+}
+
+// Addr returns the coordinator's listen address (workers on other
+// hosts dial it when the transport is tcp).
+func (co *Coordinator) Addr() string { return co.addr }
+
+// Stats returns a snapshot of the coordinator's accounting.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.stats
+}
+
+// waitConnected blocks until n workers are live (or a spawn failed,
+// or the deadline passes).
+func (co *Coordinator) waitConnected(n int, timeout time.Duration) error {
+	deadline := time.AfterFunc(timeout, func() {
+		co.mu.Lock()
+		if co.spawnFailed == nil && len(co.conns) < n {
+			co.spawnFailed = fmt.Errorf("cluster: %d/%d workers connected before timeout", len(co.conns), n)
+		}
+		co.cond.Broadcast()
+		co.mu.Unlock()
+	})
+	defer deadline.Stop()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for len(co.conns) < n && co.spawnFailed == nil && !co.closed {
+		co.cond.Wait()
+	}
+	return co.spawnFailed
+}
+
+// spawn launches one worker process pointed back at the listener.
+func (co *Coordinator) spawn() error {
+	exe := co.cfg.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return fmt.Errorf("cluster: worker executable: %w", err)
+		}
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), WorkerEnv+"="+co.cfg.Network+"|"+co.addr)
+	cmd.Stderr = os.Stderr
+	co.mu.Lock()
+	co.pendingSpawns++
+	co.mu.Unlock()
+	if err := cmd.Start(); err != nil {
+		co.mu.Lock()
+		co.pendingSpawns--
+		co.spawnFailed = fmt.Errorf("cluster: spawn worker: %w", err)
+		co.cond.Broadcast()
+		co.mu.Unlock()
+		return co.spawnFailed
+	}
+	p := &proc{cmd: cmd, done: make(chan struct{})}
+	co.procMu.Lock()
+	co.procs = append(co.procs, p)
+	co.procMu.Unlock()
+	go func() {
+		cmd.Wait()
+		close(p.done)
+	}()
+	return nil
+}
+
+func (co *Coordinator) acceptLoop() {
+	for {
+		c, err := co.ln.Accept()
+		if err != nil {
+			return
+		}
+		go co.register(c)
+	}
+}
+
+// register handshakes a fresh worker connection: Init, dataset
+// replay, slot assignment, then the reader and feeder goroutines.
+func (co *Coordinator) register(c net.Conn) {
+	w := &wconn{c: c, bw: bufio.NewWriterSize(c, 1<<16), inflight: map[flightKey]*run{}}
+	// Holding writeMu across the handshake makes dataset ordering
+	// airtight: once the conn is listed, a concurrent RegisterDataset
+	// blocks here until Init and the replayed specs are on the wire.
+	w.writeMu.Lock()
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		w.writeMu.Unlock()
+		c.Close()
+		return
+	}
+	slot := -1
+	for i, s := range co.slots {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		// More connections than slots (e.g. a straggler after respawn):
+		// share slot 0's shard; stealing keeps it busy.
+		slot = 0
+	} else {
+		co.slots[slot] = w
+	}
+	w.slot = slot
+	co.conns = append(co.conns, w)
+	if co.pendingSpawns > 0 {
+		co.pendingSpawns--
+	}
+	init := InitMsg{
+		Magic: Magic, Version: Version,
+		LocalWorkers: co.cfg.LocalWorkers,
+		MemBudget:    co.cfg.MemBudget,
+		Prebuild:     co.cfg.Prebuild,
+		Toggles:      co.cfg.Toggles,
+		ProcFaults:   co.cfg.ProcFaults,
+	}
+	specs := append([]DatasetSpec(nil), co.datasets...)
+	co.cond.Broadcast()
+	co.mu.Unlock()
+
+	ok := true
+	if _, err := writeJSONFrame(w.bw, frameInit, init); err != nil {
+		ok = false
+	}
+	for _, spec := range specs {
+		if !ok {
+			break
+		}
+		if _, err := writeJSONFrame(w.bw, frameDataset, spec); err != nil {
+			ok = false
+		}
+	}
+	if ok && w.bw.Flush() != nil {
+		ok = false
+	}
+	w.writeMu.Unlock()
+	if !ok {
+		c.Close()
+		co.workerLost(w)
+		return
+	}
+	go co.reader(w)
+	go co.feeder(w)
+}
+
+// RegisterDataset ships a dataset's generator parameters to every
+// worker (and replays them to workers that join later). Idempotent by
+// name.
+func (co *Coordinator) RegisterDataset(spec DatasetSpec) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return errors.New("cluster: coordinator closed")
+	}
+	if co.dsNames[spec.Name] {
+		co.mu.Unlock()
+		return nil
+	}
+	co.dsNames[spec.Name] = true
+	co.datasets = append(co.datasets, spec)
+	conns := append([]*wconn(nil), co.conns...)
+	co.mu.Unlock()
+	for _, w := range conns {
+		w.writeMu.Lock()
+		_, err := writeJSONFrame(w.bw, frameDataset, spec)
+		if err == nil {
+			err = w.bw.Flush()
+		}
+		w.writeMu.Unlock()
+		if err != nil {
+			// The reader will notice the dead connection; dataset replay
+			// covers any respawn.
+			w.c.Close()
+		}
+	}
+	return nil
+}
+
+// RunTasks ships the ordered queue across the workers and returns
+// merged results in queue order — the cluster equivalent of
+// tlp.Pool.RunContext, with identical result, report and
+// cancellation semantics. Concurrent runs multiplex onto the same
+// worker set.
+func (co *Coordinator) RunTasks(ctx context.Context, policy tlp.QueuePolicy, cfg RunConfig, tasks []*tlp.Task) ([]*tlp.Result, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("tlp: empty task queue")
+	}
+	ordered := tlp.OrderTasks(policy, tasks)
+	specs := make([]*tlp.WireSpec, len(ordered))
+	for i, t := range ordered {
+		if t.Wire == nil {
+			return nil, fmt.Errorf("cluster: task %s has no wire spec (not cluster-executable)", t.ID)
+		}
+		spec, err := t.Wire()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: task %s: %w", t.ID, err)
+		}
+		specs[i] = spec
+	}
+
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, errors.New("cluster: coordinator closed")
+	}
+	if len(co.conns) == 0 && co.pendingSpawns == 0 && co.respawnsLeft == 0 {
+		// The recovery path fails runs that were active when the last
+		// worker died; a run submitted after that would wait forever.
+		co.mu.Unlock()
+		return nil, errors.New("cluster: no live worker processes")
+	}
+	n := len(ordered)
+	rn := &run{
+		id: co.runSeq, cfg: cfg, tasks: ordered, specs: specs,
+		state:        make([]uint8, n),
+		startAttempt: make([]int, n),
+		priorErrs:    make([][]error, n),
+		shipBytes:    make([]int, n),
+		results:      make([]*tlp.Result, n),
+		remaining:    n,
+		shards:       make([][]int, len(co.slots)),
+	}
+	co.runSeq++
+	for i := range rn.startAttempt {
+		rn.startAttempt[i] = 1
+	}
+	// Contiguous striping: shard s owns queue indices [s·n/S, (s+1)·n/S),
+	// so FIFO order within a shard tracks global queue order and a
+	// drained worker steals from the back of the fullest shard.
+	s := len(co.slots)
+	for sh := 0; sh < s; sh++ {
+		lo, hi := sh*n/s, (sh+1)*n/s
+		for i := lo; i < hi; i++ {
+			rn.shards[sh] = append(rn.shards[sh], i)
+		}
+	}
+	co.runs = append(co.runs, rn)
+	co.cond.Broadcast()
+	co.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		co.mu.Lock()
+		if rn.remaining > 0 {
+			rn.cancelled = true
+			co.cond.Broadcast()
+		}
+		co.mu.Unlock()
+	})
+	defer stop()
+
+	co.mu.Lock()
+	for rn.remaining > 0 && rn.failed == nil && !rn.cancelled {
+		co.cond.Wait()
+	}
+	if rn.cancelled && rn.remaining > 0 {
+		// Mirror tlp's cancellation contract: every unfinished task gets
+		// a Result wrapping ErrCancelled (same message bytes as
+		// tlp.cancelledResult); shipped tasks keep running remotely but
+		// their late frames are dropped.
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		for i, t := range rn.tasks {
+			if rn.state[i] == stateDone {
+				continue
+			}
+			// Drop pending deque entries lazily: feeders skip runs that
+			// are cancelled.
+			err := fmt.Errorf("tlp: task %s: %w: %w", t.ID, tlp.ErrCancelled, cause)
+			rn.results[i] = &tlp.Result{
+				TaskID: t.ID, SeqInQ: i, Err: err, Cancelled: true,
+				Attempts:    rn.startAttempt[i] - 1,
+				AttemptErrs: append(append([]error(nil), rn.priorErrs[i]...), err),
+				ShipBytes:   rn.shipBytes[i],
+			}
+			rn.state[i] = stateDone
+			rn.remaining--
+			co.stats.TasksCompleted++
+		}
+	}
+	co.removeRun(rn)
+	failed := rn.failed
+	results := rn.results
+	co.mu.Unlock()
+	if failed != nil {
+		return nil, failed
+	}
+	return results, nil
+}
+
+// removeRun drops a finished run from the active list. Caller holds mu.
+func (co *Coordinator) removeRun(rn *run) {
+	for i, r := range co.runs {
+		if r == rn {
+			co.runs = append(co.runs[:i], co.runs[i+1:]...)
+			return
+		}
+	}
+}
+
+// pick claims the next queue index for a worker: requeued overflow
+// first, then the worker's own shard in order, then a steal from the
+// back of the fullest shard. Caller holds mu.
+func (co *Coordinator) pick(w *wconn) (*run, int, bool) {
+	for _, rn := range co.runs {
+		if rn.failed != nil || rn.cancelled {
+			continue
+		}
+		if len(rn.overflow) > 0 {
+			idx := rn.overflow[0]
+			rn.overflow = rn.overflow[1:]
+			return rn, idx, true
+		}
+		if dq := rn.shards[w.slot]; len(dq) > 0 {
+			rn.shards[w.slot] = dq[1:]
+			return rn, dq[0], true
+		}
+		best, bl := -1, 0
+		for s, dq := range rn.shards {
+			if len(dq) > bl {
+				best, bl = s, len(dq)
+			}
+		}
+		if best >= 0 {
+			dq := rn.shards[best]
+			idx := dq[len(dq)-1]
+			rn.shards[best] = dq[:len(dq)-1]
+			co.stats.Steals++
+			return rn, idx, true
+		}
+	}
+	return nil, 0, false
+}
+
+// claim blocks until the worker has window room and work exists (nil
+// when the worker died or the coordinator closed).
+func (co *Coordinator) claim(w *wconn) (*TaskMsg, *run, int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for {
+		if w.dead || co.closed {
+			return nil, nil, 0
+		}
+		if len(w.inflight) < co.cfg.ShipWindow {
+			if rn, idx, ok := co.pick(w); ok {
+				rn.state[idx] = stateInflight
+				w.inflight[flightKey{rn.id, idx}] = rn
+				t := rn.tasks[idx]
+				return &TaskMsg{
+					RunID: rn.id, Seq: idx, StartAttempt: rn.startAttempt[idx],
+					ID: t.ID, Label: t.Label, Group: t.Group,
+					EstSize: t.EstSize, MemEst: t.MemEst,
+					Config: rn.cfg, Spec: *rn.specs[idx],
+				}, rn, idx
+			}
+		}
+		co.cond.Wait()
+	}
+}
+
+// feeder is a connection's writer loop: claim, encode, ship.
+func (co *Coordinator) feeder(w *wconn) {
+	for {
+		m, rn, idx := co.claim(w)
+		if m == nil {
+			return
+		}
+		payload := EncodeTask(m)
+		w.writeMu.Lock()
+		n, err := writeFrame(w.bw, frameTask, payload)
+		if err == nil {
+			err = w.bw.Flush()
+		}
+		w.writeMu.Unlock()
+		co.mu.Lock()
+		if err == nil {
+			rn.shipBytes[idx] += n
+			co.stats.TasksShipped++
+			co.stats.ShippedBytes += int64(n)
+			co.mu.Unlock()
+			continue
+		}
+		co.mu.Unlock()
+		// Write failure: close the connection and let the reader's
+		// workerLost path requeue everything in flight here — including
+		// this task — exactly once.
+		w.c.Close()
+		return
+	}
+}
+
+// reader is a connection's read loop: merge result frames until the
+// connection drops, then run the process-death recovery.
+func (co *Coordinator) reader(w *wconn) {
+	br := bufio.NewReaderSize(w.c, 1<<16)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		if typ != frameResult {
+			break
+		}
+		m, err := DecodeResult(payload)
+		if err != nil {
+			break
+		}
+		co.deliver(w, m, frameLen(len(payload)))
+	}
+	w.c.Close()
+	co.workerLost(w)
+}
+
+// deliver merges one result frame. wireBytes is the result frame's
+// size for ship-overhead accounting.
+func (co *Coordinator) deliver(w *wconn, m *ResultMsg, wireBytes int) {
+	snap, snapErr := rebuildSnapshot(m.Snapshot)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	key := flightKey{m.RunID, m.Seq}
+	rn, ok := w.inflight[key]
+	if !ok {
+		return // stale frame for a requeued or unknown task
+	}
+	delete(w.inflight, key)
+	co.cond.Broadcast() // window freed
+	if rn.state[m.Seq] != stateInflight {
+		return // run cancelled meanwhile; result already synthesized
+	}
+	r := &tlp.Result{
+		TaskID: m.TaskID, SeqInQ: m.Seq, Worker: m.Worker,
+		Attempts: m.Attempts, Stats: m.Stats,
+		Quarantined: m.Quarantined, Cancelled: m.Cancelled,
+	}
+	if m.HasLog {
+		r.Log = &ops5.CostLog{Mem: m.Mem}
+	}
+	if m.Err != nil {
+		r.Err = &tlp.RemoteError{Msg: m.Err.Msg, Marks: m.Err.Marks}
+	}
+	for _, ae := range m.AttemptErrs {
+		r.AttemptErrs = append(r.AttemptErrs, &tlp.RemoteError{Msg: ae.Msg, Marks: ae.Marks})
+	}
+	if prior := rn.priorErrs[m.Seq]; len(prior) > 0 {
+		r.AttemptErrs = append(append([]error(nil), prior...), r.AttemptErrs...)
+	}
+	if snapErr != nil {
+		r.Err = &tlp.RemoteError{Msg: snapErr.Error()}
+		r.AttemptErrs = append(r.AttemptErrs, r.Err)
+	} else {
+		r.Snapshot = snap
+	}
+	rn.shipBytes[m.Seq] += wireBytes
+	r.ShipBytes = rn.shipBytes[m.Seq]
+	rn.results[m.Seq] = r
+	rn.state[m.Seq] = stateDone
+	rn.remaining--
+	co.stats.TasksCompleted++
+	co.stats.ShippedBytes += int64(wireBytes)
+}
+
+// workerLost runs the process-level recovery for a dropped
+// connection: requeue its in-flight tasks with the loss charged
+// against their retry budgets, quarantine the exhausted ones, and
+// respawn a replacement within the bounded budget.
+func (co *Coordinator) workerLost(w *wconn) {
+	co.mu.Lock()
+	if w.dead {
+		co.mu.Unlock()
+		return
+	}
+	w.dead = true
+	for i, c := range co.conns {
+		if c == w {
+			co.conns = append(co.conns[:i], co.conns[i+1:]...)
+			break
+		}
+	}
+	if co.slots[w.slot] == w {
+		co.slots[w.slot] = nil
+	}
+	if !co.closed {
+		co.stats.WorkerDeaths++
+	}
+
+	// Deterministic requeue order: (runID, seq) ascending, so two
+	// identical chaos runs rebuild identical overflow queues.
+	keys := make([]flightKey, 0, len(w.inflight))
+	for k := range w.inflight {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].runID != keys[j].runID {
+			return keys[i].runID < keys[j].runID
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		rn := w.inflight[k]
+		delete(w.inflight, k)
+		idx := k.seq
+		if rn.state[idx] != stateInflight {
+			continue
+		}
+		t := rn.tasks[idx]
+		// The loss is an attempt that crashed: same classification as
+		// the pool's simulated worker crash, deterministic message (no
+		// pids, no timestamps).
+		crashErr := fmt.Errorf("tlp: task %s: %w (worker process lost)", t.ID, tlp.ErrWorkerCrash)
+		rn.priorErrs[idx] = append(rn.priorErrs[idx], crashErr)
+		rn.startAttempt[idx]++
+		maxAttempts := 1 + rn.cfg.MaxRetries
+		if charged := rn.startAttempt[idx] - 1; charged >= maxAttempts {
+			rn.results[idx] = &tlp.Result{
+				TaskID: t.ID, SeqInQ: idx, Err: crashErr,
+				Attempts:    charged,
+				AttemptErrs: append([]error(nil), rn.priorErrs[idx]...),
+				Quarantined: true,
+				ShipBytes:   rn.shipBytes[idx],
+			}
+			rn.state[idx] = stateDone
+			rn.remaining--
+			co.stats.TasksCompleted++
+		} else {
+			rn.state[idx] = statePending
+			rn.overflow = append(rn.overflow, idx)
+			co.stats.Requeued++
+		}
+	}
+
+	respawn := false
+	if !co.closed && co.respawnsLeft > 0 {
+		co.respawnsLeft--
+		respawn = true
+		co.stats.Respawns++
+	} else if !co.closed && len(co.conns) == 0 && co.pendingSpawns == 0 {
+		// No survivors and no replacements: active runs cannot finish.
+		err := errors.New("cluster: all worker processes lost and respawn budget exhausted")
+		for _, rn := range co.runs {
+			if rn.remaining > 0 && rn.failed == nil {
+				rn.failed = err
+			}
+		}
+	}
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	if respawn {
+		co.spawn()
+	}
+}
+
+// Close shuts the cluster down: shutdown frames, closed connections
+// and listener, and a bounded wait for the worker processes to exit
+// (stragglers are killed).
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	conns := append([]*wconn(nil), co.conns...)
+	co.cond.Broadcast()
+	co.mu.Unlock()
+
+	for _, w := range conns {
+		w.writeMu.Lock()
+		if _, err := writeFrame(w.bw, frameShutdown, nil); err == nil {
+			w.bw.Flush()
+		}
+		w.writeMu.Unlock()
+	}
+	if co.ln != nil {
+		co.ln.Close()
+	}
+	for _, w := range conns {
+		w.c.Close()
+	}
+
+	co.procMu.Lock()
+	procs := append([]*proc(nil), co.procs...)
+	co.procMu.Unlock()
+	deadline := time.After(3 * time.Second)
+	for _, p := range procs {
+		select {
+		case <-p.done:
+		case <-deadline:
+			p.cmd.Process.Kill()
+			<-p.done
+		}
+	}
+	co.cleanupDir()
+	return nil
+}

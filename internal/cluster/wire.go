@@ -1,0 +1,669 @@
+// Package cluster is the multi-process scale-out runtime of SPAM/PSM:
+// a coordinator process that shards each phase's task queue across N
+// worker processes and merges their tlp.Result-equivalent replies.
+// It promotes the message-passing execution model the repository so
+// far only simulated (internal/msgpass, internal/svm) to real
+// processes, following the layered design of Or-parallel cluster
+// systems: every worker hosts a local tlp.Pool (a single-machine
+// worker team), and the cluster layer is a scheduler of pools that
+// ships tasks, steals work across shards, and applies the pool's
+// retry/quarantine semantics at process granularity — a lost worker
+// connection requeues its in-flight tasks on the survivors, with
+// bounded respawn.
+//
+// Results are byte-identical to a single-process tlp.Pool run: tasks
+// ship as seed working memories (the same rete.RouteDigest shared-seed
+// discipline the in-process path uses), workers rebuild engines from
+// the identically-generated dataset, and the differential oracle in
+// this package's tests proves the identity for SF/DC/MOFF. See
+// docs/CLUSTER.md.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/ops5"
+	"spampsm/internal/rete"
+	"spampsm/internal/scene"
+	"spampsm/internal/symtab"
+	"spampsm/internal/tlp"
+)
+
+// Wire protocol version. The Init frame carries magic and version;
+// a worker refuses a coordinator speaking anything else. Bump the
+// version on any change to the frame layouts below.
+const (
+	Magic   = "SPAMCLU1"
+	Version = 1
+)
+
+// Frame types. Every frame is [type byte][uvarint payload length]
+// [payload]; Init and DatasetAdd payloads are JSON (sent once per
+// connection / dataset — robustness over compactness), Task and
+// Result payloads are the compact binary encoding (the per-task hot
+// path, fuzz-tested for decode(encode(x)) identity).
+const (
+	frameInit     = 1 // coordinator→worker: InitMsg (JSON)
+	frameDataset  = 2 // coordinator→worker: DatasetSpec (JSON)
+	frameTask     = 3 // coordinator→worker: TaskMsg (binary)
+	frameResult   = 4 // worker→coordinator: ResultMsg (binary)
+	frameShutdown = 5 // coordinator→worker: empty
+)
+
+// maxFrame bounds a frame payload; a decoder never allocates past it,
+// so a corrupt or adversarial length prefix cannot balloon memory.
+const maxFrame = 64 << 20
+
+// frameLen is the on-wire size of a frame with the given payload
+// length: type byte, uvarint length prefix, payload.
+func frameLen(payloadLen int) int {
+	n := 1 + payloadLen
+	v := uint64(payloadLen)
+	for {
+		n++
+		v >>= 7
+		if v == 0 {
+			return n
+		}
+	}
+}
+
+// Toggles mirrors the process-global observational-equivalence
+// switches of internal/spam and internal/geom. They are plain values
+// here because the toggles expose no getters: the coordinator's owner
+// passes the flag values it set, and every worker process replays
+// them before building engines, keeping cluster and local engines on
+// identical code paths.
+type Toggles struct {
+	NaiveMatch    bool
+	FreshCompile  bool
+	UnbatchedSeed bool
+	UncachedGeo   bool
+	ExactGeom     bool
+}
+
+// InitMsg is the first frame of every connection: protocol handshake
+// plus the per-process worker configuration (the knobs a worker's
+// local tlp.Pool inherits from the coordinator's flags).
+type InitMsg struct {
+	Magic        string
+	Version      int
+	LocalWorkers int
+	MemBudget    float64
+	Prebuild     bool
+	Toggles      Toggles
+	// ProcFaults seeds the worker's process-level chaos plan: a task
+	// whose fault draw is a Crash kills the worker process itself
+	// (SIGKILL, no goodbye) instead of simulating a crash in-pool.
+	// Deterministic in (task ID, attempt), like every faults.Plan.
+	ProcFaults faults.Config
+}
+
+// DatasetSpec names a dataset and carries the generator parameters to
+// rebuild it from scratch. Scenes are deterministic functions of
+// their parameters, so shipping the parameters — a few dozen bytes —
+// gives every worker a byte-identical dataset without shipping the
+// scene itself.
+type DatasetSpec struct {
+	Name     string
+	Domain   string // "airport" | "suburban"
+	Airport  scene.Params
+	Suburban scene.SuburbanParams
+}
+
+// RunConfig is the per-run execution configuration shipped with each
+// task: the tlp.Pool fault-tolerance and budget knobs the worker's
+// pool must replay for byte-identical retry/quarantine behavior.
+type RunConfig struct {
+	MaxFirings   int
+	FiringBudget int
+	MaxRetries   int
+	TaskTimeout  time.Duration
+	RetryBackoff time.Duration
+	Capture      bool
+	Faults       faults.Config
+}
+
+// TaskMsg is one shipped task: identity and scheduler estimates, the
+// attempt number to resume from (>1 after the coordinator charged
+// earlier attempts to a lost worker), the run configuration, and the
+// task's WireSpec (seed working memory and extraction classes).
+type TaskMsg struct {
+	RunID        uint64
+	Seq          int
+	StartAttempt int
+	ID           string
+	Label        string
+	Group        string
+	EstSize      float64
+	MemEst       float64
+	Config       RunConfig
+	Spec         tlp.WireSpec
+}
+
+// WireError is an error flattened for shipping: message plus
+// tlp classification marks (see tlp.ErrorMarks).
+type WireError struct {
+	Msg   string
+	Marks uint32
+}
+
+// SnapClass is one class's rows in a result's working-memory
+// snapshot: the class layout plus the value vectors, in timetag
+// order.
+type SnapClass struct {
+	Name  string
+	Attrs []string
+	Rows  [][]symtab.Value
+}
+
+// ResultMsg is one task's outcome crossing back: the final attempt's
+// statistics, the flattened errors, and the snapshot of the extracted
+// working-memory classes.
+type ResultMsg struct {
+	RunID       uint64
+	Seq         int
+	TaskID      string
+	Worker      int
+	Attempts    int
+	Stats       ops5.RunStats
+	Mem         ops5.MemStats
+	HasLog      bool
+	Err         *WireError
+	AttemptErrs []WireError
+	Quarantined bool
+	Cancelled   bool
+	Snapshot    []SnapClass
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+// writeFrame emits one frame on w.
+func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("cluster: frame payload %d exceeds limit", len(payload))
+	}
+	hdr := make([]byte, 1, 1+binary.MaxVarintLen64)
+	hdr[0] = typ
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
+}
+
+// readFrame reads one frame from r.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+func writeJSONFrame(w io.Writer, typ byte, v interface{}) (int, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding primitives
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], math.Float64bits(f))
+	return append(b, t[:]...)
+}
+
+func appendInt(b []byte, i int64) []byte {
+	return binary.AppendVarint(b, i)
+}
+
+func appendUint(b []byte, u uint64) []byte {
+	return binary.AppendUvarint(b, u)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decoder walks a frame payload. Malformed input flips err and makes
+// every further read return a zero value; decode entry points check
+// err once at the end. Length prefixes are validated against the
+// remaining payload before any allocation, so a hostile frame cannot
+// make the decoder allocate more than it received.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("cluster: truncated or malformed %s", what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+// count reads an item count and bounds it by the remaining payload
+// (each item encodes to at least one byte).
+func (d *decoder) count(what string) int {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)) {
+		d.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+// ---------------------------------------------------------------------------
+// Values and seeds
+
+const (
+	valNil = iota
+	valSym
+	valInt
+	valFloat
+)
+
+func appendValue(b []byte, v symtab.Value) []byte {
+	switch v.Kind() {
+	case symtab.KindSym:
+		b = append(b, valSym)
+		return appendString(b, v.SymVal())
+	case symtab.KindInt:
+		b = append(b, valInt)
+		return appendInt(b, v.IntVal())
+	case symtab.KindFloat:
+		b = append(b, valFloat)
+		return appendFloat(b, v.FloatVal())
+	default:
+		return append(b, valNil)
+	}
+}
+
+func (d *decoder) value() symtab.Value {
+	switch d.byte() {
+	case valSym:
+		return symtab.Sym(d.string())
+	case valInt:
+		return symtab.Int(d.varint())
+	case valFloat:
+		return symtab.Float(d.float())
+	default:
+		return symtab.Nil
+	}
+}
+
+func (d *decoder) values() []symtab.Value {
+	n := d.count("value")
+	if n == 0 {
+		return nil
+	}
+	vals := make([]symtab.Value, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, d.value())
+	}
+	return vals
+}
+
+func appendValues(b []byte, vals []symtab.Value) []byte {
+	b = appendUint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+// appendSeed ships a seed as class + shared flag + values. The digest
+// string itself never crosses the wire: a shared seed's digest is a
+// pure function of (class, values), so the decoder recomputes it with
+// the same rete.RouteDigest the coordinator used — identical string,
+// identical alpha-routing memoization, identical Init charges.
+func appendSeed(b []byte, s ops5.Seed) []byte {
+	b = appendString(b, s.Class)
+	b = appendBool(b, s.Digest != "")
+	return appendValues(b, s.Vals)
+}
+
+func (d *decoder) seed() ops5.Seed {
+	s := ops5.Seed{Class: d.string()}
+	shared := d.bool()
+	s.Vals = d.values()
+	if shared && d.err == nil {
+		s.Digest = rete.RouteDigest(s.Class, s.Vals)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Task frames
+
+func appendRunConfig(b []byte, c RunConfig) []byte {
+	b = appendInt(b, int64(c.MaxFirings))
+	b = appendInt(b, int64(c.FiringBudget))
+	b = appendInt(b, int64(c.MaxRetries))
+	b = appendInt(b, int64(c.TaskTimeout))
+	b = appendInt(b, int64(c.RetryBackoff))
+	b = appendBool(b, c.Capture)
+	b = appendInt(b, c.Faults.Seed)
+	b = appendFloat(b, c.Faults.BuildFailRate)
+	b = appendFloat(b, c.Faults.PanicRate)
+	b = appendFloat(b, c.Faults.CrashRate)
+	b = appendFloat(b, c.Faults.PermanentFraction)
+	return b
+}
+
+func (d *decoder) runConfig() RunConfig {
+	var c RunConfig
+	c.MaxFirings = int(d.varint())
+	c.FiringBudget = int(d.varint())
+	c.MaxRetries = int(d.varint())
+	c.TaskTimeout = time.Duration(d.varint())
+	c.RetryBackoff = time.Duration(d.varint())
+	c.Capture = d.bool()
+	c.Faults.Seed = d.varint()
+	c.Faults.BuildFailRate = d.float()
+	c.Faults.PanicRate = d.float()
+	c.Faults.CrashRate = d.float()
+	c.Faults.PermanentFraction = d.float()
+	return c
+}
+
+// EncodeTask serializes a task frame payload.
+func EncodeTask(m *TaskMsg) []byte {
+	b := make([]byte, 0, 256)
+	b = appendUint(b, m.RunID)
+	b = appendUint(b, uint64(m.Seq))
+	b = appendUint(b, uint64(m.StartAttempt))
+	b = appendString(b, m.ID)
+	b = appendString(b, m.Label)
+	b = appendString(b, m.Group)
+	b = appendFloat(b, m.EstSize)
+	b = appendFloat(b, m.MemEst)
+	b = appendRunConfig(b, m.Config)
+	b = appendString(b, m.Spec.Dataset)
+	b = appendString(b, m.Spec.Phase)
+	b = appendUint(b, uint64(len(m.Spec.Extract)))
+	for _, c := range m.Spec.Extract {
+		b = appendString(b, c)
+	}
+	b = appendUint(b, uint64(len(m.Spec.Seeds)))
+	for _, s := range m.Spec.Seeds {
+		b = appendSeed(b, s)
+	}
+	return b
+}
+
+// DecodeTask parses a task frame payload.
+func DecodeTask(payload []byte) (*TaskMsg, error) {
+	d := &decoder{b: payload}
+	m := &TaskMsg{}
+	m.RunID = d.uvarint()
+	m.Seq = int(d.uvarint())
+	m.StartAttempt = int(d.uvarint())
+	m.ID = d.string()
+	m.Label = d.string()
+	m.Group = d.string()
+	m.EstSize = d.float()
+	m.MemEst = d.float()
+	m.Config = d.runConfig()
+	m.Spec.Dataset = d.string()
+	m.Spec.Phase = d.string()
+	if n := d.count("extract"); n > 0 {
+		m.Spec.Extract = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			m.Spec.Extract = append(m.Spec.Extract, d.string())
+		}
+	}
+	if n := d.count("seed"); n > 0 {
+		m.Spec.Seeds = make([]ops5.Seed, 0, n)
+		for i := 0; i < n; i++ {
+			m.Spec.Seeds = append(m.Spec.Seeds, d.seed())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after task frame", len(d.b))
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Result frames
+
+const (
+	rfErr = 1 << iota
+	rfQuarantined
+	rfCancelled
+	rfHalted
+	rfLog
+)
+
+func appendWireError(b []byte, e WireError) []byte {
+	b = appendString(b, e.Msg)
+	return appendUint(b, uint64(e.Marks))
+}
+
+func (d *decoder) wireError() WireError {
+	return WireError{Msg: d.string(), Marks: uint32(d.uvarint())}
+}
+
+// EncodeResult serializes a result frame payload.
+func EncodeResult(m *ResultMsg) []byte {
+	b := make([]byte, 0, 256)
+	b = appendUint(b, m.RunID)
+	b = appendUint(b, uint64(m.Seq))
+	b = appendString(b, m.TaskID)
+	b = appendUint(b, uint64(m.Worker))
+	b = appendUint(b, uint64(m.Attempts))
+	var flags byte
+	if m.Err != nil {
+		flags |= rfErr
+	}
+	if m.Quarantined {
+		flags |= rfQuarantined
+	}
+	if m.Cancelled {
+		flags |= rfCancelled
+	}
+	if m.Stats.Halted {
+		flags |= rfHalted
+	}
+	if m.HasLog {
+		flags |= rfLog
+	}
+	b = append(b, flags)
+	b = appendUint(b, uint64(m.Stats.Firings))
+	b = appendUint(b, uint64(m.Stats.Cycles))
+	b = appendUint(b, uint64(m.Stats.RHSActions))
+	b = appendFloat(b, m.Stats.MatchInstr)
+	b = appendFloat(b, m.Stats.ResolveInstr)
+	b = appendFloat(b, m.Stats.ActInstr)
+	b = appendFloat(b, m.Stats.InitInstr)
+	b = appendUint(b, uint64(m.Mem.SeedWMEs))
+	b = appendFloat(b, m.Mem.SeedBytes)
+	b = appendUint(b, uint64(m.Mem.RetractedWMEs))
+	b = appendFloat(b, m.Mem.RetractedBytes)
+	b = appendUint(b, uint64(m.Mem.PeakWMEs))
+	b = appendUint(b, uint64(m.Mem.PeakTokens))
+	b = appendFloat(b, m.Mem.PeakBytes)
+	if m.Err != nil {
+		b = appendWireError(b, *m.Err)
+	}
+	b = appendUint(b, uint64(len(m.AttemptErrs)))
+	for _, e := range m.AttemptErrs {
+		b = appendWireError(b, e)
+	}
+	b = appendUint(b, uint64(len(m.Snapshot)))
+	for _, sc := range m.Snapshot {
+		b = appendString(b, sc.Name)
+		b = appendUint(b, uint64(len(sc.Attrs)))
+		for _, a := range sc.Attrs {
+			b = appendString(b, a)
+		}
+		b = appendUint(b, uint64(len(sc.Rows)))
+		for _, row := range sc.Rows {
+			b = appendValues(b, row)
+		}
+	}
+	return b
+}
+
+// DecodeResult parses a result frame payload.
+func DecodeResult(payload []byte) (*ResultMsg, error) {
+	d := &decoder{b: payload}
+	m := &ResultMsg{}
+	m.RunID = d.uvarint()
+	m.Seq = int(d.uvarint())
+	m.TaskID = d.string()
+	m.Worker = int(d.uvarint())
+	m.Attempts = int(d.uvarint())
+	flags := d.byte()
+	m.Quarantined = flags&rfQuarantined != 0
+	m.Cancelled = flags&rfCancelled != 0
+	m.HasLog = flags&rfLog != 0
+	m.Stats.Firings = int(d.uvarint())
+	m.Stats.Cycles = int(d.uvarint())
+	m.Stats.RHSActions = int(d.uvarint())
+	m.Stats.MatchInstr = d.float()
+	m.Stats.ResolveInstr = d.float()
+	m.Stats.ActInstr = d.float()
+	m.Stats.InitInstr = d.float()
+	m.Stats.Halted = flags&rfHalted != 0
+	m.Mem.SeedWMEs = int(d.uvarint())
+	m.Mem.SeedBytes = d.float()
+	m.Mem.RetractedWMEs = int(d.uvarint())
+	m.Mem.RetractedBytes = d.float()
+	m.Mem.PeakWMEs = int(d.uvarint())
+	m.Mem.PeakTokens = int(d.uvarint())
+	m.Mem.PeakBytes = d.float()
+	if flags&rfErr != 0 {
+		e := d.wireError()
+		m.Err = &e
+	}
+	if n := d.count("attempt error"); n > 0 {
+		m.AttemptErrs = make([]WireError, 0, n)
+		for i := 0; i < n; i++ {
+			m.AttemptErrs = append(m.AttemptErrs, d.wireError())
+		}
+	}
+	if n := d.count("snapshot class"); n > 0 {
+		m.Snapshot = make([]SnapClass, 0, n)
+		for i := 0; i < n; i++ {
+			sc := SnapClass{Name: d.string()}
+			if na := d.count("snapshot attr"); na > 0 {
+				sc.Attrs = make([]string, 0, na)
+				for j := 0; j < na; j++ {
+					sc.Attrs = append(sc.Attrs, d.string())
+				}
+			}
+			if nr := d.count("snapshot row"); nr > 0 {
+				sc.Rows = make([][]symtab.Value, 0, nr)
+				for j := 0; j < nr; j++ {
+					sc.Rows = append(sc.Rows, d.values())
+				}
+			}
+			m.Snapshot = append(m.Snapshot, sc)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after result frame", len(d.b))
+	}
+	return m, nil
+}

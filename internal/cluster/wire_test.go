@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"spampsm/internal/ops5"
+	"spampsm/internal/spam"
+	"spampsm/internal/symtab"
+	"spampsm/internal/tlp"
+)
+
+// corpusTasks builds real task messages from the three airports' RTF
+// queues plus DC's full LCC/FA/model pipeline — every wire-spec phase
+// the coordinator actually ships.
+func corpusTasks(t testing.TB) []*TaskMsg {
+	t.Helper()
+	var queue []*tlp.Task
+	pipeline := func(name string, d *spam.Dataset) {
+		rtf := spam.BuildRTFTasks(d.KB, d.Store, d.Progs.RTF, 3, false)
+		queue = append(queue, rtf...)
+		if name != "DC" {
+			return
+		}
+		pool := &tlp.Pool{Workers: 2}
+		rtfResults, err := pool.Run(rtf)
+		if err != nil {
+			t.Fatalf("%s: rtf: %v", name, err)
+		}
+		frags := spam.ExtractFragments(rtfResults)
+		lcc := spam.BuildLCCTasks(d.KB, d.Store, d.Progs.LCC, frags, spam.Level3, false)
+		queue = append(queue, lcc...)
+		lccResults, err := pool.Run(lcc)
+		if err != nil {
+			t.Fatalf("%s: lcc: %v", name, err)
+		}
+		pairs, outs := spam.ExtractLCC(lccResults)
+		fa := spam.BuildFATasks(d.KB, d.Store, d.Progs.FA, frags, pairs, outs, false)
+		queue = append(queue, fa...)
+		faResults, err := pool.Run(fa)
+		if err != nil {
+			t.Fatalf("%s: fa: %v", name, err)
+		}
+		fas, _ := spam.ExtractFA(faResults)
+		queue = append(queue, spam.BuildModelTask(d.KB, d.Store, d.Progs.Model, frags, fas, false))
+	}
+	for _, name := range []string{"SF", "DC", "MOFF"} {
+		d, err := spam.NewDataset(airportParams(name))
+		if err != nil {
+			t.Fatalf("%s: dataset: %v", name, err)
+		}
+		pipeline(name, d)
+	}
+
+	cfg := RunConfig{
+		MaxFirings: 5000, FiringBudget: 120000, MaxRetries: 2,
+		TaskTimeout: 250 * time.Millisecond, RetryBackoff: time.Millisecond,
+	}
+	var out []*TaskMsg
+	for i, task := range queue {
+		if task.Wire == nil {
+			t.Fatalf("task %s has no wire spec", task.ID)
+		}
+		spec, err := task.Wire()
+		if err != nil {
+			t.Fatalf("task %s: wire: %v", task.ID, err)
+		}
+		out = append(out, &TaskMsg{
+			RunID: uint64(i + 1), Seq: i, StartAttempt: 1 + i%3,
+			ID: task.ID, Label: task.Label, Group: task.Group,
+			EstSize: task.EstSize, MemEst: task.MemEst,
+			Config: cfg, Spec: *spec,
+		})
+	}
+	if len(out) == 0 {
+		t.Fatal("empty wire corpus")
+	}
+	return out
+}
+
+func sampleResults() []*ResultMsg {
+	return []*ResultMsg{
+		{RunID: 3, Seq: 9, TaskID: "rtf-004", Worker: 1, Attempts: 2,
+			Stats: ops5.RunStats{Firings: 41, Cycles: 44, RHSActions: 90,
+				MatchInstr: 1234.5, ResolveInstr: 17, ActInstr: 90, InitInstr: 400, Halted: true},
+			HasLog: true,
+			Mem: ops5.MemStats{SeedWMEs: 12, SeedBytes: 480, RetractedWMEs: 3, RetractedBytes: 96,
+				PeakWMEs: 60, PeakTokens: 140, PeakBytes: 9000},
+			Snapshot: []SnapClass{{Name: "fragment", Attrs: []string{"id", "kind", "score"},
+				Rows: [][]symtab.Value{
+					{symtab.Sym("f1"), symtab.Sym("runway"), symtab.Float(0.9)},
+					{symtab.Int(2), symtab.Nil, symtab.Float(-1.25)},
+				}}},
+		},
+		{RunID: 1, Seq: 0, TaskID: "lcc-000", Attempts: 3, Quarantined: true,
+			Err: &WireError{Msg: "tlp: task lcc-000: injected build failure", Marks: tlp.MarkInjected},
+			AttemptErrs: []WireError{
+				{Msg: "tlp: task lcc-000: worker crash", Marks: tlp.MarkCrash | tlp.MarkInjected},
+				{Msg: "tlp: task lcc-000: injected build failure", Marks: tlp.MarkInjected},
+			},
+		},
+		{RunID: 2, Seq: 5, TaskID: "fa-001", Attempts: 1, Cancelled: true,
+			Err: &WireError{Msg: "tlp: task fa-001: cancelled", Marks: tlp.MarkCancelled}},
+	}
+}
+
+// TestWireRoundTripTasks checks full structural identity —
+// decode(encode(m)) == m — over the real airport task corpus and
+// representative results.
+func TestWireRoundTripTasks(t *testing.T) {
+	for _, m := range corpusTasks(t) {
+		got, err := DecodeTask(EncodeTask(m))
+		if err != nil {
+			t.Fatalf("task %s: decode: %v", m.ID, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("task %s: round trip changed message:\nin:  %+v\nout: %+v", m.ID, m, got)
+		}
+	}
+	for _, r := range sampleResults() {
+		got, err := DecodeResult(EncodeResult(r))
+		if err != nil {
+			t.Fatalf("result %s: decode: %v", r.TaskID, err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Errorf("result %s: round trip changed message:\nin:  %+v\nout: %+v", r.TaskID, r, got)
+		}
+	}
+}
+
+// FuzzWireRoundTrip fuzzes both codec directions with the invariant
+// that any payload the decoder accepts re-encodes to the same bytes
+// after a second decode (canonical-form fixed point — NaN-safe where
+// DeepEqual is not). The first corpus byte selects the codec.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range corpusTasks(f) {
+		f.Add(append([]byte{0}, EncodeTask(m)...))
+	}
+	for _, r := range sampleResults() {
+		f.Add(append([]byte{1}, EncodeResult(r)...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		kind, payload := data[0], data[1:]
+		switch kind % 2 {
+		case 0:
+			m, err := DecodeTask(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeTask(m)
+			m2, err := DecodeTask(enc)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeTask(m2)) {
+				t.Fatalf("task encoding not canonical:\n%x\nvs\n%x", enc, EncodeTask(m2))
+			}
+		case 1:
+			r, err := DecodeResult(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeResult(r)
+			r2, err := DecodeResult(enc)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeResult(r2)) {
+				t.Fatalf("result encoding not canonical:\n%x\nvs\n%x", enc, EncodeResult(r2))
+			}
+		}
+	})
+}

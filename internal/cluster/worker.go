@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/geom"
+	"spampsm/internal/ops5"
+	"spampsm/internal/spam"
+	"spampsm/internal/tlp"
+	"spampsm/internal/wm"
+)
+
+// WorkerEnv is the environment variable that flips a binary into
+// cluster-worker mode: "network|address" of the coordinator's
+// listener. The coordinator sets it on the processes it spawns; every
+// cmd main (and the test binaries) call MaybeWorker first, so the
+// same executable serves as both coordinator and worker.
+const WorkerEnv = "SPAMPSM_CLUSTER_WORKER"
+
+// MaybeWorker turns the current process into a cluster worker when
+// WorkerEnv is set: it connects back to the coordinator, serves tasks
+// until the connection shuts down, and exits the process. A normal
+// invocation (variable unset) returns immediately.
+func MaybeWorker() {
+	spec := os.Getenv(WorkerEnv)
+	if spec == "" {
+		return
+	}
+	network, addr, ok := strings.Cut(spec, "|")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cluster worker: malformed %s=%q\n", WorkerEnv, spec)
+		os.Exit(1)
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker: dial: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ServeWorker(c); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// worker is one connection's serving state.
+type worker struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	init     InitMsg
+	procPlan *faults.Plan
+
+	datasets map[string]*spam.Dataset
+	// pools caches one tlp.Pool per distinct RunConfig. Pools carry the
+	// retry/quarantine machinery and the shared memory gate, so tasks
+	// of one run share a gate exactly as they would in-process.
+	pools map[RunConfig]*tlp.Pool
+
+	writeMu sync.Mutex
+}
+
+// ServeWorker runs the worker side of one coordinator connection
+// until the coordinator sends Shutdown or the connection drops.
+// Exported for the in-process tests; production workers enter through
+// MaybeWorker.
+func ServeWorker(c net.Conn) error {
+	w := &worker{
+		conn:     c,
+		br:       bufio.NewReaderSize(c, 1<<16),
+		bw:       bufio.NewWriterSize(c, 1<<16),
+		datasets: map[string]*spam.Dataset{},
+		pools:    map[RunConfig]*tlp.Pool{},
+	}
+	defer c.Close()
+
+	typ, payload, err := readFrame(w.br)
+	if err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	if typ != frameInit {
+		return fmt.Errorf("handshake: got frame type %d, want init", typ)
+	}
+	if err := decodeJSON(payload, &w.init); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if w.init.Magic != Magic || w.init.Version != Version {
+		return fmt.Errorf("handshake: protocol %q v%d, want %q v%d",
+			w.init.Magic, w.init.Version, Magic, Version)
+	}
+	if w.init.LocalWorkers < 1 {
+		w.init.LocalWorkers = 1
+	}
+	// Replay the coordinator's observational-equivalence toggles so
+	// every engine built here walks the same code path as its
+	// single-process twin.
+	spam.UseNaiveMatch(w.init.Toggles.NaiveMatch)
+	spam.UseFreshCompile(w.init.Toggles.FreshCompile)
+	spam.UseUnbatchedSeed(w.init.Toggles.UnbatchedSeed)
+	spam.UseUncachedGeo(w.init.Toggles.UncachedGeo)
+	geom.UseExactOnly(w.init.Toggles.ExactGeom)
+	if w.init.ProcFaults != (faults.Config{}) {
+		w.procPlan = faults.New(w.init.ProcFaults)
+	}
+
+	// LocalWorkers executors drain the task channel; the reader
+	// goroutine below is the only frame reader, executors the only
+	// (mutex-serialized) frame writers.
+	tasks := make(chan *TaskMsg, w.init.LocalWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < w.init.LocalWorkers; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for m := range tasks {
+				w.runTask(idx, m)
+			}
+		}(i)
+	}
+
+	var loopErr error
+loop:
+	for {
+		typ, payload, err := readFrame(w.br)
+		if err != nil {
+			loopErr = fmt.Errorf("read: %w", err)
+			break
+		}
+		switch typ {
+		case frameDataset:
+			var spec DatasetSpec
+			if err := decodeJSON(payload, &spec); err != nil {
+				loopErr = err
+			} else {
+				loopErr = w.addDataset(spec)
+			}
+		case frameTask:
+			m, err := DecodeTask(payload)
+			if err != nil {
+				loopErr = err
+				break loop
+			}
+			// Process-level chaos: a Crash draw for this (task, attempt)
+			// kills the worker process outright — no goodbye frame, the
+			// coordinator sees only the dropped connection. Deterministic
+			// in (task ID, attempt), and because transient faults strike
+			// only the first attempt, the task's redelivery (startAttempt
+			// 2) survives.
+			if w.procPlan != nil && w.procPlan.TaskFault(m.ID, m.StartAttempt).Kind == faults.Crash {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			tasks <- m
+		case frameShutdown:
+			break loop
+		default:
+			loopErr = fmt.Errorf("unexpected frame type %d", typ)
+		}
+		if loopErr != nil {
+			break
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if loopErr != nil && !isClosedConn(loopErr) {
+		return loopErr
+	}
+	return nil
+}
+
+func isClosedConn(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "EOF") || strings.Contains(s, "use of closed network connection") ||
+		strings.Contains(s, "connection reset")
+}
+
+func decodeJSON(payload []byte, v interface{}) error {
+	return json.Unmarshal(payload, v)
+}
+
+// addDataset regenerates a dataset from its shipped parameters.
+// Generation is deterministic, so the result is byte-identical to the
+// coordinator's copy.
+func (w *worker) addDataset(spec DatasetSpec) error {
+	if _, ok := w.datasets[spec.Name]; ok {
+		return nil
+	}
+	var (
+		d   *spam.Dataset
+		err error
+	)
+	switch spec.Domain {
+	case "airport":
+		d, err = spam.NewDataset(spec.Airport)
+	case "suburban":
+		d, err = spam.NewSuburbanDataset(spec.Suburban)
+	default:
+		return fmt.Errorf("cluster: dataset %q: unknown domain %q", spec.Name, spec.Domain)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: dataset %q: %w", spec.Name, err)
+	}
+	w.datasets[spec.Name] = d
+	return nil
+}
+
+// poolFor returns (building if needed) the local pool matching a
+// run's configuration.
+func (w *worker) poolFor(cfg RunConfig) *tlp.Pool {
+	if p, ok := w.pools[cfg]; ok {
+		return p
+	}
+	p := &tlp.Pool{
+		Workers:      w.init.LocalWorkers,
+		MaxFirings:   cfg.MaxFirings,
+		FiringBudget: cfg.FiringBudget,
+		MaxRetries:   cfg.MaxRetries,
+		TaskTimeout:  cfg.TaskTimeout,
+		RetryBackoff: cfg.RetryBackoff,
+		MemBudget:    w.init.MemBudget,
+	}
+	if cfg.Faults != (faults.Config{}) {
+		p.Faults = faults.New(cfg.Faults)
+	}
+	w.pools[cfg] = p
+	return p
+}
+
+// runTask executes one shipped task on executor idx and writes its
+// result frame.
+func (w *worker) runTask(idx int, m *TaskMsg) {
+	res := w.execute(idx, m)
+	payload := EncodeResult(res)
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	if _, err := writeFrame(w.bw, frameResult, payload); err != nil {
+		return
+	}
+	w.bw.Flush()
+}
+
+// execute runs the task through the local pool and flattens the
+// Result for the wire.
+func (w *worker) execute(idx int, m *TaskMsg) *ResultMsg {
+	out := &ResultMsg{RunID: m.RunID, Seq: m.Seq, TaskID: m.ID, Worker: idx, Attempts: m.StartAttempt}
+	d, ok := w.datasets[m.Spec.Dataset]
+	if !ok {
+		out.Err = &WireError{Msg: fmt.Sprintf("cluster: task %s: dataset %q not registered", m.ID, m.Spec.Dataset)}
+		out.AttemptErrs = []WireError{*out.Err}
+		out.Quarantined = true
+		return out
+	}
+	builder, err := d.WireBuild(&m.Spec, m.Config.Capture)
+	if err != nil {
+		out.Err = &WireError{Msg: err.Error()}
+		out.AttemptErrs = []WireError{*out.Err}
+		out.Quarantined = true
+		return out
+	}
+	task := &tlp.Task{
+		ID: m.ID, Label: m.Label, Group: m.Group,
+		EstSize: m.EstSize, MemEst: m.MemEst,
+		Build:     func() (*ops5.Engine, error) { return builder(nil) },
+		BuildWith: builder,
+	}
+	pool := w.poolFor(m.Config)
+	if w.init.Prebuild {
+		pool.Prebuild([]*tlp.Task{task}, 1)
+	}
+	r := pool.RunOne(context.Background(), task, idx, m.Seq, m.StartAttempt)
+
+	out.Attempts = r.Attempts
+	out.Stats = r.Stats
+	if r.Log != nil {
+		out.HasLog = true
+		out.Mem = r.Log.Mem
+	}
+	out.Quarantined = r.Quarantined
+	out.Cancelled = r.Cancelled
+	if r.Err != nil {
+		out.Err = &WireError{Msg: r.Err.Error(), Marks: tlp.ErrorMarks(r.Err)}
+	}
+	for _, ae := range r.AttemptErrs {
+		out.AttemptErrs = append(out.AttemptErrs, WireError{Msg: ae.Error(), Marks: tlp.ErrorMarks(ae)})
+	}
+	if r.Err == nil && r.Engine != nil {
+		out.Snapshot = snapshot(r.Engine, m.Spec.Extract)
+	}
+	return out
+}
+
+// snapshot extracts the requested classes' final WMEs — the only
+// engine state result extraction reads — so the engine itself never
+// crosses the wire and is dropped right here.
+func snapshot(e *ops5.Engine, classes []string) []SnapClass {
+	var out []SnapClass
+	for _, class := range classes {
+		wmes := e.WMEs(class)
+		sc := SnapClass{Name: class}
+		for _, x := range wmes {
+			if sc.Attrs == nil {
+				sc.Attrs = x.Class.Attrs
+			}
+			sc.Rows = append(sc.Rows, x.Vals)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// rebuildSnapshot converts shipped rows back into a tlp.Snapshot of
+// real WMEs, one shared ClassDef per class. TimeTags restart from 1
+// per class — extraction reads values in slice order, never tags.
+func rebuildSnapshot(classes []SnapClass) (tlp.Snapshot, error) {
+	if len(classes) == 0 {
+		return nil, nil
+	}
+	snap := tlp.Snapshot{}
+	for _, sc := range classes {
+		if len(sc.Rows) == 0 {
+			snap[sc.Name] = nil
+			continue
+		}
+		cd, err := wm.NewClassDef(sc.Name, sc.Attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot class %q: %w", sc.Name, err)
+		}
+		wmes := make([]*wm.WME, 0, len(sc.Rows))
+		for i, row := range sc.Rows {
+			wmes = append(wmes, &wm.WME{Class: cd, Vals: row, TimeTag: i + 1})
+		}
+		snap[sc.Name] = wmes
+	}
+	return snap, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"spampsm/internal/cluster"
 	"spampsm/internal/machine"
 	"spampsm/internal/ops5"
 	"spampsm/internal/scene"
@@ -72,6 +73,21 @@ func LoadDataset(name string) (*spam.Dataset, error) {
 		return nil, airportShared.err
 	}
 	return spam.NewDatasetWith(scene.Generate(p), airportShared.kb, airportShared.progs), nil
+}
+
+// ClusterSpec returns the shippable dataset spec for one of the named
+// airport datasets, so cluster workers regenerate exactly what
+// LoadDataset builds locally.
+func ClusterSpec(name string) (cluster.DatasetSpec, error) {
+	switch name {
+	case "SF":
+		return cluster.AirportSpec(scene.SF), nil
+	case "DC":
+		return cluster.AirportSpec(scene.DC), nil
+	case "MOFF":
+		return cluster.AirportSpec(scene.MOFF), nil
+	}
+	return cluster.DatasetSpec{}, fmt.Errorf("core: unknown dataset %q (want SF, DC or MOFF)", name)
 }
 
 // System is one SPAM/PSM configuration: a dataset, a phase, and a

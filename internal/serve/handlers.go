@@ -242,6 +242,17 @@ func (sr *sharedRunner) RunTasks(ctx context.Context, tasks []*tlp.Task) ([]*tlp
 	return sr.sp.Submit(ctx, sr.cfg, tasks)
 }
 
+// clusterRunner routes one request's phase queues to the cluster
+// backend under the same per-request pool configuration.
+type clusterRunner struct {
+	cb  ClusterBackend
+	cfg *tlp.Pool
+}
+
+func (cr *clusterRunner) RunTasks(ctx context.Context, tasks []*tlp.Task) ([]*tlp.Result, error) {
+	return cr.cb.RunPool(ctx, cr.cfg, tasks)
+}
+
 func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.requests.Add(1)
@@ -298,18 +309,25 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 			PermanentFraction: req.Faults.PermanentFraction,
 		})
 	}
+	poolCfg := &tlp.Pool{
+		Policy:       s.cfg.Sched,
+		Faults:       plan,
+		MaxRetries:   req.MaxRetries,
+		RetryBackoff: s.cfg.RetryBackoff,
+		FiringBudget: req.FiringBudget,
+	}
 	opt := spam.InterpretOptions{
 		Level:    spam.Level(req.Level),
 		RTFBatch: req.RTFBatch,
 		ReEntry:  req.ReEntry,
 		Degraded: req.Degraded,
-		Runner: &sharedRunner{sp: s.pool, cfg: &tlp.Pool{
-			Policy:       s.cfg.Sched,
-			Faults:       plan,
-			MaxRetries:   req.MaxRetries,
-			RetryBackoff: s.cfg.RetryBackoff,
-			FiringBudget: req.FiringBudget,
-		}},
+		Runner:   &sharedRunner{sp: s.pool, cfg: poolCfg},
+	}
+	// Named scenes can ship: the workers regenerate them from the specs
+	// registered at startup. Inline scenes exist only in this process,
+	// so they stay on the shared pool.
+	if s.cfg.Cluster != nil && req.Scene != "" {
+		opt.Runner = &clusterRunner{cb: s.cfg.Cluster, cfg: poolCfg}
 	}
 
 	in, ierr := ds.InterpretContext(ctx, opt)
@@ -332,7 +350,9 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
 		s.failed.Add(1)
 		status = http.StatusInternalServerError
 	}
-	s.record(requestReport(s.seq.Add(1), req, in, status, elapsed))
+	rep := requestReport(s.seq.Add(1), req, in, status, elapsed)
+	s.shipped.Add(rep.ShippedBytes)
+	s.record(rep)
 
 	w.Header().Set("X-Elapsed-Ms", strconv.FormatFloat(float64(elapsed)/float64(time.Millisecond), 'f', 3, 64))
 	if ierr != nil {
@@ -396,6 +416,11 @@ func requestReport(seq int64, req *Request, in *spam.Interpretation, status int,
 		rep.Tasks = in.Completeness.Tasks
 		rep.Cancelled = in.Completeness.Cancelled
 		for _, p := range in.Phases {
+			for _, r := range p.Results {
+				if r != nil {
+					rep.ShippedBytes += int64(r.ShipBytes)
+				}
+			}
 			if p.Report == nil {
 				continue
 			}

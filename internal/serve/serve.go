@@ -17,6 +17,7 @@ import (
 	"spampsm/internal/tlp"
 )
 
+
 // Config sizes the server. The zero value is usable; withDefaults
 // fills every knob.
 type Config struct {
@@ -68,6 +69,19 @@ type Config struct {
 	// flight across all requests (simulated bytes; 0 = unbounded),
 	// throttling dispatch on the shared pool's memory gate.
 	MemBudget float64
+	// Cluster, when set, executes named-scene requests across worker
+	// processes instead of the shared in-process pool (the cmd layer
+	// wires a cluster.Coordinator in; see docs/CLUSTER.md). Inline
+	// scenes and sessions always stay on the shared pool: inline state
+	// exists only in this process, and sessions retain warm engines.
+	Cluster ClusterBackend
+}
+
+// ClusterBackend runs one request's task queue under a per-request
+// pool configuration on an external worker fleet. Satisfied by
+// cluster.(*Coordinator).RunPool.
+type ClusterBackend interface {
+	RunPool(ctx context.Context, cfg *tlp.Pool, tasks []*tlp.Task) ([]*tlp.Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +136,7 @@ type Server struct {
 
 	seq       atomic.Int64
 	requests  atomic.Int64
+	shipped   atomic.Int64 // cluster wire bytes across all requests
 	completed atomic.Int64
 	degraded  atomic.Int64
 	failed    atomic.Int64
@@ -256,7 +271,10 @@ type RequestReport struct {
 	Panics      int     `json:"panics"`
 	Quarantined int     `json:"quarantined"`
 	Cancelled   int     `json:"cancelled"`
-	ElapsedMs   float64 `json:"elapsedMs"`
+	// ShippedBytes is the request's total task+result wire traffic when
+	// it ran on the cluster backend (0 for in-process execution).
+	ShippedBytes int64   `json:"shippedBytes,omitempty"`
+	ElapsedMs    float64 `json:"elapsedMs"`
 }
 
 func (s *Server) record(rep RequestReport) {
@@ -283,6 +301,9 @@ type Stats struct {
 	Rejected  int64 `json:"rejected"`
 	InFlight  int   `json:"inFlight"`
 	Queued    int64 `json:"queued"`
+	// ShippedBytes totals the cluster backend's wire traffic (0 when
+	// serving purely in-process).
+	ShippedBytes int64 `json:"shippedBytes"`
 
 	Pool       tlp.Counters    `json:"pool"`
 	SceneCache CacheStats      `json:"sceneCache"`
@@ -313,10 +334,11 @@ func (s *Server) Stats() Stats {
 		Failed:     s.failed.Load(),
 		TimedOut:   s.timedOut.Load(),
 		Cancelled:  s.cancelled.Load(),
-		Shed:       s.shed.Load(),
-		Rejected:   s.rejected.Load(),
-		InFlight:   inFlight,
-		Queued:     s.queued.Load(),
+		Shed:         s.shed.Load(),
+		Rejected:     s.rejected.Load(),
+		InFlight:     inFlight,
+		Queued:       s.queued.Load(),
+		ShippedBytes: s.shipped.Load(),
 		Pool:       s.pool.Stats(),
 		SceneCache: s.cache.stats(),
 		Sessions:   s.sessions.stats(),

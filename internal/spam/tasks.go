@@ -211,6 +211,16 @@ func BuildRTFTasks(kb *KB, store *RegionStore, prog *ops5.Program, batchSize int
 			MemEst:    taskMemEst(1 + 2*len(batchCopy)),
 			Build:     func() (*ops5.Engine, error) { return build(nil) },
 			BuildWith: build,
+			Wire: func() (*tlp.WireSpec, error) {
+				seeds, err := rtfSeeds(prog, store, batchID, batchCopy)
+				if err != nil {
+					return nil, err
+				}
+				return &tlp.WireSpec{
+					Dataset: store.Scene().Name, Phase: "rtf",
+					Seeds: seeds, Extract: []string{"fragment"},
+				}, nil
+			},
 		})
 	}
 	return tasks
@@ -250,10 +260,10 @@ func rtfSeeds(prog *ops5.Program, store *RegionStore, batchID int, regions []*sc
 func ExtractFragments(results []*tlp.Result) []*Fragment {
 	var frags []*Fragment
 	for _, r := range results {
-		if r == nil || r.Err != nil || r.Engine == nil {
+		if r == nil || r.Err != nil {
 			continue
 		}
-		for _, w := range r.Engine.WMEs("fragment") {
+		for _, w := range r.WMEs("fragment") {
 			frags = append(frags, &Fragment{
 				ID:       int(w.Get("id").IntVal()),
 				RegionID: int(w.Get("region").IntVal()),
@@ -466,6 +476,7 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 				MemEst:    taskMemEst(2*est + 3*len(groupCopy)),
 				Build:     func() (*ops5.Engine, error) { return build(nil) },
 				BuildWith: build,
+				Wire:      lccWire(prog, store, name, groupCopy),
 			})
 		}
 		return tasks
@@ -484,9 +495,25 @@ func BuildLCCTasksFor(kb *KB, store *RegionStore, prog *ops5.Program, focals, al
 			MemEst:    taskMemEst(2*uc.expected + 3),
 			Build:     func() (*ops5.Engine, error) { return build(nil) },
 			BuildWith: build,
+			Wire:      lccWire(prog, store, name, []lccUnit{uc}),
 		})
 	}
 	return tasks
+}
+
+// lccWire builds the lazy wire description of one LCC task: the same
+// seed set its Build closure asserts, shipped for remote execution.
+func lccWire(prog *ops5.Program, store *RegionStore, name string, units []lccUnit) func() (*tlp.WireSpec, error) {
+	return func() (*tlp.WireSpec, error) {
+		seeds, err := lccSeeds(prog, store, units)
+		if err != nil {
+			return nil, err
+		}
+		return &tlp.WireSpec{
+			Dataset: name, Phase: "lcc",
+			Seeds: seeds, Extract: []string{"check", "lcc-result"},
+		}, nil
+	}
 }
 
 // ConsistentPair is one consistency record produced by LCC: focal
@@ -511,10 +538,10 @@ func ExtractLCC(results []*tlp.Result) ([]ConsistentPair, []LCCOutcome) {
 	var pairs []ConsistentPair
 	var outs []LCCOutcome
 	for _, r := range results {
-		if r == nil || r.Err != nil || r.Engine == nil {
+		if r == nil || r.Err != nil {
 			continue
 		}
-		for _, w := range r.Engine.WMEs("check") {
+		for _, w := range r.WMEs("check") {
 			if w.Get("result").SymVal() == "t" {
 				pairs = append(pairs, ConsistentPair{
 					Object:   int(w.Get("object").IntVal()),
@@ -523,7 +550,7 @@ func ExtractLCC(results []*tlp.Result) ([]ConsistentPair, []LCCOutcome) {
 				})
 			}
 		}
-		for _, w := range r.Engine.WMEs("lcc-result") {
+		for _, w := range r.WMEs("lcc-result") {
 			outs = append(outs, LCCOutcome{
 				Object:  int(w.Get("object").IntVal()),
 				Support: int(w.Get("support").IntVal()),
@@ -634,6 +661,16 @@ func BuildFATasks(kb *KB, store *RegionStore, prog *ops5.Program, frags []*Fragm
 				MemEst:    taskMemEst(expected + len(pairsCopy) + 2),
 				Build:     func() (*ops5.Engine, error) { return build(nil) },
 				BuildWith: build,
+				Wire: func() (*tlp.WireSpec, error) {
+					seeds, err := faSeeds(prog, store, seed, membersCopy, pairsCopy, specCopy.Type)
+					if err != nil {
+						return nil, err
+					}
+					return &tlp.WireSpec{
+						Dataset: store.Scene().Name, Phase: "fa",
+						Seeds: seeds, Extract: []string{"fa", "prediction"},
+					}, nil
+				},
 			})
 		}
 	}
@@ -682,10 +719,10 @@ func ExtractFA(results []*tlp.Result) ([]FunctionalArea, []Prediction) {
 	var fas []FunctionalArea
 	var preds []Prediction
 	for _, r := range results {
-		if r == nil || r.Err != nil || r.Engine == nil {
+		if r == nil || r.Err != nil {
 			continue
 		}
-		for _, w := range r.Engine.WMEs("fa") {
+		for _, w := range r.WMEs("fa") {
 			fas = append(fas, FunctionalArea{
 				Seed:     int(w.Get("seed").IntVal()),
 				Type:     w.Get("fatype").SymVal(),
@@ -693,7 +730,7 @@ func ExtractFA(results []*tlp.Result) ([]FunctionalArea, []Prediction) {
 				Status:   w.Get("status").SymVal(),
 			})
 		}
-		for _, w := range r.Engine.WMEs("prediction") {
+		for _, w := range r.WMEs("prediction") {
 			preds = append(preds, Prediction{
 				FA:         int(w.Get("fa").IntVal()),
 				Kind:       scene.Kind(w.Get("kind").SymVal()),
@@ -745,6 +782,16 @@ func BuildModelTask(kb *KB, store *RegionStore, prog *ops5.Program,
 		MemEst:    taskMemEst(2*len(fasCopy) + 1),
 		Build:     func() (*ops5.Engine, error) { return build(nil) },
 		BuildWith: build,
+		Wire: func() (*tlp.WireSpec, error) {
+			seeds, err := modelSeeds(prog, store, fragsCopy, fasCopy)
+			if err != nil {
+				return nil, err
+			}
+			return &tlp.WireSpec{
+				Dataset: store.Scene().Name, Phase: "model",
+				Seeds: seeds, Extract: []string{"model"},
+			}, nil
+		},
 	}
 }
 
@@ -790,10 +837,10 @@ func modelSeeds(prog *ops5.Program, store *RegionStore, frags []*Fragment, fas [
 // ExtractModel returns the final model from the MODEL task result.
 func ExtractModel(results []*tlp.Result) (Model, bool) {
 	for _, r := range results {
-		if r == nil || r.Err != nil || r.Engine == nil {
+		if r == nil || r.Err != nil {
 			continue
 		}
-		for _, w := range r.Engine.WMEs("model") {
+		for _, w := range r.WMEs("model") {
 			if w.Get("status").SymVal() == "final" {
 				return Model{
 					Score: int(w.Get("score").IntVal()),

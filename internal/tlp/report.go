@@ -114,8 +114,14 @@ func (p *Pool) Report(results []*Result) *RunReport { return Report(results) }
 
 func (rep *RunReport) classify(err error) {
 	var pe *PanicError
+	var re *RemoteError
 	switch {
 	case errors.As(err, &pe):
+		rep.Panics++
+	// A panic recovered in a worker process crosses the wire as a
+	// RemoteError carrying the panic mark; it keeps panic precedence so
+	// cluster and single-process reports classify identically.
+	case errors.As(err, &re) && re.Marks&MarkPanic != 0:
 		rep.Panics++
 	case errors.Is(err, ErrCancelled):
 		rep.Cancels++

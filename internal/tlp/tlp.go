@@ -103,6 +103,12 @@ type Task struct {
 	// short-lived engines of a DropEngines run recycle tokens and list
 	// entries worker-locally instead of reallocating per task.
 	BuildWith func(s *ops5.Scratch) (*ops5.Engine, error)
+	// Wire, when set, produces the task's shippable description for the
+	// cluster runtime (internal/cluster). It is lazy — a local run never
+	// calls it — and must be a pure function of the task: the worker
+	// process rebuilds an engine from the WireSpec that is byte-identical
+	// to what Build constructs here.
+	Wire func() (*WireSpec, error)
 }
 
 // build constructs the task's engine, preferring BuildWith.
@@ -137,6 +143,15 @@ type Result struct {
 	// cancelled (Err wraps ErrCancelled). Cancelled tasks are not
 	// quarantined and carry no verdict on the task itself.
 	Cancelled bool
+
+	// Snapshot holds the final working memory a cluster worker
+	// extracted before dropping its engine; Engine is nil for such
+	// results. Use WMEs to read final working memory either way.
+	Snapshot Snapshot
+	// ShipBytes is the wire cost of this task when it ran on a cluster
+	// worker: encoded task frame plus encoded result frame, in bytes.
+	// Zero for in-process execution.
+	ShipBytes int
 }
 
 // Recovered reports whether the task failed at least once but
@@ -418,12 +433,28 @@ func cancelledResult(t *Task, seq, attempts int, attemptErrs []error, cause erro
 // is — before an attempt, mid-attempt (via engine interrupt), or
 // during a backoff sleep — without quarantining the task.
 func (p *Pool) runOne(ctx context.Context, t *Task, worker, seq int, scratch *ops5.Scratch) *Result {
+	return p.runOneFrom(ctx, t, worker, seq, 1, scratch)
+}
+
+// runOneFrom is runOne with the attempt counter starting at
+// startAttempt instead of 1. The attempt budget stays global — the
+// task quarantines once the attempt number reaches 1+MaxRetries — so
+// a caller that already charged earlier attempts elsewhere (the
+// cluster coordinator, after losing a worker process mid-task)
+// resumes the retry loop rather than restarting it.
+func (p *Pool) runOneFrom(ctx context.Context, t *Task, worker, seq, startAttempt int, scratch *ops5.Scratch) *Result {
 	maxAttempts := 1 + p.MaxRetries
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	if startAttempt < 1 {
+		startAttempt = 1
+	}
+	if maxAttempts < startAttempt {
+		maxAttempts = startAttempt
+	}
 	var attemptErrs []error
-	for attempt := 1; ; attempt++ {
+	for attempt := startAttempt; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return cancelledResult(t, seq, attempt-1, attemptErrs, err)
 		}

@@ -1,0 +1,174 @@
+// Wire-level support for the multi-process cluster runtime
+// (internal/cluster). The cluster coordinator ships tasks to worker
+// processes and collects Result-equivalent replies; this file defines
+// the pieces of that exchange that belong to the task runtime itself:
+//
+//   - WireSpec, the shippable description of a task (its seed working
+//     memory and what to extract from the final one), attached lazily
+//     to a Task so purely local runs never pay for it;
+//   - Snapshot, the remotely-extracted working memory attached to a
+//     Result in place of a live Engine, with Result.WMEs hiding the
+//     difference from result extractors;
+//   - RemoteError, an error that crossed a process boundary as a
+//     message string plus classification marks, so the coordinator's
+//     RunReport classifies remote failures exactly as local ones;
+//   - OrderTasks and Pool.RunOne, the queue-ordering and
+//     single-task-execution entry points the coordinator and the
+//     worker loop drive directly.
+package tlp
+
+import (
+	"context"
+	"errors"
+
+	"spampsm/internal/faults"
+	"spampsm/internal/ops5"
+	"spampsm/internal/wm"
+)
+
+// WireSpec is the shippable description of one task: which dataset's
+// knowledge it runs against, which phase program to instantiate, the
+// seed working memory to assert (shared seeds carry their routing
+// digest discipline through the Digest field — an empty digest ships
+// as a plain seed, a non-empty one is recomputed on the worker), and
+// which WME classes to snapshot from the final working memory for
+// result extraction.
+type WireSpec struct {
+	Dataset string
+	Phase   string   // rtf | lcc | fa | model
+	Seeds   []ops5.Seed
+	Extract []string // WME classes snapshotted into the Result
+}
+
+// Snapshot is the working memory extracted from a remotely-executed
+// task's final state: the WMEs of each requested class, in timetag
+// order. It stands in for Result.Engine across a process boundary.
+type Snapshot map[string][]*wm.WME
+
+// WMEs returns the result's final WMEs of a class, from the live
+// engine when the task ran in-process or from the shipped snapshot
+// when it ran on a cluster worker. Extractors that only read final
+// working memory see no difference.
+func (r *Result) WMEs(class string) []*wm.WME {
+	if r.Engine != nil {
+		return r.Engine.WMEs(class)
+	}
+	return r.Snapshot[class]
+}
+
+// Error classification marks. A worker process reduces each attempt
+// error to its message plus these bits; the coordinator rebuilds a
+// RemoteError that classifies identically in RunReport and behaves
+// identically under the pool's retry/quarantine rules.
+const (
+	MarkCancelled uint32 = 1 << iota
+	MarkTimeout
+	MarkBudget
+	MarkCrash
+	MarkInjected
+	MarkPermanent
+	MarkPanic
+)
+
+// ErrorMarks reduces an error to its classification bits, using the
+// same sentinel checks the RunReport classifier applies.
+func ErrorMarks(err error) uint32 {
+	if err == nil {
+		return 0
+	}
+	var m uint32
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		m |= MarkPanic
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		m |= re.Marks
+	}
+	if errors.Is(err, ErrCancelled) {
+		m |= MarkCancelled
+	}
+	if errors.Is(err, ErrTimeout) {
+		m |= MarkTimeout
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		m |= MarkBudget
+	}
+	if errors.Is(err, ErrWorkerCrash) {
+		m |= MarkCrash
+	}
+	if errors.Is(err, faults.ErrInjected) {
+		m |= MarkInjected
+	}
+	if errors.Is(err, faults.ErrPermanent) {
+		m |= MarkPermanent
+	}
+	return m
+}
+
+// RemoteError is an error reconstructed from the wire: the original
+// message (so reports stay byte-identical to an in-process run) plus
+// the classification marks the worker computed before serializing.
+type RemoteError struct {
+	Msg   string
+	Marks uint32
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Is resurrects the sentinel relationships the marks encode, so
+// errors.Is on a shipped error answers exactly as it would have on the
+// original.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrCancelled:
+		return e.Marks&MarkCancelled != 0
+	case ErrTimeout:
+		return e.Marks&MarkTimeout != 0
+	case ErrBudgetExceeded:
+		return e.Marks&MarkBudget != 0
+	case ErrWorkerCrash:
+		return e.Marks&MarkCrash != 0
+	case faults.ErrInjected:
+		return e.Marks&MarkInjected != 0
+	case faults.ErrPermanent:
+		return e.Marks&MarkPermanent != 0
+	}
+	return false
+}
+
+// OrderTasks returns the queue order of the tasks under a policy —
+// the same ordering Pool.Run applies, exported so the cluster
+// coordinator orders its shipping queue identically and per-task
+// SeqInQ values match a single-process run byte for byte.
+func OrderTasks(policy QueuePolicy, tasks []*Task) []*Task {
+	p := &Pool{Policy: policy}
+	return p.order(tasks)
+}
+
+// RunOne executes a single task under the pool's configuration —
+// memory gate, fault plan, retries, quarantine — starting the attempt
+// counter at startAttempt (1 for a fresh task; higher when earlier
+// attempts were charged elsewhere, e.g. to a worker process that died
+// mid-task and whose loss the coordinator already recorded). The
+// attempt budget stays global: the task is quarantined once its
+// attempt number reaches 1+MaxRetries regardless of where earlier
+// attempts ran. This is the cluster worker loop's execution entry
+// point; batch runs should use Run/RunContext.
+func (p *Pool) RunOne(ctx context.Context, t *Task, worker, seq, startAttempt int) *Result {
+	if startAttempt < 1 {
+		startAttempt = 1
+	}
+	p.gateMu.Lock()
+	if p.lastGate == nil {
+		p.lastGate = newMemGate(p.MemBudget)
+	}
+	gate := p.lastGate
+	p.gateMu.Unlock()
+	got, err := gate.acquire(ctx, t.MemEst)
+	if err != nil {
+		return cancelledResult(t, seq, startAttempt-1, nil, err)
+	}
+	defer gate.release(got)
+	return p.runOneFrom(ctx, t, worker, seq, startAttempt, nil)
+}
