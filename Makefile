@@ -8,6 +8,14 @@ GO ?= go
 # future snapshot bump edits one line here instead of hardcoded paths.
 BENCH_BASELINE ?= BENCH_5.json
 
+# The cluster radar's pair: the wire-v1 snapshot the v2 wire was
+# measured against, and the committed v2 document. benchjson diffs the
+# machine-independent wire-accounting columns (ship share,
+# continuation share, exactly-once recovery) between the two — no
+# benchmarks are run, so this is cheap enough for CI.
+CLUSTER_BASELINE ?= BENCH_9.json
+CLUSTER_CURRENT ?= BENCH_10.json
+
 .PHONY: build test vet race bench bench-quick bench-json bench-radar serve-smoke bench-serve bench-memsched bench-incremental incremental-smoke bench-cluster cluster-smoke oracle check
 
 build:
@@ -59,6 +67,7 @@ bench-json:
 bench-radar:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH.ci.json -benchtime 0.2s -count 1 \
 		-compare $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -compare $(CLUSTER_BASELINE) -cluster $(CLUSTER_CURRENT)
 
 # serve-smoke is the CI smoke test for the interpretation service
 # (cmd/spamserve, docs/SERVING.md): it starts the server in-process,
@@ -123,25 +132,34 @@ incremental-smoke:
 	$(GO) run ./cmd/spambench -experiment ext-incremental \
 		-subset-scale 0.35 -json /tmp/BENCH_8.smoke.json
 
-# bench-cluster regenerates the committed BENCH_9.json snapshot: the
+# bench-cluster regenerates the committed BENCH_10.json snapshot: the
 # multi-process cluster scale-out experiment (SF/DC/MOFF and the
-# 10x-scale stress scene at 1/2/4 worker processes, wire-volume
-# accounting against the simulated svm/msgpass projections) plus the
-# worker-kill recovery run, at the subset scale the snapshot was
-# calibrated at. The report is invariant-checked before it is written;
-# wall-clock columns are host-dependent and deliberately ungated.
+# 10x-scale stress scene at 1/2/4 worker processes, content-addressed
+# wire-v2 volume accounting with the v1 counterfactual and the
+# worker-side continuation share, against the simulated svm/msgpass
+# projections) plus the worker-kill recovery run with re-entry
+# enabled, at the subset scale the snapshot was calibrated at. The
+# report is invariant-checked before it is written — including the
+# shipped-bytes budget (wire bytes per modeled seed byte must hold a
+# 3x reduction over BENCH_9.json's v1 wire on SF/DC/MOFF); wall-clock
+# columns are host-dependent and deliberately ungated.
 bench-cluster:
-	$(GO) run ./cmd/spambench -experiment ext-cluster -subset-scale 0.4 -json BENCH_9.json
+	$(GO) run ./cmd/spambench -experiment ext-cluster -subset-scale 0.4 -json BENCH_10.json
 
 # cluster-smoke is the CI smoke test for the multi-process cluster
 # runtime (internal/cluster, docs/CLUSTER.md): a real scaled-down DC
 # interpretation over two worker processes, then the same scene
 # re-interpreted single-process in-process, failing unless the outputs
 # are byte-identical and the run shipped its whole task queue over the
-# wire.
+# wire. It runs twice: once on the default content-addressed wire v2,
+# once pinned to -cluster-wire-v1, so the version-negotiation path and
+# the inline-seed compatibility wire keep their own byte-identity
+# coverage.
 cluster-smoke:
 	$(GO) run ./cmd/spamrun -dataset DC -scale 0.4 -workers 2 \
 		-cluster-workers 2 -cluster-check
+	$(GO) run ./cmd/spamrun -dataset DC -scale 0.4 -workers 2 \
+		-cluster-workers 2 -cluster-check -cluster-wire-v1
 
 # check is the full verification gate: the tier-1 build and tests,
 # static analysis, the differential oracles, and the race detector

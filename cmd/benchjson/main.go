@@ -30,6 +30,16 @@
 // — benchmark noise must never break a build — but they make a
 // regression visible in the log before the snapshot is committed.
 //
+// -compare also understands the spampsm-cluster-bench schema
+// (BENCH_9/BENCH_10.json): paired with -cluster NEW.json it skips the
+// Go benchmark matrix and diffs the two cluster documents instead —
+// matching (dataset, procs) points whose wire bytes per modeled seed
+// byte grew by more than 10%, or whose worker-side continuation share
+// dropped, are warned about, and a recovery block that lost the
+// exactly-once property is an error. Wall-clock columns are
+// host-dependent and deliberately not compared. This is how the CI
+// bench-radar watches the cluster snapshots instead of skipping them.
+//
 // Each benchmark is run -count times (default 3) and the fastest
 // repetition is kept — interference on a shared machine only ever adds
 // time, so min-of-N is the closest observable to the code's true cost.
@@ -50,7 +60,14 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"spampsm/internal/bench"
 )
+
+// clusterSchemaPrefix identifies spampsm-cluster-bench documents of
+// any version; v1 (BENCH_9.json) and v2 (BENCH_10.json) share the
+// ship-share column the radar keys on.
+const clusterSchemaPrefix = "spampsm-cluster-bench/"
 
 // suite is the fixed benchmark matrix: package × bench filter. A
 // non-empty benchtime overrides the -benchtime flag for that entry:
@@ -256,6 +273,87 @@ func compare(rs []result) []comparison {
 	return cs
 }
 
+// warnClusterRegressions diffs two cluster-bench documents: matching
+// (dataset, procs) points are compared on the machine-independent
+// wire-accounting columns. Ship-share growth beyond tolerance and a
+// shrinking worker-side continuation share are warnings (same
+// non-fatal contract as the Go-bench radar); a recovery block that is
+// no longer exactly-once is returned as an error — that is a
+// correctness property, not a performance number.
+func warnClusterRegressions(old, fresh *bench.ClusterReport, tolerance float64) (int, error) {
+	type key struct {
+		dataset string
+		procs   int
+	}
+	oldPts := map[key]bench.ClusterPoint{}
+	for _, pt := range old.Points {
+		oldPts[key{pt.Dataset, pt.Procs}] = pt
+	}
+	warned := 0
+	for _, pt := range fresh.Points {
+		prev, ok := oldPts[key{pt.Dataset, pt.Procs}]
+		if !ok {
+			continue
+		}
+		if prev.ShipShare > 0 && pt.ShipShare > prev.ShipShare*(1+tolerance) {
+			fmt.Fprintf(os.Stderr, "benchjson: WARNING: cluster %s/procs=%d ship share grew %.1f%% (%.3f -> %.3f wire bytes per seed byte)\n",
+				pt.Dataset, pt.Procs, 100*(pt.ShipShare/prev.ShipShare-1), prev.ShipShare, pt.ShipShare)
+			warned++
+		}
+		// Continuation share only exists where both documents ran
+		// re-entry tasks; a v1 snapshot (all-zero columns) matches
+		// nothing here and the ship-share diff above carries the radar.
+		if prev.ContinuationTasks > 0 && pt.ContinuationTasks > 0 {
+			prevShare := float64(prev.Continuations) / float64(prev.ContinuationTasks)
+			share := float64(pt.Continuations) / float64(pt.ContinuationTasks)
+			if share < prevShare*(1-tolerance) {
+				fmt.Fprintf(os.Stderr, "benchjson: WARNING: cluster %s/procs=%d worker-side continuation share dropped (%.0f%% -> %.0f%%)\n",
+					pt.Dataset, pt.Procs, 100*prevShare, 100*share)
+				warned++
+			}
+		}
+	}
+	if old.Recovery.ExactlyOnce && !fresh.Recovery.ExactlyOnce {
+		return warned, fmt.Errorf("cluster recovery lost the exactly-once property (%d tasks, %d completed)",
+			fresh.Recovery.Tasks, fresh.Recovery.Completed)
+	}
+	return warned, nil
+}
+
+// compareCluster is the -compare path for cluster-bench snapshots:
+// both sides come from disk (the documents are expensive multi-process
+// runs regenerated by make bench-cluster, not by this command).
+func compareCluster(oldPath string, oldBuf []byte, freshPath string) {
+	var old bench.ClusterReport
+	if err := json.Unmarshal(oldBuf, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", oldPath, err)
+		os.Exit(1)
+	}
+	buf, err := os.ReadFile(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var fresh bench.ClusterReport
+	if err := json.Unmarshal(buf, &fresh); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", freshPath, err)
+		os.Exit(1)
+	}
+	if !strings.HasPrefix(fresh.Schema, clusterSchemaPrefix) {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has schema %q, want a %s* document\n",
+			freshPath, fresh.Schema, clusterSchemaPrefix)
+		os.Exit(1)
+	}
+	n, err := warnClusterRegressions(&old, &fresh, 0.10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: ERROR:", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no >10%% cluster regressions in %s vs %s\n", freshPath, oldPath)
+	}
+}
+
 // warnRegressions compares a fresh report against a previous snapshot
 // and prints a warning for every matching benchmark whose ns/op grew
 // by more than tolerance, and every pairing whose speedup shrank by
@@ -304,7 +402,38 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	count := flag.Int("count", 3, "repetitions per benchmark; the fastest is kept (min-of-N)")
 	compareWith := flag.String("compare", "", "previous BENCH_<n>.json snapshot to warn against (non-fatal, >10% regressions)")
+	clusterFresh := flag.String("cluster", "", "fresh cluster-bench document to diff against a cluster -compare snapshot (skips the Go benchmark matrix)")
 	flag.Parse()
+
+	// Schema dispatch: a cluster-bench baseline switches the command
+	// into document-diff mode — both sides come from disk, nothing is
+	// measured here.
+	if *compareWith != "" {
+		oldBuf, err := os.ReadFile(*compareWith)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var sniff struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(oldBuf, &sniff); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compareWith, err)
+			os.Exit(1)
+		}
+		if strings.HasPrefix(sniff.Schema, clusterSchemaPrefix) {
+			if *clusterFresh == "" {
+				fmt.Fprintf(os.Stderr, "benchjson: %s is a cluster-bench document; pass the fresh snapshot via -cluster NEW.json\n", *compareWith)
+				os.Exit(1)
+			}
+			compareCluster(*compareWith, oldBuf, *clusterFresh)
+			return
+		}
+		if *clusterFresh != "" {
+			fmt.Fprintf(os.Stderr, "benchjson: -cluster needs a cluster-bench -compare baseline, got schema %q\n", sniff.Schema)
+			os.Exit(1)
+		}
+	}
 
 	rep := report{
 		Schema:    "spampsm-bench/v2",
@@ -376,8 +505,9 @@ func main() {
 			os.Exit(1)
 		}
 		// A baseline with a foreign schema (e.g. a serve- or
-		// cluster-bench document) would match nothing and the radar
-		// would silently go blind; refuse it instead.
+		// memsched-bench document) would match nothing and the radar
+		// would silently go blind; refuse it instead. (Cluster-bench
+		// baselines were dispatched to the document-diff path above.)
 		if old.Schema != rep.Schema {
 			fmt.Fprintf(os.Stderr, "benchjson: %s has schema %q, want %q — not a comparable snapshot\n",
 				*compareWith, old.Schema, rep.Schema)

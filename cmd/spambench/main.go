@@ -19,7 +19,7 @@
 // policies). -json writes the experiment's machine-readable document
 // to FILE: with -experiment ext-incremental the incremental
 // re-interpretation churn ladder (the BENCH_8.json document), with
-// ext-cluster the multi-process scale-out report (BENCH_9.json),
+// ext-cluster the multi-process scale-out report (BENCH_10.json),
 // otherwise the memory-aware scheduling experiment's
 // makespan-vs-memory-budget curves (the BENCH_7.json document).
 package main
@@ -102,7 +102,7 @@ func realMain() int {
 	if *jsonOut != "" {
 		// Which document -json emits follows the experiment:
 		// ext-incremental writes its churn-ladder report (BENCH_8.json),
-		// ext-cluster the multi-process scale-out report (BENCH_9.json);
+		// ext-cluster the multi-process scale-out report (BENCH_10.json);
 		// everything else writes the memory-aware scheduling curves
 		// (BENCH_7.json), the historical default.
 		var rep interface{ Check() error }

@@ -219,6 +219,9 @@ func realMain() int {
 		fmt.Printf("%-8s %3d req  %3d ok (%d degraded)  %2d shed  %2d failed  %2d cancelled  %6.2f req/s  p50 %.0fms  p95 %.0fms  p99 %.0fms%s\n",
 			name, sc.Requests, sc.Succeeded, sc.Degraded, sc.Shed, sc.Failed, sc.Cancelled,
 			sc.Throughput, sc.LatencyMs.P50, sc.LatencyMs.P95, sc.LatencyMs.P99, shipped)
+		if name == "cluster" {
+			c.printClusterStats()
+		}
 	}
 	fmt.Printf("health checks: %d/%d passed\n", c.healthProbes-c.healthFailed, c.healthProbes)
 
@@ -358,6 +361,33 @@ func (c *cli) runScenario(name string) (*bench.ServeScenario, error) {
 		sc.ShippedBytes = after - shippedBefore
 	}
 	return sc, nil
+}
+
+// printClusterStats dumps the server's cluster-coordinator accounting
+// from /stats after the cluster scenario: the wire-locality summary
+// plus one line per worker slot, mirroring spamrun's report so the two
+// tools read the same way.
+func (c *cli) printClusterStats() {
+	resp, err := c.client.Get(c.url + "/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Cluster *cluster.Stats `json:"cluster"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil || st.Cluster == nil {
+		return
+	}
+	cs := st.Cluster
+	fmt.Printf("cluster: %d procs (wire v%d), %d tasks shipped, %d chunks (%d hits), %d/%d continuations worker-side, %d steals\n",
+		cs.Workers, cs.WireVersion, cs.TasksShipped, cs.ChunksShipped, cs.ChunkHits,
+		cs.Continuations, cs.ContinuationTasks, cs.Steals)
+	for _, ws := range cs.PerWorker {
+		fmt.Printf("cluster worker %d: %d tasks, %.1f KB shipped, %d steals, %d continuations, %d resident chunks (%.1f KB)\n",
+			ws.Slot, ws.Tasks, float64(ws.ShippedBytes)/1024,
+			ws.Steals, ws.Continuations, ws.ResidentChunks, float64(ws.ResidentBytes)/1024)
+	}
 }
 
 // statsShipped reads the server's cumulative shipped-wire-bytes

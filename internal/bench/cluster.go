@@ -1,16 +1,23 @@
 // The cluster scale-out benchmark: real wall-clock interpretation
 // across worker processes over the message-passing runtime
-// (internal/cluster), emitted as BENCH_9.json by cmd/spambench -json.
+// (internal/cluster), emitted as BENCH_10.json by cmd/spambench -json.
 // Each point runs a full interpretation with the task queue sharded
-// over N processes and records what actually crossed the wire; the
+// over N processes and records what actually crossed the wire — task,
+// chunk and result frames under the content-addressed wire v2, plus
+// the counterfactual cost the same task frames would have had under
+// wire v1 (every seed inline) — and how many LCC re-entry tasks
+// continued worker-side without a coordinator round-trip. The
 // simulated columns place the same task population on the Section 9
 // projection machines (shared virtual memory, message-passing
 // multicomputer) for comparison. A recovery run SIGKILLs workers
-// mid-interpretation and demonstrates exactly-once result delivery.
+// mid-interpretation, with re-entry enabled so spawned continuations
+// are among the casualties, and demonstrates exactly-once result
+// delivery.
 //
 // Wall-clock figures are machine- and load-dependent, so Check gates
 // only on structure and on the accounting invariants (everything
-// shipped, exactly-once under crashes), never on observed speedups.
+// shipped, the wire-locality budget, exactly-once under crashes),
+// never on observed speedups.
 package bench
 
 import (
@@ -30,8 +37,19 @@ import (
 	"spampsm/internal/tlp"
 )
 
-// ClusterSchema versions the BENCH_9.json document.
-const ClusterSchema = "spampsm-cluster-bench/v1"
+// ClusterSchema versions the BENCH_10.json document. v2 added the
+// wire-locality columns (chunk shipping, resident hits, the v1
+// counterfactual) and the continuation accounting.
+const ClusterSchema = "spampsm-cluster-bench/v2"
+
+// clusterV1ShipShare pins what the v1 wire measured on the base
+// datasets (BENCH_9.json shipShare, procs-independent: every seed
+// shipped inline, deterministically). The Check gate demands the
+// content-addressed wire hold at least a 3x reduction against these.
+// The stress scene is deliberately absent — its seed population (and
+// thus its share) moves with the stress factor, so it is recorded but
+// not budgeted.
+var clusterV1ShipShare = map[string]float64{"SF": 0.496, "DC": 0.513, "MOFF": 0.497}
 
 // clusterProcs is the worker-process axis: every dataset interpreted
 // at each of these process counts.
@@ -50,9 +68,26 @@ type ClusterPoint struct {
 
 	Tasks        int     `json:"tasks"`        // tasks across all phases
 	TasksShipped int     `json:"tasksShipped"` // task frames sent (incl. re-ships)
-	ShippedBytes int64   `json:"shippedBytes"` // task + result frames on the wire
+	ShippedBytes int64   `json:"shippedBytes"` // task + chunk + result frames on the wire
+	ResultBytes  int64   `json:"resultBytes"`  // result-frame share of ShippedBytes
 	ShipShare    float64 `json:"shipShare"`    // wire bytes per modeled seed WM byte
 	Steals       int     `json:"steals"`
+
+	// Wire-locality accounting (zero on v1 runs). V1TaskBytes is the
+	// counterfactual: what the same task frames would have cost under
+	// wire v1 with every seed inline — an understatement of the full
+	// v1 wire (v1 result frames are also larger), so the reduction it
+	// implies is conservative.
+	WireVersion     int   `json:"wireVersion"`
+	ChunksShipped   int   `json:"chunksShipped"`
+	ChunkHits       int64 `json:"chunkHits"`       // seed refs resolved against resident chunks
+	ChunkSavedBytes int64 `json:"chunkSavedBytes"` // encoded seed bytes the hits avoided re-shipping
+	V1TaskBytes     int64 `json:"v1TaskBytes"`
+
+	// Continuation accounting: how many re-entry tasks there were and
+	// how many continued worker-side without a coordinator round-trip.
+	ContinuationTasks int `json:"continuationTasks"`
+	Continuations     int `json:"continuations"`
 
 	// Simulated counterparts on the Section 9 projection machines,
 	// same processor placement: speedup over one uniprocessor.
@@ -73,10 +108,16 @@ type ClusterRecovery struct {
 	WorkerDeaths int     `json:"workerDeaths"`
 	Respawns     int     `json:"respawns"`
 	Requeued     int     `json:"requeued"`
-	ExactlyOnce  bool    `json:"exactlyOnce"` // one non-nil result per task, no duplicates
+	// The run interprets with re-entry enabled so worker-side spawned
+	// continuations are exposed to the crash chaos too; requeues of
+	// spawned tasks are counted separately.
+	ContinuationTasks int  `json:"continuationTasks"`
+	Continuations     int  `json:"continuations"`
+	SpawnedRequeued   int  `json:"spawnedRequeued"`
+	ExactlyOnce       bool `json:"exactlyOnce"` // one non-nil result per task, no duplicates
 }
 
-// ClusterReport is the BENCH_9.json document.
+// ClusterReport is the BENCH_10.json document.
 type ClusterReport struct {
 	Schema       string          `json:"schema"`
 	LocalWorkers int             `json:"localWorkers"`
@@ -145,11 +186,19 @@ func clusterRun(d *spam.Dataset, params scene.Params, procs int) (*spam.Interpre
 	}
 	after := co.Stats()
 	return in, wallMS, cluster.Stats{
-		Workers:      after.Workers,
-		TasksShipped: after.TasksShipped - before.TasksShipped,
-		ShippedBytes: after.ShippedBytes - before.ShippedBytes,
-		Steals:       after.Steals - before.Steals,
-		Requeued:     after.Requeued - before.Requeued,
+		Workers:           after.Workers,
+		WireVersion:       after.WireVersion,
+		TasksShipped:      after.TasksShipped - before.TasksShipped,
+		ShippedBytes:      after.ShippedBytes - before.ShippedBytes,
+		ResultBytes:       after.ResultBytes - before.ResultBytes,
+		V1TaskBytes:       after.V1TaskBytes - before.V1TaskBytes,
+		ChunksShipped:     after.ChunksShipped - before.ChunksShipped,
+		ChunkHits:         after.ChunkHits - before.ChunkHits,
+		ChunkSavedBytes:   after.ChunkSavedBytes - before.ChunkSavedBytes,
+		ContinuationTasks: after.ContinuationTasks - before.ContinuationTasks,
+		Continuations:     after.Continuations - before.Continuations,
+		Steals:            after.Steals - before.Steals,
+		Requeued:          after.Requeued - before.Requeued,
 	}, nil
 }
 
@@ -186,39 +235,65 @@ func (s *Suite) clusterRecovery() (ClusterRecovery, error) {
 		return ClusterRecovery{}, err
 	}
 
-	opt := spam.InterpretOptions{Workers: procs, MaxRetries: 2}
+	// Re-entry on: worker-side spawned continuations are in flight
+	// when workers die, so the requeue path for spawned tasks is
+	// exercised, not just the coordinator-shipped one.
+	opt := spam.InterpretOptions{Workers: procs, MaxRetries: 2, ReEntry: true}
 	opt.Runner = cluster.NewRunner(co, opt)
 	in, err := d.Interpret(opt)
 	if err != nil {
 		return ClusterRecovery{}, err
 	}
 
-	seen := map[string]bool{}
-	exactly := true
-	for _, ph := range in.Phases {
-		for _, r := range ph.Results {
-			if r == nil || seen[r.TaskID] {
-				exactly = false
-				continue
-			}
-			seen[r.TaskID] = true
-		}
+	// The exactly-once witness: a crash-free in-process run of the
+	// same dataset defines the expected result population. With
+	// re-entry, task IDs legitimately repeat across an LCC phase's
+	// passes, so ID-set uniqueness is not the invariant — per-phase
+	// multiset equality with the reference is. A lost merge removes a
+	// result from the multiset; a duplicated merge adds one; either
+	// breaks the equality.
+	ref, err := d.Interpret(spam.InterpretOptions{Workers: procs, ReEntry: true})
+	if err != nil {
+		return ClusterRecovery{}, err
 	}
-	if len(seen) != in.Completeness.Tasks {
-		exactly = false
+	exactly := len(in.Phases) == len(ref.Phases) &&
+		in.Completeness.Tasks == ref.Completeness.Tasks
+	for pi := 0; exactly && pi < len(in.Phases); pi++ {
+		got, want := map[string]int{}, map[string]int{}
+		for _, r := range in.Phases[pi].Results {
+			if r == nil {
+				exactly = false
+			} else {
+				got[r.TaskID]++
+			}
+		}
+		for _, r := range ref.Phases[pi].Results {
+			want[r.TaskID]++
+		}
+		if len(got) != len(want) {
+			exactly = false
+		}
+		for id, n := range want {
+			if got[id] != n {
+				exactly = false
+			}
+		}
 	}
 	st := co.Stats()
 	return ClusterRecovery{
-		Dataset:      "DC",
-		Procs:        procs,
-		CrashSeed:    crashSeed,
-		CrashRate:    crashRate,
-		Tasks:        in.Completeness.Tasks,
-		Completed:    st.TasksCompleted,
-		WorkerDeaths: st.WorkerDeaths,
-		Respawns:     st.Respawns,
-		Requeued:     st.Requeued,
-		ExactlyOnce:  exactly,
+		Dataset:           "DC",
+		Procs:             procs,
+		CrashSeed:         crashSeed,
+		CrashRate:         crashRate,
+		Tasks:             in.Completeness.Tasks,
+		Completed:         st.TasksCompleted,
+		WorkerDeaths:      st.WorkerDeaths,
+		Respawns:          st.Respawns,
+		Requeued:          st.Requeued,
+		ContinuationTasks: st.ContinuationTasks,
+		Continuations:     st.Continuations,
+		SpawnedRequeued:   st.SpawnedRequeued,
+		ExactlyOnce:       exactly,
 	}, nil
 }
 
@@ -284,14 +359,22 @@ func (s *Suite) Cluster() (*ClusterReport, error) {
 				tasks += ph.Tasks
 			}
 			pt := ClusterPoint{
-				Dataset:      tg.name,
-				Procs:        procs,
-				LocalWorkers: clusterLocalWorkers,
-				WallMS:       wallMS,
-				Tasks:        tasks,
-				TasksShipped: st.TasksShipped,
-				ShippedBytes: st.ShippedBytes,
-				Steals:       st.Steals,
+				Dataset:           tg.name,
+				Procs:             procs,
+				LocalWorkers:      clusterLocalWorkers,
+				WallMS:            wallMS,
+				Tasks:             tasks,
+				TasksShipped:      st.TasksShipped,
+				ShippedBytes:      st.ShippedBytes,
+				ResultBytes:       st.ResultBytes,
+				WireVersion:       st.WireVersion,
+				ChunksShipped:     st.ChunksShipped,
+				ChunkHits:         st.ChunkHits,
+				ChunkSavedBytes:   st.ChunkSavedBytes,
+				V1TaskBytes:       st.V1TaskBytes,
+				ContinuationTasks: st.ContinuationTasks,
+				Continuations:     st.Continuations,
+				Steals:            st.Steals,
 				SVMSpeedup: svm.Speedup(durs, svm.Cluster{
 					Node0Procs:  clusterLocalWorkers,
 					RemoteProcs: (procs - 1) * clusterLocalWorkers,
@@ -343,12 +426,37 @@ func (r *ClusterReport) Check() error {
 			return fmt.Errorf("cluster: point %s/procs=%d is not a real run (wall=%g tasks=%d)",
 				pt.Dataset, pt.Procs, pt.WallMS, pt.Tasks)
 		}
-		if pt.TasksShipped < pt.Tasks || pt.ShippedBytes <= 0 {
-			return fmt.Errorf("cluster: point %s/procs=%d shipped %d tasks / %d bytes, want >= %d tasks",
-				pt.Dataset, pt.Procs, pt.TasksShipped, pt.ShippedBytes, pt.Tasks)
+		// Every task crosses the wire as its own frame — except a
+		// continuation the worker ran locally before the coordinator's
+		// push went out, which never needs one. That slack is bounded
+		// by the worker-side continuation count.
+		if pt.TasksShipped+pt.Continuations < pt.Tasks || pt.ShippedBytes <= 0 {
+			return fmt.Errorf("cluster: point %s/procs=%d shipped %d tasks / %d bytes (%d worker-side continuations), want >= %d tasks",
+				pt.Dataset, pt.Procs, pt.TasksShipped, pt.ShippedBytes, pt.Continuations, pt.Tasks)
 		}
 		if pt.Procs == clusterProcs[0] && pt.Speedup != 1 {
 			return fmt.Errorf("cluster: point %s base speedup %g, want 1", pt.Dataset, pt.Speedup)
+		}
+		if pt.WireVersion >= 2 {
+			if pt.ChunksShipped <= 0 || pt.ChunkHits <= 0 {
+				return fmt.Errorf("cluster: point %s/procs=%d shipped %d chunks with %d hits — content-addressed shipping is not engaging",
+					pt.Dataset, pt.Procs, pt.ChunksShipped, pt.ChunkHits)
+			}
+			if taskBytes := pt.ShippedBytes - pt.ResultBytes; pt.V1TaskBytes <= taskBytes {
+				return fmt.Errorf("cluster: point %s/procs=%d v1 counterfactual %d bytes <= actual non-result wire %d — chunking saved nothing",
+					pt.Dataset, pt.Procs, pt.V1TaskBytes, taskBytes)
+			}
+			if pt.ContinuationTasks > 0 && 10*pt.Continuations < 9*pt.ContinuationTasks {
+				return fmt.Errorf("cluster: point %s/procs=%d continued %d/%d re-entry tasks worker-side, want >= 90%%",
+					pt.Dataset, pt.Procs, pt.Continuations, pt.ContinuationTasks)
+			}
+			// The shipped-bytes budget on the three base datasets:
+			// wire bytes per modeled seed byte must hold the 3x
+			// reduction over what the v1 wire measured there.
+			if v1, ok := clusterV1ShipShare[pt.Dataset]; ok && 3*pt.ShipShare > v1 {
+				return fmt.Errorf("cluster: point %s/procs=%d ship share %.3f exceeds the wire-locality budget (v1 measured %.3f, want at least 3x under it)",
+					pt.Dataset, pt.Procs, pt.ShipShare, v1)
+			}
 		}
 	}
 	for ds, procs := range want {
@@ -359,6 +467,9 @@ func (r *ClusterReport) Check() error {
 	rec := r.Recovery
 	if rec.WorkerDeaths < 1 {
 		return fmt.Errorf("cluster: recovery saw no worker deaths")
+	}
+	if rec.ContinuationTasks < 1 {
+		return fmt.Errorf("cluster: recovery ran no re-entry tasks — spawned continuations were not exposed to the crash chaos")
 	}
 	if !rec.ExactlyOnce || rec.Tasks <= 0 {
 		return fmt.Errorf("cluster: recovery not exactly-once (%d tasks)", rec.Tasks)
@@ -372,7 +483,7 @@ func (r *ClusterReport) Check() error {
 
 // ExtCluster renders the experiment as text: one table over the
 // (dataset, procs) grid, then the recovery summary. The full document
-// ships in BENCH_9.json (spambench -json).
+// ships in BENCH_10.json (spambench -json).
 func (s *Suite) ExtCluster() (string, error) {
 	rep, err := s.Cluster()
 	if err != nil {
@@ -382,20 +493,23 @@ func (s *Suite) ExtCluster() (string, error) {
 		return "", err
 	}
 	tb := stats.Table{
-		Title: fmt.Sprintf("Extension: multi-process cluster interpretation (%d local workers per process)",
-			rep.LocalWorkers),
+		Title: fmt.Sprintf("Extension: multi-process cluster interpretation (%d local workers per process, wire v%d)",
+			rep.LocalWorkers, cluster.Version),
 		Headers: []string{"Dataset", "Procs", "Wall (ms)", "Speedup", "Tasks", "Shipped",
-			"Wire bytes", "Steals", "SVM (sim)", "Msgpass (sim)"},
+			"Wire bytes", "Chunks", "Hits", "Cont", "Steals", "SVM (sim)", "Msgpass (sim)"},
 	}
 	for _, pt := range rep.Points {
 		tb.AddRow(pt.Dataset, pt.Procs, pt.WallMS, pt.Speedup, pt.Tasks, pt.TasksShipped,
-			stats.FormatBytes(float64(pt.ShippedBytes)), pt.Steals, pt.SVMSpeedup, pt.MsgpassSpeedup)
+			stats.FormatBytes(float64(pt.ShippedBytes)), pt.ChunksShipped, pt.ChunkHits,
+			fmt.Sprintf("%d/%d", pt.Continuations, pt.ContinuationTasks),
+			pt.Steals, pt.SVMSpeedup, pt.MsgpassSpeedup)
 	}
 	rec := rep.Recovery
 	out := tb.String() + "\n"
 	out += fmt.Sprintf("Recovery: %s over %d procs, crash seed %d rate %g — %d worker deaths, "+
-		"%d respawns, %d tasks requeued; %d tasks merged exactly-once\n",
+		"%d respawns, %d tasks requeued (%d of them spawned continuations); "+
+		"%d tasks merged exactly-once\n",
 		rec.Dataset, rec.Procs, rec.CrashSeed, rec.CrashRate, rec.WorkerDeaths,
-		rec.Respawns, rec.Requeued, rec.Tasks)
+		rec.Respawns, rec.Requeued, rec.SpawnedRequeued, rec.Tasks)
 	return out, nil
 }

@@ -17,7 +17,13 @@ func validClusterReport() *ClusterReport {
 			pt := ClusterPoint{
 				Dataset: ds, Procs: procs, LocalWorkers: clusterLocalWorkers,
 				WallMS: 100, Tasks: 40, TasksShipped: 41, ShippedBytes: 50_000,
-				ShipShare: 0.5, SVMSpeedup: 2, MsgpassSpeedup: 2,
+				ResultBytes: 20_000, ShipShare: 0.12, SVMSpeedup: 2, MsgpassSpeedup: 2,
+				WireVersion: 2, ChunksShipped: 30, ChunkHits: 200, ChunkSavedBytes: 90_000,
+				V1TaskBytes: 120_000, ContinuationTasks: 10, Continuations: 10,
+			}
+			if ds == "SF-x10" {
+				// The stress scene's share is recorded, not budgeted.
+				pt.ShipShare = 0.3
 			}
 			if procs == clusterProcs[0] {
 				pt.Speedup = 1
@@ -30,7 +36,8 @@ func validClusterReport() *ClusterReport {
 	rep.Recovery = ClusterRecovery{
 		Dataset: "DC", Procs: 2, CrashSeed: 7, CrashRate: 0.05,
 		Tasks: 85, Completed: 85, WorkerDeaths: 4, Respawns: 4,
-		Requeued: 4, ExactlyOnce: true,
+		Requeued: 4, ContinuationTasks: 6, Continuations: 5,
+		SpawnedRequeued: 1, ExactlyOnce: true,
 	}
 	return rep
 }
@@ -50,10 +57,19 @@ func TestClusterReportCheck(t *testing.T) {
 		{"duplicate point", func(r *ClusterReport) { r.Points = append(r.Points, r.Points[0]) }, "unexpected point"},
 		{"foreign dataset", func(r *ClusterReport) { r.Points[0].Dataset = "LAX" }, "unexpected point"},
 		{"zero wall", func(r *ClusterReport) { r.Points[0].WallMS = 0 }, "not a real run"},
-		{"under-shipped", func(r *ClusterReport) { r.Points[0].TasksShipped = r.Points[0].Tasks - 1 }, "shipped"},
+		{"under-shipped", func(r *ClusterReport) {
+			pt := &r.Points[0]
+			pt.TasksShipped = pt.Tasks - pt.Continuations - 1
+		}, "shipped"},
 		{"no wire bytes", func(r *ClusterReport) { r.Points[0].ShippedBytes = 0 }, "shipped"},
 		{"base speedup", func(r *ClusterReport) { r.Points[0].Speedup = 1.2 }, "base speedup"},
+		{"no chunks", func(r *ClusterReport) { r.Points[0].ChunksShipped = 0 }, "content-addressed"},
+		{"no hits", func(r *ClusterReport) { r.Points[0].ChunkHits = 0 }, "content-addressed"},
+		{"chunking saved nothing", func(r *ClusterReport) { r.Points[0].V1TaskBytes = 25_000 }, "saved nothing"},
+		{"coordinator round-trips", func(r *ClusterReport) { r.Points[0].Continuations = 8 }, "worker-side"},
+		{"over ship budget", func(r *ClusterReport) { r.Points[0].ShipShare = 0.4 }, "budget"},
 		{"no deaths", func(r *ClusterReport) { r.Recovery.WorkerDeaths = 0 }, "no worker deaths"},
+		{"no re-entry in recovery", func(r *ClusterReport) { r.Recovery.ContinuationTasks = 0 }, "re-entry"},
 		{"duplicated result", func(r *ClusterReport) { r.Recovery.ExactlyOnce = false }, "exactly-once"},
 		{"lost result", func(r *ClusterReport) { r.Recovery.Completed = r.Recovery.Tasks - 1 }, "requeued"},
 		{"no requeue", func(r *ClusterReport) { r.Recovery.Requeued = 0 }, "requeued"},

@@ -3,9 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"spampsm/internal/faults"
 	"spampsm/internal/scene"
@@ -107,6 +112,222 @@ func TestDifferentialClusterInterpret(t *testing.T) {
 				}
 			}
 		}
+	}
+
+	// Wire-v2 locality accounting: the run must have reused resident
+	// chunks, run its LCC re-entry tasks as worker-side continuations
+	// (>= 90%), and beaten the v1 counterfactual task-frame cost.
+	st := co.Stats()
+	if st.WireVersion != Version {
+		t.Errorf("stats report wire v%d, want v%d", st.WireVersion, Version)
+	}
+	if st.ChunksShipped <= 0 || st.ChunkHits <= 0 || st.ChunkSavedBytes <= 0 {
+		t.Errorf("no chunk reuse accounted: %+v", st)
+	}
+	if st.ContinuationTasks <= 0 {
+		t.Error("re-entry produced no continuation-marked tasks")
+	}
+	if 10*st.Continuations < 9*st.ContinuationTasks {
+		t.Errorf("only %d/%d continuations ran worker-side, want >= 90%%",
+			st.Continuations, st.ContinuationTasks)
+	}
+	taskBytes := st.ShippedBytes - st.ResultBytes
+	if st.V1TaskBytes <= taskBytes {
+		t.Errorf("v2 task frames (%d bytes) did not beat the v1 counterfactual (%d bytes)",
+			taskBytes, st.V1TaskBytes)
+	}
+	var perWorkerShipped int64
+	for _, ws := range st.PerWorker {
+		perWorkerShipped += ws.ShippedBytes
+	}
+	if perWorkerShipped != st.ShippedBytes {
+		t.Errorf("per-worker shipped bytes (%d) do not add up to the total (%d)",
+			perWorkerShipped, st.ShippedBytes)
+	}
+}
+
+// TestClusterWireV1Compat pins version negotiation end to end: a
+// coordinator restricted to wire v1 must still produce byte-identical
+// interpretations (no chunks, no continuations — every seed inline),
+// because a v2-built worker told to speak v1 never sees a v2 frame.
+func TestClusterWireV1Compat(t *testing.T) {
+	co, err := Start(Config{Workers: 2, LocalWorkers: 2, WireVersion: 1})
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer co.Close()
+	p := airportParams("DC")
+	if err := co.RegisterDataset(AirportSpec(p)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	d, err := spam.NewDataset(p)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	opt := spam.InterpretOptions{Workers: 2, ReEntry: true}
+	local, err := d.Interpret(opt)
+	if err != nil {
+		t.Fatalf("local interpret: %v", err)
+	}
+	clusterOpt := opt
+	clusterOpt.Runner = NewRunner(co, opt)
+	remote, err := d.Interpret(clusterOpt)
+	if err != nil {
+		t.Fatalf("cluster interpret: %v", err)
+	}
+	if !spam.SameOutputs(local, remote) {
+		t.Error("v1 cluster outputs differ from single-process run")
+	}
+	if lf, rf := phaseFingerprint(local), phaseFingerprint(remote); lf != rf {
+		t.Errorf("v1 phase statistics differ:\nlocal:\n%s\ncluster:\n%s", lf, rf)
+	}
+	st := co.Stats()
+	if st.WireVersion != 1 {
+		t.Errorf("stats report wire v%d, want v1", st.WireVersion)
+	}
+	if st.ChunksShipped != 0 || st.ChunkHits != 0 || st.Continuations != 0 || st.V1TaskBytes != 0 {
+		t.Errorf("v1 run used v2 machinery: %+v", st)
+	}
+	if st.ContinuationTasks <= 0 {
+		t.Error("re-entry tasks not accounted on the v1 path")
+	}
+}
+
+// TestWorkerRejectsBadHandshake drives ServeWorker directly over a
+// pipe: out-of-range versions and a wrong magic must fail the
+// handshake before any task can arrive.
+func TestWorkerRejectsBadHandshake(t *testing.T) {
+	cases := []struct {
+		name string
+		init InitMsg
+	}{
+		{"version too old", InitMsg{Magic: Magic, Version: 0}},
+		{"version too new", InitMsg{Magic: Magic, Version: Version + 1}},
+		{"wrong magic", InitMsg{Magic: "BOGUS", Version: Version}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, work := net.Pipe()
+			errc := make(chan error, 1)
+			go func() { errc <- ServeWorker(work) }()
+			if _, err := writeJSONFrame(coord, frameInit, tc.init); err != nil {
+				t.Fatalf("write init: %v", err)
+			}
+			err := <-errc
+			coord.Close()
+			if err == nil || !strings.Contains(err.Error(), "protocol") {
+				t.Fatalf("handshake accepted %+v (err=%v)", tc.init, err)
+			}
+		})
+	}
+}
+
+// TestClusterChunkEviction squeezes the resident-chunk budget down to
+// a few hundred bytes so the LRU must evict mid-run, and asserts the
+// interpretation stays byte-identical — a re-shipped chunk is the same
+// content under a fresh id.
+func TestClusterChunkEviction(t *testing.T) {
+	co, err := Start(Config{Workers: 2, LocalWorkers: 2, ChunkBudget: 512})
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	defer co.Close()
+	p := airportParams("DC")
+	if err := co.RegisterDataset(AirportSpec(p)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	d, err := spam.NewDataset(p)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	opt := spam.InterpretOptions{Workers: 2, ReEntry: true}
+	local, err := d.Interpret(opt)
+	if err != nil {
+		t.Fatalf("local interpret: %v", err)
+	}
+	clusterOpt := opt
+	clusterOpt.Runner = NewRunner(co, opt)
+	remote, err := d.Interpret(clusterOpt)
+	if err != nil {
+		t.Fatalf("cluster interpret: %v", err)
+	}
+	if !spam.SameOutputs(local, remote) {
+		t.Error("outputs differ under chunk eviction")
+	}
+	if lf, rf := phaseFingerprint(local), phaseFingerprint(remote); lf != rf {
+		t.Errorf("phase statistics differ under chunk eviction:\nlocal:\n%s\ncluster:\n%s", lf, rf)
+	}
+	st := co.Stats()
+	if st.Evictions <= 0 {
+		t.Errorf("512-byte chunk budget forced no evictions: %+v", st)
+	}
+	// Residency may exceed the budget by one task's pinned working set
+	// (chunks a ship references are exempt from that ship's eviction
+	// pass), but it must stay bounded — within budget plus the largest
+	// task's chunk bytes, far below the unevicted total.
+	if st.ChunkBytes <= 512 {
+		t.Fatalf("eviction run shipped too few chunk bytes to exercise the budget: %+v", st)
+	}
+	for _, ws := range st.PerWorker {
+		if ws.ResidentBytes >= st.ChunkBytes {
+			t.Errorf("worker %d evicted nothing: resident %d of %d shipped chunk bytes",
+				ws.Slot, ws.ResidentBytes, st.ChunkBytes)
+		}
+	}
+}
+
+// TestClusterStartFailureCleanup pins Start's failure path: when the
+// spawned workers never connect, Start must reap the worker processes
+// and remove its private socket directory — no leaked temp dirs, no
+// orphan processes.
+func TestClusterStartFailureCleanup(t *testing.T) {
+	dir := t.TempDir()
+	pidFile := filepath.Join(dir, "worker.pid")
+	exe := filepath.Join(dir, "sleeper.sh")
+	script := "#!/bin/sh\necho $$ > " + pidFile + "\nsleep 60\n"
+	if err := os.WriteFile(exe, []byte(script), 0o755); err != nil {
+		t.Fatalf("write sleeper: %v", err)
+	}
+	canary := filepath.Join(dir, "canary-tmp")
+	if err := os.Mkdir(canary, 0o755); err != nil {
+		t.Fatalf("mkdir canary: %v", err)
+	}
+	t.Setenv("TMPDIR", canary) // Start's socket dir lands here
+
+	co, err := Start(Config{Workers: 1, Exe: exe, ConnectTimeout: 500 * time.Millisecond})
+	if err == nil {
+		co.Close()
+		t.Fatal("Start succeeded with a worker that never connects")
+	}
+	if !strings.Contains(err.Error(), "workers connected before timeout") {
+		t.Fatalf("unexpected Start error: %v", err)
+	}
+
+	entries, readErr := os.ReadDir(canary)
+	if readErr != nil {
+		t.Fatalf("read canary: %v", readErr)
+	}
+	if len(entries) != 0 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("socket dir leaked into %s: %v", canary, names)
+	}
+
+	pidBytes, readErr := os.ReadFile(pidFile)
+	if readErr != nil {
+		t.Fatalf("sleeper never started (no pid file): %v", readErr)
+	}
+	pid, convErr := strconv.Atoi(strings.TrimSpace(string(pidBytes)))
+	if convErr != nil {
+		t.Fatalf("bad pid file %q: %v", pidBytes, convErr)
+	}
+	// Close (run by the failed Start) must have killed and reaped the
+	// sleeper: signal 0 probes existence without touching anything.
+	if killErr := syscall.Kill(pid, 0); killErr != syscall.ESRCH {
+		syscall.Kill(pid, syscall.SIGKILL)
+		t.Errorf("sleeper pid %d still alive after failed Start (kill 0 => %v)", pid, killErr)
 	}
 }
 

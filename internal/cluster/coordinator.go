@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -49,6 +50,18 @@ type Config struct {
 	// 2×LocalWorkers): enough to overlap shipping with execution,
 	// small enough to bound what a worker death requeues.
 	ShipWindow int
+	// WireVersion selects the protocol spoken to workers (default the
+	// newest Version). 1 disables content-addressed chunk shipping and
+	// worker-side continuations — the compatibility mode behind
+	// spamrun's -cluster-wire-v1.
+	WireVersion int
+	// ChunkBudget bounds each worker's resident-chunk table in encoded
+	// bytes (default 32 MiB); the LRU tail is evicted past it. Negative
+	// disables eviction.
+	ChunkBudget int64
+	// ConnectTimeout bounds how long Start waits for the spawned
+	// workers to connect back (default 30s).
+	ConnectTimeout time.Duration
 	// Exe is the worker executable (default: this binary, which flips
 	// into worker mode through WorkerEnv — see MaybeWorker).
 	Exe string
@@ -70,19 +83,62 @@ func (c Config) withDefaults() Config {
 	if c.ShipWindow < 1 {
 		c.ShipWindow = 2 * c.LocalWorkers
 	}
+	if c.WireVersion == 0 {
+		c.WireVersion = Version
+	}
+	if c.ChunkBudget == 0 {
+		c.ChunkBudget = 32 << 20
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 30 * time.Second
+	}
 	return c
 }
 
 // Stats is the coordinator's cumulative accounting.
 type Stats struct {
 	Workers        int   // configured worker processes
+	WireVersion    int   // protocol version spoken to workers
 	TasksShipped   int   // task frames sent (including re-ships)
 	TasksCompleted int   // results merged (including synthesized)
-	ShippedBytes   int64 // task + result frame bytes on the wire
-	Steals         int   // tasks claimed from another shard's deque
-	Requeued       int   // in-flight tasks recovered from dead workers
-	WorkerDeaths   int   // connections lost mid-run
-	Respawns       int   // replacement processes spawned
+	ShippedBytes   int64 // task + chunk + result frame bytes on the wire
+	ResultBytes    int64 // result-frame share of ShippedBytes
+	// V1TaskBytes is the counterfactual: what the task frames would
+	// have cost under wire v1 (every seed inline, no chunk reuse).
+	// Zero on v1 runs — there ShippedBytes already is the v1 cost.
+	V1TaskBytes     int64
+	ChunksShipped   int   // chunk frames sent
+	ChunkBytes      int64 // chunk-frame share of ShippedBytes
+	ChunkHits       int64 // seed refs resolved against resident chunks
+	ChunkSavedBytes int64 // encoded seed bytes the hits avoided re-shipping
+	Evictions       int   // chunks dropped under ChunkBudget
+	// ContinuationTasks counts tasks entering RunTasks with the
+	// Continues mark; Continuations counts how many of them were pushed
+	// straight to the chunk-resident worker (the rest fell back to the
+	// shard queue — v1 runs, or no live v2 worker at push time).
+	ContinuationTasks int
+	Continuations     int
+	SpawnedRequeued   int // spawned continuations requeued after a worker loss
+	Steals            int // tasks claimed from another shard's deque
+	Requeued          int // in-flight tasks recovered from dead workers
+	WorkerDeaths      int // connections lost mid-run
+	Respawns          int // replacement processes spawned
+	// PerWorker breaks shipping down by worker slot. Stragglers that
+	// outlive a respawn share slot 0's row, like its shard.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats is one worker slot's share of the accounting.
+type WorkerStats struct {
+	Slot           int
+	Tasks          int   // results merged from this slot
+	ShippedBytes   int64 // task + chunk + result bytes through this slot
+	Steals         int
+	Continuations  int
+	ChunkHits      int64
+	ResidentChunks int   // resident-chunk table size after the last ship
+	ResidentBytes  int64 // its encoded-byte footprint
+	Evictions      int
 }
 
 // task states within a run.
@@ -116,6 +172,48 @@ type run struct {
 	overflow  []int   // requeued work, served before shard work
 	failed    error
 	cancelled bool
+	// Wire-v2 chunk plan, nil on v1 runs: per task, the shared seeds
+	// grouped into content-addressed chunks (chunks) and the inline
+	// bytes the task ships regardless of destination (inline). Sizes are
+	// the canonical stateless encoding — the cost model's currency —
+	// independent of any connection's intern state.
+	chunks [][]chunkRef
+	inline []int
+	// spawned marks tasks pushed as worker-side continuations; reset
+	// when a worker loss requeues them through the ordinary overflow
+	// path.
+	spawned []bool
+}
+
+// chunkRef is one shared seed of one task, resolved to its
+// content-addressed chunk: the seed's index in the task's WireSpec,
+// the chunk digest, and its encoded size.
+type chunkRef struct {
+	seed   int
+	digest string
+	size   int
+}
+
+// chunkTable is the coordinator's model of one worker's resident
+// chunks. Guarded by co.mu.
+type chunkTable struct {
+	next    uint64 // next chunk id to assign
+	tick    uint64 // ship generation, pins this ship's chunks against eviction
+	entries map[string]*chunkEntry
+	lru     *list.List // front = most recently shipped/referenced
+	bytes   int64      // resident encoded bytes
+}
+
+type chunkEntry struct {
+	id     uint64
+	digest string
+	size   int64
+	tick   uint64
+	elem   *list.Element
+}
+
+func newChunkTable() *chunkTable {
+	return &chunkTable{entries: map[string]*chunkEntry{}, lru: list.New()}
 }
 
 type flightKey struct {
@@ -131,6 +229,16 @@ type wconn struct {
 	slot     int
 	dead     bool
 	inflight map[flightKey]*run
+	// ver is the wire version spoken on this connection; chunks is the
+	// resident-chunk model (v2 only) and ws the worker's slot row in
+	// the coordinator's per-worker stats. All guarded by co.mu except
+	// ver, which is immutable after register, and enc — the
+	// coordinator→worker intern table, guarded by writeMu like the
+	// stream it mirrors.
+	ver    int
+	chunks *chunkTable
+	enc    *EncTab
+	ws     *WorkerStats
 }
 
 type proc struct {
@@ -160,6 +268,7 @@ type Coordinator struct {
 	spawnFailed   error
 	closed        bool
 	stats         Stats
+	perWorker     []WorkerStats
 
 	procMu sync.Mutex
 	procs  []*proc
@@ -169,10 +278,15 @@ type Coordinator struct {
 // them to connect.
 func Start(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
+	if cfg.WireVersion < MinVersion || cfg.WireVersion > Version {
+		return nil, fmt.Errorf("cluster: wire version %d outside supported range %d..%d",
+			cfg.WireVersion, MinVersion, Version)
+	}
 	co := &Coordinator{
 		cfg:          cfg,
 		dsNames:      map[string]bool{},
 		slots:        make([]*wconn, cfg.Workers),
+		perWorker:    make([]WorkerStats, cfg.Workers),
 		respawnsLeft: cfg.MaxRespawns,
 		runSeq:       1,
 	}
@@ -181,6 +295,10 @@ func Start(cfg Config) (*Coordinator, error) {
 	}
 	co.cond = sync.NewCond(&co.mu)
 	co.stats.Workers = cfg.Workers
+	co.stats.WireVersion = cfg.WireVersion
+	for i := range co.perWorker {
+		co.perWorker[i].Slot = i
+	}
 
 	addr := cfg.Addr
 	if cfg.Network == "unix" && addr == "" {
@@ -206,7 +324,7 @@ func Start(cfg Config) (*Coordinator, error) {
 			return nil, err
 		}
 	}
-	if err := co.waitConnected(cfg.Workers, 30*time.Second); err != nil {
+	if err := co.waitConnected(cfg.Workers, cfg.ConnectTimeout); err != nil {
 		co.Close()
 		return nil, err
 	}
@@ -227,7 +345,9 @@ func (co *Coordinator) Addr() string { return co.addr }
 func (co *Coordinator) Stats() Stats {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	return co.stats
+	s := co.stats
+	s.PerWorker = append([]WorkerStats(nil), co.perWorker...)
+	return s
 }
 
 // waitConnected blocks until n workers are live (or a spawn failed,
@@ -298,7 +418,11 @@ func (co *Coordinator) acceptLoop() {
 // register handshakes a fresh worker connection: Init, dataset
 // replay, slot assignment, then the reader and feeder goroutines.
 func (co *Coordinator) register(c net.Conn) {
-	w := &wconn{c: c, bw: bufio.NewWriterSize(c, 1<<16), inflight: map[flightKey]*run{}}
+	w := &wconn{c: c, bw: bufio.NewWriterSize(c, 1<<16), inflight: map[flightKey]*run{}, ver: co.cfg.WireVersion}
+	if w.ver >= 2 {
+		w.chunks = newChunkTable()
+		w.enc = NewEncTab()
+	}
 	// Holding writeMu across the handshake makes dataset ordering
 	// airtight: once the conn is listed, a concurrent RegisterDataset
 	// blocks here until Init and the replayed specs are on the wire.
@@ -325,12 +449,13 @@ func (co *Coordinator) register(c net.Conn) {
 		co.slots[slot] = w
 	}
 	w.slot = slot
+	w.ws = &co.perWorker[slot]
 	co.conns = append(co.conns, w)
 	if co.pendingSpawns > 0 {
 		co.pendingSpawns--
 	}
 	init := InitMsg{
-		Magic: Magic, Version: Version,
+		Magic: Magic, Version: co.cfg.WireVersion,
 		LocalWorkers: co.cfg.LocalWorkers,
 		MemBudget:    co.cfg.MemBudget,
 		Prebuild:     co.cfg.Prebuild,
@@ -421,6 +546,40 @@ func (co *Coordinator) RunTasks(ctx context.Context, policy tlp.QueuePolicy, cfg
 		specs[i] = spec
 	}
 
+	// Wire-v2 chunk plan: group each task's shared (digest-carrying)
+	// seeds into content-addressed chunks and size each distinct chunk
+	// once in the canonical stateless encoding (the actual chunk frames
+	// encode at ship time against each connection's intern table). Pure
+	// computation — no locks, no connection state.
+	var (
+		chunkPlans  [][]chunkRef
+		inlineBytes []int
+	)
+	if co.cfg.WireVersion >= 2 {
+		sizes := map[string]int{}
+		chunkPlans = make([][]chunkRef, len(specs))
+		inlineBytes = make([]int, len(specs))
+		var scratch []byte
+		for i, spec := range specs {
+			shared := spec.SharedSeedIndexes()
+			si := 0
+			for j, s := range spec.Seeds {
+				if si < len(shared) && shared[si] == j {
+					si++
+					size, ok := sizes[s.Digest]
+					if !ok {
+						size = len(appendSeed(scratch[:0], s))
+						sizes[s.Digest] = size
+					}
+					chunkPlans[i] = append(chunkPlans[i], chunkRef{seed: j, digest: s.Digest, size: size})
+					continue
+				}
+				scratch = appendSeed(scratch[:0], s)
+				inlineBytes[i] += len(scratch)
+			}
+		}
+	}
+
 	co.mu.Lock()
 	if co.closed {
 		co.mu.Unlock()
@@ -442,10 +601,43 @@ func (co *Coordinator) RunTasks(ctx context.Context, policy tlp.QueuePolicy, cfg
 		results:      make([]*tlp.Result, n),
 		remaining:    n,
 		shards:       make([][]int, len(co.slots)),
+		chunks:       chunkPlans,
+		inline:       inlineBytes,
+		spawned:      make([]bool, n),
 	}
 	co.runSeq++
 	for i := range rn.startAttempt {
 		rn.startAttempt[i] = 1
+	}
+	// Worker-side phase continuation: a Continues-marked task (LCC
+	// re-entry over fragments an earlier phase already shipped) skips
+	// the shard queue entirely — it is pushed straight to the worker
+	// holding the most of its chunks, saving both the scheduling
+	// round-trip and the re-ship of its working set. Assignment happens
+	// here under mu (marked in-flight before the striping below can
+	// hand the index out); the frames go out after mu is released.
+	type push struct {
+		w   *wconn
+		idx int
+	}
+	var pushes []push
+	pushed := make([]bool, n)
+	for i, t := range rn.tasks {
+		if !t.Continues {
+			continue
+		}
+		co.stats.ContinuationTasks++
+		w := co.continuationTarget(rn, i)
+		if w == nil {
+			continue // no live v2 worker: fall back to the shard queue
+		}
+		rn.state[i] = stateInflight
+		rn.spawned[i] = true
+		w.inflight[flightKey{rn.id, i}] = rn
+		co.stats.Continuations++
+		w.ws.Continuations++
+		pushed[i] = true
+		pushes = append(pushes, push{w, i})
 	}
 	// Contiguous striping: shard s owns queue indices [s·n/S, (s+1)·n/S),
 	// so FIFO order within a shard tracks global queue order and a
@@ -454,12 +646,22 @@ func (co *Coordinator) RunTasks(ctx context.Context, policy tlp.QueuePolicy, cfg
 	for sh := 0; sh < s; sh++ {
 		lo, hi := sh*n/s, (sh+1)*n/s
 		for i := lo; i < hi; i++ {
-			rn.shards[sh] = append(rn.shards[sh], i)
+			if !pushed[i] {
+				rn.shards[sh] = append(rn.shards[sh], i)
+			}
 		}
 	}
 	co.runs = append(co.runs, rn)
 	co.cond.Broadcast()
 	co.mu.Unlock()
+
+	for _, p := range pushes {
+		if !co.ship(p.w, rn, p.idx) {
+			// Write failure: the closed connection's workerLost path
+			// requeues the task through overflow, exactly once.
+			p.w.c.Close()
+		}
+	}
 
 	stop := context.AfterFunc(ctx, func() {
 		co.mu.Lock()
@@ -522,9 +724,54 @@ func (co *Coordinator) removeRun(rn *run) {
 	}
 }
 
+// continuationTarget picks the live v2 connection holding the most of
+// task idx's chunks (by resident encoded bytes), ties broken by lowest
+// slot so two identical runs pick identically. Caller holds mu.
+func (co *Coordinator) continuationTarget(rn *run, idx int) *wconn {
+	var best *wconn
+	var bestBytes int64 = -1
+	for _, w := range co.conns {
+		if w.dead || w.ver < 2 || w.chunks == nil {
+			continue
+		}
+		var resident int64
+		for _, cr := range rn.chunks[idx] {
+			if e, ok := w.chunks.entries[cr.digest]; ok {
+				resident += e.size
+			}
+		}
+		if resident > bestBytes || (resident == bestBytes && best != nil && w.slot < best.slot) {
+			best, bestBytes = w, resident
+		}
+	}
+	return best
+}
+
+// stealCost is the bytes a steal of task idx would newly ship to the
+// thief: its inline seeds plus every chunk not already resident there.
+// v1 runs and connections have no chunk model and cost zero — the
+// steal heuristic then degrades to the fullest-shard rule. Caller
+// holds mu.
+func (co *Coordinator) stealCost(w *wconn, rn *run, idx int) int64 {
+	if rn.chunks == nil || w.chunks == nil {
+		return 0
+	}
+	cost := int64(rn.inline[idx])
+	for _, cr := range rn.chunks[idx] {
+		if _, ok := w.chunks.entries[cr.digest]; !ok {
+			cost += int64(cr.size)
+		}
+	}
+	return cost
+}
+
 // pick claims the next queue index for a worker: requeued overflow
-// first, then the worker's own shard in order, then a steal from the
-// back of the fullest shard. Caller holds mu.
+// first, then the worker's own shard in order, then a steal. Stealing
+// is locality-aware: each candidate shard offers the back of its
+// deque, and the thief takes the one that would newly ship the fewest
+// bytes (ties go to the fullest shard, then the first — which is
+// exactly the old blind rule when every cost is zero, i.e. on v1
+// runs). Caller holds mu.
 func (co *Coordinator) pick(w *wconn) (*run, int, bool) {
 	for _, rn := range co.runs {
 		if rn.failed != nil || rn.cancelled {
@@ -540,9 +787,14 @@ func (co *Coordinator) pick(w *wconn) (*run, int, bool) {
 			return rn, dq[0], true
 		}
 		best, bl := -1, 0
+		var bestCost int64
 		for s, dq := range rn.shards {
-			if len(dq) > bl {
-				best, bl = s, len(dq)
+			if len(dq) == 0 {
+				continue
+			}
+			cost := co.stealCost(w, rn, dq[len(dq)-1])
+			if best < 0 || cost < bestCost || (cost == bestCost && len(dq) > bl) {
+				best, bl, bestCost = s, len(dq), cost
 			}
 		}
 		if best >= 0 {
@@ -550,73 +802,203 @@ func (co *Coordinator) pick(w *wconn) (*run, int, bool) {
 			idx := dq[len(dq)-1]
 			rn.shards[best] = dq[:len(dq)-1]
 			co.stats.Steals++
+			w.ws.Steals++
 			return rn, idx, true
 		}
 	}
 	return nil, 0, false
 }
 
-// claim blocks until the worker has window room and work exists (nil
-// when the worker died or the coordinator closed).
-func (co *Coordinator) claim(w *wconn) (*TaskMsg, *run, int) {
+// claim blocks until the worker has window room and work exists
+// (ok=false when the worker died or the coordinator closed). The
+// claimed task is marked in-flight; the caller must ship it.
+func (co *Coordinator) claim(w *wconn) (*run, int, bool) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	for {
 		if w.dead || co.closed {
-			return nil, nil, 0
+			return nil, 0, false
 		}
 		if len(w.inflight) < co.cfg.ShipWindow {
 			if rn, idx, ok := co.pick(w); ok {
 				rn.state[idx] = stateInflight
 				w.inflight[flightKey{rn.id, idx}] = rn
-				t := rn.tasks[idx]
-				return &TaskMsg{
-					RunID: rn.id, Seq: idx, StartAttempt: rn.startAttempt[idx],
-					ID: t.ID, Label: t.Label, Group: t.Group,
-					EstSize: t.EstSize, MemEst: t.MemEst,
-					Config: rn.cfg, Spec: *rn.specs[idx],
-				}, rn, idx
+				return rn, idx, true
 			}
 		}
 		co.cond.Wait()
 	}
 }
 
-// feeder is a connection's writer loop: claim, encode, ship.
+// ship encodes and writes one claimed task to a connection, preceded
+// by the chunk frames it needs (v2). It returns false on a write
+// error — the caller closes the connection and workerLost requeues
+// everything in flight there, including this task.
+//
+// Lock order is writeMu→mu, the same as register: holding writeMu
+// across the chunk-table update and the frame writes makes the
+// chunk-before-reference ordering airtight when the feeder and a
+// continuation push race for one connection.
+func (co *Coordinator) ship(w *wconn, rn *run, idx int) bool {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+
+	type newChunk struct {
+		id   uint64
+		seed ops5.Seed
+	}
+	var (
+		newChunks []newChunk
+		frees     []uint64
+		refs      []int64
+	)
+	co.mu.Lock()
+	if w.dead || co.closed {
+		// The connection died between claim and ship; workerLost owns
+		// the requeue of everything in flight here.
+		co.mu.Unlock()
+		return !w.dead
+	}
+	if rn.state[idx] != stateInflight || w.inflight[flightKey{rn.id, idx}] != rn {
+		// The run was cancelled between claim and ship (its result is
+		// already synthesized): nothing to send, free the window slot.
+		delete(w.inflight, flightKey{rn.id, idx})
+		co.cond.Broadcast()
+		co.mu.Unlock()
+		return true
+	}
+	t := rn.tasks[idx]
+	m := &TaskMsg{
+		RunID: rn.id, Seq: idx, StartAttempt: rn.startAttempt[idx],
+		ID: t.ID, Label: t.Label, Group: t.Group,
+		EstSize: t.EstSize, MemEst: t.MemEst,
+		Config: rn.cfg, Spec: *rn.specs[idx],
+		Spawned: rn.spawned[idx],
+	}
+	if w.ver >= 2 && rn.chunks != nil {
+		ct := w.chunks
+		ct.tick++
+		refs = make([]int64, len(m.Spec.Seeds))
+		for i := range refs {
+			refs[i] = -1
+		}
+		for _, cr := range rn.chunks[idx] {
+			e, ok := ct.entries[cr.digest]
+			if ok {
+				e.tick = ct.tick
+				ct.lru.MoveToFront(e.elem)
+				co.stats.ChunkHits++
+				co.stats.ChunkSavedBytes += int64(cr.size)
+				w.ws.ChunkHits++
+			} else {
+				e = &chunkEntry{id: ct.next, digest: cr.digest, size: int64(cr.size), tick: ct.tick}
+				ct.next++
+				e.elem = ct.lru.PushFront(e)
+				ct.entries[cr.digest] = e
+				ct.bytes += e.size
+				newChunks = append(newChunks, newChunk{id: e.id, seed: m.Spec.Seeds[cr.seed]})
+			}
+			refs[cr.seed] = int64(e.id)
+		}
+		// LRU eviction under the budget — but never a chunk this very
+		// ship references (tick-pinned).
+		if co.cfg.ChunkBudget > 0 {
+			for ct.bytes > co.cfg.ChunkBudget {
+				back := ct.lru.Back()
+				if back == nil {
+					break
+				}
+				e := back.Value.(*chunkEntry)
+				if e.tick == ct.tick {
+					break
+				}
+				ct.lru.Remove(back)
+				delete(ct.entries, e.digest)
+				ct.bytes -= e.size
+				frees = append(frees, e.id)
+				co.stats.Evictions++
+				w.ws.Evictions++
+			}
+		}
+		w.ws.ResidentChunks = len(ct.entries)
+		w.ws.ResidentBytes = ct.bytes
+	}
+	co.mu.Unlock()
+
+	// Encode and write outside mu — only writeMu is held across the
+	// (possibly blocking) socket writes, so result delivery never
+	// stalls behind a slow ship. The encoders intern against w.enc,
+	// which writeMu guards along with the stream order it depends on.
+	wired := 0
+	var chunkBytes int64
+	var err error
+	if len(frees) > 0 {
+		var n int
+		n, err = writeFrame(w.bw, frameChunkFree, EncodeChunkFree(frees))
+		wired += n
+	}
+	for _, nc := range newChunks {
+		if err != nil {
+			break
+		}
+		var n int
+		n, err = writeFrame(w.bw, frameChunk, EncodeChunk(w.enc, nc.id, nc.seed))
+		wired += n
+		chunkBytes += int64(n)
+	}
+	var v1Bytes int64
+	if err == nil {
+		var n int
+		if w.ver >= 2 {
+			n, err = writeFrame(w.bw, frameTaskV2, EncodeTaskV2(w.enc, m, refs))
+			v1Bytes = int64(frameLen(len(EncodeTask(m))))
+		} else {
+			n, err = writeFrame(w.bw, frameTask, EncodeTask(m))
+		}
+		wired += n
+	}
+	if err == nil {
+		err = w.bw.Flush()
+	}
+
+	co.mu.Lock()
+	if err == nil {
+		rn.shipBytes[idx] += wired
+		co.stats.TasksShipped++
+		co.stats.ShippedBytes += int64(wired)
+		co.stats.ChunksShipped += len(newChunks)
+		co.stats.ChunkBytes += chunkBytes
+		co.stats.V1TaskBytes += v1Bytes
+		w.ws.ShippedBytes += int64(wired)
+	}
+	co.mu.Unlock()
+	return err == nil
+}
+
+// feeder is a connection's writer loop: claim, then ship.
 func (co *Coordinator) feeder(w *wconn) {
 	for {
-		m, rn, idx := co.claim(w)
-		if m == nil {
+		rn, idx, ok := co.claim(w)
+		if !ok {
 			return
 		}
-		payload := EncodeTask(m)
-		w.writeMu.Lock()
-		n, err := writeFrame(w.bw, frameTask, payload)
-		if err == nil {
-			err = w.bw.Flush()
+		if !co.ship(w, rn, idx) {
+			// Write failure: close the connection and let the reader's
+			// workerLost path requeue everything in flight here —
+			// including this task — exactly once.
+			w.c.Close()
+			return
 		}
-		w.writeMu.Unlock()
-		co.mu.Lock()
-		if err == nil {
-			rn.shipBytes[idx] += n
-			co.stats.TasksShipped++
-			co.stats.ShippedBytes += int64(n)
-			co.mu.Unlock()
-			continue
-		}
-		co.mu.Unlock()
-		// Write failure: close the connection and let the reader's
-		// workerLost path requeue everything in flight here — including
-		// this task — exactly once.
-		w.c.Close()
-		return
 	}
 }
 
 // reader is a connection's read loop: merge result frames until the
-// connection drops, then run the process-death recovery.
+// connection drops, then run the process-death recovery. It owns the
+// worker→coordinator intern table (v2): one reader per connection,
+// decoding in stream order.
 func (co *Coordinator) reader(w *wconn) {
 	br := bufio.NewReaderSize(w.c, 1<<16)
+	dec := &DecTab{}
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
@@ -625,7 +1007,12 @@ func (co *Coordinator) reader(w *wconn) {
 		if typ != frameResult {
 			break
 		}
-		m, err := DecodeResult(payload)
+		var m *ResultMsg
+		if w.ver >= 2 {
+			m, err = DecodeResultV2(dec, payload)
+		} else {
+			m, err = DecodeResult(payload)
+		}
 		if err != nil {
 			break
 		}
@@ -652,7 +1039,8 @@ func (co *Coordinator) deliver(w *wconn, m *ResultMsg, wireBytes int) {
 		return // run cancelled meanwhile; result already synthesized
 	}
 	r := &tlp.Result{
-		TaskID: m.TaskID, SeqInQ: m.Seq, Worker: m.Worker,
+		// v2 result frames carry no task ID; the run state does.
+		TaskID: rn.tasks[m.Seq].ID, SeqInQ: m.Seq, Worker: m.Worker,
 		Attempts: m.Attempts, Stats: m.Stats,
 		Quarantined: m.Quarantined, Cancelled: m.Cancelled,
 	}
@@ -681,6 +1069,9 @@ func (co *Coordinator) deliver(w *wconn, m *ResultMsg, wireBytes int) {
 	rn.remaining--
 	co.stats.TasksCompleted++
 	co.stats.ShippedBytes += int64(wireBytes)
+	co.stats.ResultBytes += int64(wireBytes)
+	w.ws.Tasks++
+	w.ws.ShippedBytes += int64(wireBytes)
 }
 
 // workerLost runs the process-level recovery for a dropped
@@ -733,6 +1124,14 @@ func (co *Coordinator) workerLost(w *wconn) {
 		crashErr := fmt.Errorf("tlp: task %s: %w (worker process lost)", t.ID, tlp.ErrWorkerCrash)
 		rn.priorErrs[idx] = append(rn.priorErrs[idx], crashErr)
 		rn.startAttempt[idx]++
+		if rn.spawned[idx] {
+			// A spawned continuation lost with its worker rejoins the
+			// ordinary overflow path: its Spawned mark is cleared so the
+			// redelivery is a plain queued task — the locality it was
+			// pushed for died with the chunk table.
+			rn.spawned[idx] = false
+			co.stats.SpawnedRequeued++
+		}
 		maxAttempts := 1 + rn.cfg.MaxRetries
 		if charged := rn.startAttempt[idx] - 1; charged >= maxAttempts {
 			rn.results[idx] = &tlp.Result{

@@ -36,25 +36,37 @@ import (
 	"spampsm/internal/tlp"
 )
 
-// Wire protocol version. The Init frame carries magic and version;
-// a worker refuses a coordinator speaking anything else. Bump the
-// version on any change to the frame layouts below.
+// Wire protocol versions. The Init frame carries magic and version;
+// the coordinator picks the version it will speak (Config.WireVersion)
+// and a worker accepts anything in [MinVersion, Version] — the version
+// is descending-compatible because v2 only adds frames, so a v2-built
+// worker told to speak v1 simply never sees them. Bump Version on any
+// change to the frame layouts below.
+//
+// v1: Task frames carry every seed inline.
+// v2: adds content-addressed seed shipping (frameChunk + chunk-ref
+// task frames) and worker-side phase continuation (Spawned task and
+// result marks); see docs/CLUSTER.md.
 const (
-	Magic   = "SPAMCLU1"
-	Version = 1
+	Magic      = "SPAMCLU1"
+	Version    = 2
+	MinVersion = 1
 )
 
 // Frame types. Every frame is [type byte][uvarint payload length]
 // [payload]; Init and DatasetAdd payloads are JSON (sent once per
-// connection / dataset — robustness over compactness), Task and
-// Result payloads are the compact binary encoding (the per-task hot
-// path, fuzz-tested for decode(encode(x)) identity).
+// connection / dataset — robustness over compactness), Task, Result
+// and the v2 chunk frames are the compact binary encoding (the
+// per-task hot path, fuzz-tested for decode(encode(x)) identity).
 const (
-	frameInit     = 1 // coordinator→worker: InitMsg (JSON)
-	frameDataset  = 2 // coordinator→worker: DatasetSpec (JSON)
-	frameTask     = 3 // coordinator→worker: TaskMsg (binary)
-	frameResult   = 4 // worker→coordinator: ResultMsg (binary)
-	frameShutdown = 5 // coordinator→worker: empty
+	frameInit      = 1 // coordinator→worker: InitMsg (JSON)
+	frameDataset   = 2 // coordinator→worker: DatasetSpec (JSON)
+	frameTask      = 3 // coordinator→worker: TaskMsg (binary, v1: all seeds inline)
+	frameResult    = 4 // worker→coordinator: ResultMsg (binary)
+	frameShutdown  = 5 // coordinator→worker: empty
+	frameChunk     = 6 // coordinator→worker (v2): one content-addressed seed chunk
+	frameTaskV2    = 7 // coordinator→worker (v2): TaskMsg with chunk refs
+	frameChunkFree = 8 // coordinator→worker (v2): evicted chunk ids
 )
 
 // maxFrame bounds a frame payload; a decoder never allocates past it,
@@ -146,6 +158,12 @@ type TaskMsg struct {
 	MemEst       float64
 	Config       RunConfig
 	Spec         tlp.WireSpec
+	// Spawned marks a worker-side phase continuation (v2): the
+	// coordinator pushed this task straight to the worker already
+	// holding its chunks instead of queueing it through the shard
+	// striping. Workers echo the mark in the ResultMsg so spawn
+	// accounting survives the round trip.
+	Spawned bool
 }
 
 // WireError is an error flattened for shipping: message plus
@@ -180,7 +198,12 @@ type ResultMsg struct {
 	AttemptErrs []WireError
 	Quarantined bool
 	Cancelled   bool
-	Snapshot    []SnapClass
+	// Spawned echoes TaskMsg.Spawned: this result completes a
+	// worker-side phase continuation. The coordinator uses the echo to
+	// keep exactly-once merge accounting deterministic for spawned
+	// tasks (including ones requeued after a mid-run worker loss).
+	Spawned  bool
+	Snapshot []SnapClass
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +545,392 @@ func DecodeTask(payload []byte) (*TaskMsg, error) {
 }
 
 // ---------------------------------------------------------------------------
+// v2: per-connection interning
+
+// The v2 codec is stateful per connection and per direction: each
+// side's single frame-writer interns the strings (class names, symbol
+// values, attribute names, labels) and run configurations it sends, so
+// a value crosses a given connection once and every later use is a
+// 1-2 byte reference. The stream is self-describing — a reference
+// always points at a literal sent earlier on the same connection — and
+// each direction has exactly one writer (the coordinator's writeMu,
+// the worker's writeMu) and one reader, so the tables need no locks of
+// their own.
+
+// EncTab is the sender half of one direction's intern state.
+type EncTab struct {
+	strs map[string]uint64
+	cfgs map[RunConfig]uint64
+}
+
+// NewEncTab returns an empty sender intern table.
+func NewEncTab() *EncTab {
+	return &EncTab{strs: map[string]uint64{}, cfgs: map[RunConfig]uint64{}}
+}
+
+// DecTab is the receiver half of one direction's intern state.
+type DecTab struct {
+	strs []string
+	cfgs []RunConfig
+}
+
+// str appends an interned string: uvarint 0 plus the literal on first
+// use (registering it), a 1-based table reference afterwards.
+func (t *EncTab) str(b []byte, s string) []byte {
+	if id, ok := t.strs[s]; ok {
+		return appendUint(b, id+1)
+	}
+	t.strs[s] = uint64(len(t.strs))
+	b = append(b, 0)
+	return appendString(b, s)
+}
+
+func (d *decoder) str(t *DecTab) string {
+	k := d.uvarint()
+	if k == 0 {
+		s := d.string()
+		if d.err == nil {
+			t.strs = append(t.strs, s)
+		}
+		return s
+	}
+	if k > uint64(len(t.strs)) {
+		d.fail("string ref")
+		return ""
+	}
+	return t.strs[k-1]
+}
+
+// Compact floats: modeled costs and sizes are overwhelmingly
+// integral-valued float64s, which a varint ships in 2-4 bytes instead
+// of 8. Non-integral (or -0.0, or out-of-range) values ship raw.
+const (
+	fltRaw = 0
+	fltInt = 1
+)
+
+func appendFloatC(b []byte, f float64) []byte {
+	if f == math.Trunc(f) && f >= -(1<<53) && f <= 1<<53 && !(f == 0 && math.Signbit(f)) {
+		b = append(b, fltInt)
+		return appendInt(b, int64(f))
+	}
+	b = append(b, fltRaw)
+	return appendFloat(b, f)
+}
+
+func (d *decoder) floatC() float64 {
+	switch d.byte() {
+	case fltInt:
+		return float64(d.varint())
+	case fltRaw:
+		return d.float()
+	default:
+		d.fail("float tag")
+		return 0
+	}
+}
+
+// v2 values merge the kind tag and the symbol reference into one
+// uvarint — a repeated symbol costs its table reference alone, and a
+// float costs one tag for both the kind and the compact/raw choice:
+// 0 nil, 1 int, 2 raw float, 3 integral float (varint), 4 symbol
+// literal (registering it), k >= 5 a reference to symbol table
+// entry k-5.
+const (
+	v2Nil       = 0
+	v2Int       = 1
+	v2FloatRaw  = 2
+	v2FloatInt  = 3
+	v2SymNew    = 4
+	v2SymRef    = 5 // + table index
+)
+
+func (t *EncTab) value(b []byte, v symtab.Value) []byte {
+	switch v.Kind() {
+	case symtab.KindSym:
+		s := v.SymVal()
+		if id, ok := t.strs[s]; ok {
+			return appendUint(b, v2SymRef+id)
+		}
+		t.strs[s] = uint64(len(t.strs))
+		b = append(b, v2SymNew)
+		return appendString(b, s)
+	case symtab.KindInt:
+		b = append(b, v2Int)
+		return appendInt(b, v.IntVal())
+	case symtab.KindFloat:
+		f := v.FloatVal()
+		if f == math.Trunc(f) && f >= -(1<<53) && f <= 1<<53 && !(f == 0 && math.Signbit(f)) {
+			b = append(b, v2FloatInt)
+			return appendInt(b, int64(f))
+		}
+		b = append(b, v2FloatRaw)
+		return appendFloat(b, f)
+	default:
+		return append(b, v2Nil)
+	}
+}
+
+func (d *decoder) valueT(t *DecTab) symtab.Value {
+	switch tag := d.uvarint(); tag {
+	case v2Nil:
+		return symtab.Nil
+	case v2Int:
+		return symtab.Int(d.varint())
+	case v2FloatRaw:
+		return symtab.Float(d.float())
+	case v2FloatInt:
+		return symtab.Float(float64(d.varint()))
+	case v2SymNew:
+		s := d.string()
+		if d.err == nil {
+			t.strs = append(t.strs, s)
+		}
+		return symtab.Sym(s)
+	default:
+		if tag-v2SymRef >= uint64(len(t.strs)) {
+			d.fail("symbol ref")
+			return symtab.Nil
+		}
+		return symtab.Sym(t.strs[tag-v2SymRef])
+	}
+}
+
+func (t *EncTab) values(b []byte, vals []symtab.Value) []byte {
+	b = appendUint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = t.value(b, v)
+	}
+	return b
+}
+
+func (d *decoder) valuesT(t *DecTab) []symtab.Value {
+	n := d.count("value")
+	if n == 0 {
+		return nil
+	}
+	vals := make([]symtab.Value, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, d.valueT(t))
+	}
+	return vals
+}
+
+// seed is appendSeed under interning: same digest discipline, shared
+// class names and symbols.
+func (t *EncTab) seed(b []byte, s ops5.Seed) []byte {
+	b = t.str(b, s.Class)
+	b = appendBool(b, s.Digest != "")
+	return t.values(b, s.Vals)
+}
+
+func (d *decoder) seedT(t *DecTab) ops5.Seed {
+	s := ops5.Seed{Class: d.str(t)}
+	shared := d.bool()
+	s.Vals = d.valuesT(t)
+	if shared && d.err == nil {
+		s.Digest = rete.RouteDigest(s.Class, s.Vals)
+	}
+	return s
+}
+
+// runConfig interns the whole RunConfig by value: one run's tasks all
+// carry the same configuration, so it crosses each connection once.
+func (t *EncTab) runConfig(b []byte, c RunConfig) []byte {
+	if id, ok := t.cfgs[c]; ok {
+		return appendUint(b, id+1)
+	}
+	t.cfgs[c] = uint64(len(t.cfgs))
+	b = append(b, 0)
+	return appendRunConfig(b, c)
+}
+
+func (d *decoder) runConfigT(t *DecTab) RunConfig {
+	k := d.uvarint()
+	if k == 0 {
+		c := d.runConfig()
+		if d.err == nil {
+			t.cfgs = append(t.cfgs, c)
+		}
+		return c
+	}
+	if k > uint64(len(t.cfgs)) {
+		d.fail("config ref")
+		return RunConfig{}
+	}
+	return t.cfgs[k-1]
+}
+
+// ---------------------------------------------------------------------------
+// v2: content-addressed chunks and chunk-ref task frames
+
+// A v2 task frame ships each seed as one uvarint tag: 0 means the
+// seed follows inline, k > 0 references resident chunk id k-1.
+
+// EncodeChunk serializes one content-addressed seed chunk: the
+// coordinator-assigned resident id plus the seed. A chunk ships to a
+// given worker at most once; later tasks reference it by id.
+func EncodeChunk(t *EncTab, id uint64, s ops5.Seed) []byte {
+	b := make([]byte, 0, 64)
+	b = appendUint(b, id)
+	return t.seed(b, s)
+}
+
+// DecodeChunk parses a chunk frame payload.
+func DecodeChunk(t *DecTab, payload []byte) (uint64, ops5.Seed, error) {
+	d := &decoder{b: payload}
+	id := d.uvarint()
+	s := d.seedT(t)
+	if d.err != nil {
+		return 0, ops5.Seed{}, d.err
+	}
+	if len(d.b) != 0 {
+		return 0, ops5.Seed{}, fmt.Errorf("cluster: %d trailing bytes after chunk frame", len(d.b))
+	}
+	return id, s, nil
+}
+
+// EncodeChunkFree serializes an eviction notice: chunk ids the
+// coordinator dropped from the worker's resident table under its LRU
+// budget. The worker frees them before any later frame can reference
+// them again (a re-shipped chunk gets a fresh id).
+func EncodeChunkFree(ids []uint64) []byte {
+	b := make([]byte, 0, 16)
+	b = appendUint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendUint(b, id)
+	}
+	return b
+}
+
+// DecodeChunkFree parses an eviction-notice payload.
+func DecodeChunkFree(payload []byte) ([]uint64, error) {
+	d := &decoder{b: payload}
+	n := d.count("chunk free")
+	var ids []uint64
+	if n > 0 {
+		ids = make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, d.uvarint())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after chunk-free frame", len(d.b))
+	}
+	return ids, nil
+}
+
+// EncodeTaskV2 serializes a v2 task frame payload against the
+// connection's sender intern table. refs runs parallel to
+// m.Spec.Seeds: refs[i] >= 0 ships seed i as a reference to that
+// resident chunk id, refs[i] < 0 ships it inline. A nil refs ships
+// every seed inline (still a valid v2 frame). Task IDs stay literal —
+// they are unique per run, so interning them would only grow the
+// table.
+func EncodeTaskV2(t *EncTab, m *TaskMsg, refs []int64) []byte {
+	b := make([]byte, 0, 256)
+	b = appendUint(b, m.RunID)
+	b = appendUint(b, uint64(m.Seq))
+	b = appendUint(b, uint64(m.StartAttempt))
+	var flags byte
+	if m.Spawned {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendString(b, m.ID)
+	b = t.str(b, m.Label)
+	b = t.str(b, m.Group)
+	b = appendFloatC(b, m.EstSize)
+	b = appendFloatC(b, m.MemEst)
+	b = t.runConfig(b, m.Config)
+	b = t.str(b, m.Spec.Dataset)
+	b = t.str(b, m.Spec.Phase)
+	b = appendUint(b, uint64(len(m.Spec.Extract)))
+	for _, c := range m.Spec.Extract {
+		b = t.str(b, c)
+	}
+	b = appendUint(b, uint64(len(m.Spec.Seeds)))
+	for i, s := range m.Spec.Seeds {
+		if i < len(refs) && refs[i] >= 0 {
+			b = appendUint(b, uint64(refs[i])+1)
+			continue
+		}
+		b = append(b, 0)
+		b = t.seed(b, s)
+	}
+	return b
+}
+
+// DecodeTaskV2 parses a v2 task frame payload against the
+// connection's receiver intern table, resolving chunk references
+// through resolve (the worker's resident-chunk table). The returned
+// refs slice mirrors the wire encoding — refs[i] is the chunk id seed
+// i arrived as, or -1 for inline — so EncodeTaskV2(t, m, refs) with
+// equivalent intern state reproduces the payload byte for byte (the
+// fuzz round-trip invariant). An id resolve does not know is a
+// protocol error: chunks always precede the first frame referencing
+// them on a connection.
+func DecodeTaskV2(t *DecTab, payload []byte, resolve func(uint64) (ops5.Seed, bool)) (*TaskMsg, []int64, error) {
+	d := &decoder{b: payload}
+	m := &TaskMsg{}
+	m.RunID = d.uvarint()
+	m.Seq = int(d.uvarint())
+	m.StartAttempt = int(d.uvarint())
+	flags := d.byte()
+	m.Spawned = flags&1 != 0
+	m.ID = d.string()
+	m.Label = d.str(t)
+	m.Group = d.str(t)
+	m.EstSize = d.floatC()
+	m.MemEst = d.floatC()
+	m.Config = d.runConfigT(t)
+	m.Spec.Dataset = d.str(t)
+	m.Spec.Phase = d.str(t)
+	if n := d.count("extract"); n > 0 {
+		m.Spec.Extract = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			m.Spec.Extract = append(m.Spec.Extract, d.str(t))
+		}
+	}
+	var refs []int64
+	if n := d.count("seed"); n > 0 {
+		m.Spec.Seeds = make([]ops5.Seed, 0, n)
+		refs = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			tag := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if tag == 0 {
+				m.Spec.Seeds = append(m.Spec.Seeds, d.seedT(t))
+				refs = append(refs, -1)
+			} else {
+				id := tag - 1
+				s, ok := resolve(id)
+				if !ok {
+					return nil, nil, fmt.Errorf("cluster: task %s references unknown chunk %d", m.ID, id)
+				}
+				m.Spec.Seeds = append(m.Spec.Seeds, s)
+				refs = append(refs, int64(id))
+			}
+			if d.err != nil {
+				break
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, nil, fmt.Errorf("cluster: %d trailing bytes after task frame", len(d.b))
+	}
+	return m, refs, nil
+}
+
+// ---------------------------------------------------------------------------
 // Result frames
 
 const (
@@ -530,6 +939,7 @@ const (
 	rfCancelled
 	rfHalted
 	rfLog
+	rfSpawned
 )
 
 func appendWireError(b []byte, e WireError) []byte {
@@ -564,6 +974,9 @@ func EncodeResult(m *ResultMsg) []byte {
 	}
 	if m.HasLog {
 		flags |= rfLog
+	}
+	if m.Spawned {
+		flags |= rfSpawned
 	}
 	b = append(b, flags)
 	b = appendUint(b, uint64(m.Stats.Firings))
@@ -615,6 +1028,7 @@ func DecodeResult(payload []byte) (*ResultMsg, error) {
 	m.Quarantined = flags&rfQuarantined != 0
 	m.Cancelled = flags&rfCancelled != 0
 	m.HasLog = flags&rfLog != 0
+	m.Spawned = flags&rfSpawned != 0
 	m.Stats.Firings = int(d.uvarint())
 	m.Stats.Cycles = int(d.uvarint())
 	m.Stats.RHSActions = int(d.uvarint())
@@ -654,6 +1068,143 @@ func DecodeResult(payload []byte) (*ResultMsg, error) {
 				sc.Rows = make([][]symtab.Value, 0, nr)
 				for j := 0; j < nr; j++ {
 					sc.Rows = append(sc.Rows, d.values())
+				}
+			}
+			m.Snapshot = append(m.Snapshot, sc)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after result frame", len(d.b))
+	}
+	return m, nil
+}
+
+// EncodeResultV2 serializes a result frame payload against the
+// worker→coordinator intern table: snapshot class names, attribute
+// names and symbol values intern (the dominant repeated content of a
+// phase's results), modeled-cost floats ship compact, and the task ID
+// stays off the wire entirely — (RunID, Seq) already names the task,
+// and the coordinator restores the ID from its own run state. Error
+// messages stay literal.
+func EncodeResultV2(t *EncTab, m *ResultMsg) []byte {
+	b := make([]byte, 0, 256)
+	b = appendUint(b, m.RunID)
+	b = appendUint(b, uint64(m.Seq))
+	b = appendUint(b, uint64(m.Worker))
+	b = appendUint(b, uint64(m.Attempts))
+	var flags byte
+	if m.Err != nil {
+		flags |= rfErr
+	}
+	if m.Quarantined {
+		flags |= rfQuarantined
+	}
+	if m.Cancelled {
+		flags |= rfCancelled
+	}
+	if m.Stats.Halted {
+		flags |= rfHalted
+	}
+	if m.HasLog {
+		flags |= rfLog
+	}
+	if m.Spawned {
+		flags |= rfSpawned
+	}
+	b = append(b, flags)
+	b = appendUint(b, uint64(m.Stats.Firings))
+	b = appendUint(b, uint64(m.Stats.Cycles))
+	b = appendUint(b, uint64(m.Stats.RHSActions))
+	b = appendFloatC(b, m.Stats.MatchInstr)
+	b = appendFloatC(b, m.Stats.ResolveInstr)
+	b = appendFloatC(b, m.Stats.ActInstr)
+	b = appendFloatC(b, m.Stats.InitInstr)
+	b = appendUint(b, uint64(m.Mem.SeedWMEs))
+	b = appendFloatC(b, m.Mem.SeedBytes)
+	b = appendUint(b, uint64(m.Mem.RetractedWMEs))
+	b = appendFloatC(b, m.Mem.RetractedBytes)
+	b = appendUint(b, uint64(m.Mem.PeakWMEs))
+	b = appendUint(b, uint64(m.Mem.PeakTokens))
+	b = appendFloatC(b, m.Mem.PeakBytes)
+	if m.Err != nil {
+		b = appendWireError(b, *m.Err)
+	}
+	b = appendUint(b, uint64(len(m.AttemptErrs)))
+	for _, e := range m.AttemptErrs {
+		b = appendWireError(b, e)
+	}
+	b = appendUint(b, uint64(len(m.Snapshot)))
+	for _, sc := range m.Snapshot {
+		b = t.str(b, sc.Name)
+		b = appendUint(b, uint64(len(sc.Attrs)))
+		for _, a := range sc.Attrs {
+			b = t.str(b, a)
+		}
+		b = appendUint(b, uint64(len(sc.Rows)))
+		for _, row := range sc.Rows {
+			b = t.values(b, row)
+		}
+	}
+	return b
+}
+
+// DecodeResultV2 parses a v2 result frame payload against the
+// connection's receiver intern table. The returned message has an
+// empty TaskID — v2 result frames do not carry it.
+func DecodeResultV2(t *DecTab, payload []byte) (*ResultMsg, error) {
+	d := &decoder{b: payload}
+	m := &ResultMsg{}
+	m.RunID = d.uvarint()
+	m.Seq = int(d.uvarint())
+	m.Worker = int(d.uvarint())
+	m.Attempts = int(d.uvarint())
+	flags := d.byte()
+	m.Quarantined = flags&rfQuarantined != 0
+	m.Cancelled = flags&rfCancelled != 0
+	m.HasLog = flags&rfLog != 0
+	m.Spawned = flags&rfSpawned != 0
+	m.Stats.Firings = int(d.uvarint())
+	m.Stats.Cycles = int(d.uvarint())
+	m.Stats.RHSActions = int(d.uvarint())
+	m.Stats.MatchInstr = d.floatC()
+	m.Stats.ResolveInstr = d.floatC()
+	m.Stats.ActInstr = d.floatC()
+	m.Stats.InitInstr = d.floatC()
+	m.Stats.Halted = flags&rfHalted != 0
+	m.Mem.SeedWMEs = int(d.uvarint())
+	m.Mem.SeedBytes = d.floatC()
+	m.Mem.RetractedWMEs = int(d.uvarint())
+	m.Mem.RetractedBytes = d.floatC()
+	m.Mem.PeakWMEs = int(d.uvarint())
+	m.Mem.PeakTokens = int(d.uvarint())
+	m.Mem.PeakBytes = d.floatC()
+	if flags&rfErr != 0 {
+		e := d.wireError()
+		m.Err = &e
+	}
+	if n := d.count("attempt error"); n > 0 {
+		m.AttemptErrs = make([]WireError, 0, n)
+		for i := 0; i < n; i++ {
+			m.AttemptErrs = append(m.AttemptErrs, d.wireError())
+		}
+	}
+	if n := d.count("snapshot class"); n > 0 {
+		m.Snapshot = make([]SnapClass, 0, n)
+		for i := 0; i < n; i++ {
+			sc := SnapClass{Name: d.str(t)}
+			if na := d.count("snapshot attr"); na > 0 {
+				sc.Attrs = make([]string, 0, na)
+				for j := 0; j < na; j++ {
+					sc.Attrs = append(sc.Attrs, d.str(t))
+				}
+			}
+			if nr := d.count("snapshot row"); nr > 0 {
+				sc.Rows = make([][]symtab.Value, 0, nr)
+				for j := 0; j < nr; j++ {
+					sc.Rows = append(sc.Rows, d.valuesT(t))
 				}
 			}
 			m.Snapshot = append(m.Snapshot, sc)

@@ -130,23 +130,172 @@ func TestWireRoundTripTasks(t *testing.T) {
 	}
 }
 
-// FuzzWireRoundTrip fuzzes both codec directions with the invariant
-// that any payload the decoder accepts re-encodes to the same bytes
-// after a second decode (canonical-form fixed point — NaN-safe where
-// DeepEqual is not). The first corpus byte selects the codec.
+// chunkRefsFor models the coordinator's chunk plan for one task in
+// isolation: every shared (digest-carrying) seed becomes a chunk,
+// assigning ids in seed order from the given table.
+func chunkRefsFor(m *TaskMsg, resident map[string]uint64, next *uint64) ([]int64, []uint64, []ops5.Seed) {
+	refs := make([]int64, len(m.Spec.Seeds))
+	var newIDs []uint64
+	var newSeeds []ops5.Seed
+	for i, s := range m.Spec.Seeds {
+		refs[i] = -1
+		if s.Digest == "" {
+			continue
+		}
+		id, ok := resident[s.Digest]
+		if !ok {
+			id = *next
+			*next++
+			resident[s.Digest] = id
+			newIDs = append(newIDs, id)
+			newSeeds = append(newSeeds, s)
+		}
+		refs[i] = int64(id)
+	}
+	return refs, newIDs, newSeeds
+}
+
+// TestWireRoundTripTasksV2 checks structural identity for the v2
+// codec over the same corpus: every task both fully inline and with
+// its shared seeds resolved through chunk frames, sharing one intern
+// table pair across the whole stream — exactly one connection's
+// lifetime. Spawned marks and the v2 result codec's dropped TaskID are
+// covered too.
+func TestWireRoundTripTasksV2(t *testing.T) {
+	enc, dec := NewEncTab(), &DecTab{}
+	for i, m := range corpusTasks(t) {
+		m.Spawned = i%3 == 0
+		got, refs, err := DecodeTaskV2(dec, EncodeTaskV2(enc, m, nil), func(uint64) (ops5.Seed, bool) {
+			return ops5.Seed{}, false
+		})
+		if err != nil {
+			t.Fatalf("task %s: inline decode: %v", m.ID, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("task %s: inline round trip changed message:\nin:  %+v\nout: %+v", m.ID, m, got)
+		}
+		for _, r := range refs {
+			if r != -1 {
+				t.Fatalf("task %s: inline frame decoded chunk ref %d", m.ID, r)
+			}
+		}
+	}
+
+	encC, decC := NewEncTab(), &DecTab{}
+	resident := map[string]uint64{}
+	workerChunks := map[uint64]ops5.Seed{}
+	var next uint64
+	for _, m := range corpusTasks(t) {
+		refs, newIDs, newSeeds := chunkRefsFor(m, resident, &next)
+		for i, id := range newIDs {
+			gotID, seed, err := DecodeChunk(decC, EncodeChunk(encC, id, newSeeds[i]))
+			if err != nil {
+				t.Fatalf("chunk %d: decode: %v", id, err)
+			}
+			if gotID != id || !reflect.DeepEqual(seed, newSeeds[i]) {
+				t.Fatalf("chunk %d: round trip changed chunk: got id %d seed %+v", id, gotID, seed)
+			}
+			workerChunks[gotID] = seed
+		}
+		got, gotRefs, err := DecodeTaskV2(decC, EncodeTaskV2(encC, m, refs), func(id uint64) (ops5.Seed, bool) {
+			s, ok := workerChunks[id]
+			return s, ok
+		})
+		if err != nil {
+			t.Fatalf("task %s: chunked decode: %v", m.ID, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("task %s: chunked round trip changed message:\nin:  %+v\nout: %+v", m.ID, m, got)
+		}
+		if !reflect.DeepEqual(refs, gotRefs) {
+			t.Errorf("task %s: refs changed: in %v out %v", m.ID, refs, gotRefs)
+		}
+	}
+
+	encR, decR := NewEncTab(), &DecTab{}
+	for _, r := range sampleResults() {
+		r.Spawned = r.Seq%2 == 1
+		got, err := DecodeResultV2(decR, EncodeResultV2(encR, r))
+		if err != nil {
+			t.Fatalf("result %s: decode: %v", r.TaskID, err)
+		}
+		want := *r
+		want.TaskID = "" // v2 result frames carry no task ID
+		if !reflect.DeepEqual(&want, got) {
+			t.Errorf("result %s: round trip changed message:\nin:  %+v\nout: %+v", r.TaskID, &want, got)
+		}
+	}
+}
+
+// TestWireV2InternSharing pins the point of the stateful codec: the
+// second frame carrying the same strings is strictly smaller than the
+// first, and a reference never leaks across connections (fresh tables
+// decode only their own stream).
+func TestWireV2InternSharing(t *testing.T) {
+	tasks := corpusTasks(t)
+	m := tasks[0]
+	enc := NewEncTab()
+	first := EncodeTaskV2(enc, m, nil)
+	second := EncodeTaskV2(enc, m, nil)
+	if len(second) >= len(first) {
+		t.Fatalf("repeat frame did not shrink: first %d bytes, second %d", len(first), len(second))
+	}
+	dec := &DecTab{}
+	noResolve := func(uint64) (ops5.Seed, bool) { return ops5.Seed{}, false }
+	if _, _, err := DecodeTaskV2(dec, first, noResolve); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	got, _, err := DecodeTaskV2(dec, second, noResolve)
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("second frame decoded differently:\nin:  %+v\nout: %+v", m, got)
+	}
+	// A fresh connection must reject the reference-bearing second frame.
+	if _, _, err := DecodeTaskV2(&DecTab{}, second, noResolve); err == nil {
+		t.Fatal("fresh table accepted a frame with dangling intern references")
+	}
+}
+
+// fuzzResolve synthesizes a deterministic seed for any chunk id, so
+// arbitrary fuzzed reference frames decode and re-encode stably.
+func fuzzResolve(id uint64) (ops5.Seed, bool) {
+	return ops5.Seed{Class: "chunk", Vals: []symtab.Value{symtab.Int(int64(id))}}, true
+}
+
+// FuzzWireRoundTrip fuzzes every binary codec with the invariant that
+// any payload the decoder accepts re-encodes to the same bytes after a
+// second decode (canonical-form fixed point — NaN-safe where DeepEqual
+// is not). The first corpus byte selects the codec; the v2 codecs run
+// against fresh intern tables per frame, so the invariant is the
+// single-frame canonical form (cross-frame table state is pinned by
+// TestWireV2InternSharing).
 func FuzzWireRoundTrip(f *testing.F) {
 	for _, m := range corpusTasks(f) {
 		f.Add(append([]byte{0}, EncodeTask(m)...))
+		f.Add(append([]byte{2}, EncodeTaskV2(NewEncTab(), m, nil)...))
+		resident := map[string]uint64{}
+		var next uint64
+		refs, ids, seeds := chunkRefsFor(m, resident, &next)
+		enc := NewEncTab()
+		for i, id := range ids {
+			f.Add(append([]byte{3}, EncodeChunk(NewEncTab(), id, seeds[i])...))
+			EncodeChunk(enc, id, seeds[i]) // advance the table like a real stream
+		}
+		f.Add(append([]byte{2}, EncodeTaskV2(enc, m, refs)...))
 	}
 	for _, r := range sampleResults() {
 		f.Add(append([]byte{1}, EncodeResult(r)...))
+		f.Add(append([]byte{5}, EncodeResultV2(NewEncTab(), r)...))
 	}
+	f.Add(append([]byte{4}, EncodeChunkFree([]uint64{0, 7, 130})...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return
 		}
 		kind, payload := data[0], data[1:]
-		switch kind % 2 {
+		switch kind % 6 {
 		case 0:
 			m, err := DecodeTask(payload)
 			if err != nil {
@@ -172,6 +321,58 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 			if !bytes.Equal(enc, EncodeResult(r2)) {
 				t.Fatalf("result encoding not canonical:\n%x\nvs\n%x", enc, EncodeResult(r2))
+			}
+		case 2:
+			m, refs, err := DecodeTaskV2(&DecTab{}, payload, fuzzResolve)
+			if err != nil {
+				return
+			}
+			enc := EncodeTaskV2(NewEncTab(), m, refs)
+			m2, refs2, err := DecodeTaskV2(&DecTab{}, enc, fuzzResolve)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeTaskV2(NewEncTab(), m2, refs2)) {
+				t.Fatalf("task v2 encoding not canonical")
+			}
+		case 3:
+			id, s, err := DecodeChunk(&DecTab{}, payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeChunk(NewEncTab(), id, s)
+			id2, s2, err := DecodeChunk(&DecTab{}, enc)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeChunk(NewEncTab(), id2, s2)) {
+				t.Fatalf("chunk encoding not canonical")
+			}
+		case 4:
+			ids, err := DecodeChunkFree(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeChunkFree(ids)
+			ids2, err := DecodeChunkFree(enc)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeChunkFree(ids2)) {
+				t.Fatalf("chunk-free encoding not canonical")
+			}
+		case 5:
+			r, err := DecodeResultV2(&DecTab{}, payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeResultV2(NewEncTab(), r)
+			r2, err := DecodeResultV2(&DecTab{}, enc)
+			if err != nil {
+				t.Fatalf("re-decode rejected own encoding: %v", err)
+			}
+			if !bytes.Equal(enc, EncodeResultV2(NewEncTab(), r2)) {
+				t.Fatalf("result v2 encoding not canonical")
 			}
 		}
 	})

@@ -61,6 +61,20 @@ type worker struct {
 	init     InitMsg
 	procPlan *faults.Plan
 
+	// chunks is the resident content-addressed seed table (wire v2):
+	// chunk frames install entries, chunk-free frames drop them, and
+	// chunk-ref task frames resolve against it at decode time. Only the
+	// read loop touches it, so it needs no lock — and because refs
+	// resolve into the TaskMsg before the task is handed to an
+	// executor, a later eviction cannot break an earlier task.
+	chunks map[uint64]ops5.Seed
+
+	// dec/enc are the per-direction v2 intern tables: dec mirrors the
+	// coordinator's sender state (read loop only), enc is this worker's
+	// result-stream state (guarded by writeMu, like the stream itself).
+	dec *DecTab
+	enc *EncTab
+
 	datasets map[string]*spam.Dataset
 	// pools caches one tlp.Pool per distinct RunConfig. Pools carry the
 	// retry/quarantine machinery and the shared memory gate, so tasks
@@ -79,6 +93,7 @@ func ServeWorker(c net.Conn) error {
 		conn:     c,
 		br:       bufio.NewReaderSize(c, 1<<16),
 		bw:       bufio.NewWriterSize(c, 1<<16),
+		chunks:   map[uint64]ops5.Seed{},
 		datasets: map[string]*spam.Dataset{},
 		pools:    map[RunConfig]*tlp.Pool{},
 	}
@@ -94,12 +109,16 @@ func ServeWorker(c net.Conn) error {
 	if err := decodeJSON(payload, &w.init); err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
-	if w.init.Magic != Magic || w.init.Version != Version {
-		return fmt.Errorf("handshake: protocol %q v%d, want %q v%d",
-			w.init.Magic, w.init.Version, Magic, Version)
+	if w.init.Magic != Magic || w.init.Version < MinVersion || w.init.Version > Version {
+		return fmt.Errorf("handshake: protocol %q v%d, want %q v%d..v%d",
+			w.init.Magic, w.init.Version, Magic, MinVersion, Version)
 	}
 	if w.init.LocalWorkers < 1 {
 		w.init.LocalWorkers = 1
+	}
+	if w.init.Version >= 2 {
+		w.dec = &DecTab{}
+		w.enc = NewEncTab()
 	}
 	// Replay the coordinator's observational-equivalence toggles so
 	// every engine built here walks the same code path as its
@@ -150,16 +169,47 @@ loop:
 				loopErr = err
 				break loop
 			}
-			// Process-level chaos: a Crash draw for this (task, attempt)
-			// kills the worker process outright — no goodbye frame, the
-			// coordinator sees only the dropped connection. Deterministic
-			// in (task ID, attempt), and because transient faults strike
-			// only the first attempt, the task's redelivery (startAttempt
-			// 2) survives.
-			if w.procPlan != nil && w.procPlan.TaskFault(m.ID, m.StartAttempt).Kind == faults.Crash {
-				syscall.Kill(os.Getpid(), syscall.SIGKILL)
-			}
+			w.admit(m)
 			tasks <- m
+		case frameTaskV2:
+			if w.init.Version < 2 {
+				loopErr = fmt.Errorf("v2 task frame on a v%d connection", w.init.Version)
+				break loop
+			}
+			m, _, err := DecodeTaskV2(w.dec, payload, func(id uint64) (ops5.Seed, bool) {
+				s, ok := w.chunks[id]
+				return s, ok
+			})
+			if err != nil {
+				loopErr = err
+				break loop
+			}
+			w.admit(m)
+			tasks <- m
+		case frameChunk:
+			if w.init.Version < 2 {
+				loopErr = fmt.Errorf("chunk frame on a v%d connection", w.init.Version)
+				break loop
+			}
+			id, s, err := DecodeChunk(w.dec, payload)
+			if err != nil {
+				loopErr = err
+				break loop
+			}
+			w.chunks[id] = s
+		case frameChunkFree:
+			if w.init.Version < 2 {
+				loopErr = fmt.Errorf("chunk-free frame on a v%d connection", w.init.Version)
+				break loop
+			}
+			ids, err := DecodeChunkFree(payload)
+			if err != nil {
+				loopErr = err
+				break loop
+			}
+			for _, id := range ids {
+				delete(w.chunks, id)
+			}
 		case frameShutdown:
 			break loop
 		default:
@@ -175,6 +225,20 @@ loop:
 		return loopErr
 	}
 	return nil
+}
+
+// admit applies the process-level chaos draw to a freshly-decoded
+// task. A Crash draw for this (task, attempt) kills the worker process
+// outright — no goodbye frame, the coordinator sees only the dropped
+// connection. Deterministic in (task ID, attempt), and because
+// transient faults strike only the first attempt, the task's
+// redelivery (startAttempt 2) survives. Spawned continuation tasks go
+// through the same draw, so the chaos tests exercise mid-run SIGKILL
+// requeue of spawned tasks too.
+func (w *worker) admit(m *TaskMsg) {
+	if w.procPlan != nil && w.procPlan.TaskFault(m.ID, m.StartAttempt).Kind == faults.Crash {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
 }
 
 func isClosedConn(err error) bool {
@@ -236,12 +300,19 @@ func (w *worker) poolFor(cfg RunConfig) *tlp.Pool {
 }
 
 // runTask executes one shipped task on executor idx and writes its
-// result frame.
+// result frame. On a v2 connection the encoding happens under writeMu
+// too: the result codec interns against the connection's shared table,
+// so encode order must match stream order.
 func (w *worker) runTask(idx int, m *TaskMsg) {
 	res := w.execute(idx, m)
-	payload := EncodeResult(res)
 	w.writeMu.Lock()
 	defer w.writeMu.Unlock()
+	var payload []byte
+	if w.enc != nil {
+		payload = EncodeResultV2(w.enc, res)
+	} else {
+		payload = EncodeResult(res)
+	}
 	if _, err := writeFrame(w.bw, frameResult, payload); err != nil {
 		return
 	}
@@ -251,7 +322,7 @@ func (w *worker) runTask(idx int, m *TaskMsg) {
 // execute runs the task through the local pool and flattens the
 // Result for the wire.
 func (w *worker) execute(idx int, m *TaskMsg) *ResultMsg {
-	out := &ResultMsg{RunID: m.RunID, Seq: m.Seq, TaskID: m.ID, Worker: idx, Attempts: m.StartAttempt}
+	out := &ResultMsg{RunID: m.RunID, Seq: m.Seq, TaskID: m.ID, Worker: idx, Attempts: m.StartAttempt, Spawned: m.Spawned}
 	d, ok := w.datasets[m.Spec.Dataset]
 	if !ok {
 		out.Err = &WireError{Msg: fmt.Sprintf("cluster: task %s: dataset %q not registered", m.ID, m.Spec.Dataset)}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spampsm/internal/cluster"
 	"spampsm/internal/tlp"
 )
 
@@ -304,6 +305,11 @@ type Stats struct {
 	// ShippedBytes totals the cluster backend's wire traffic (0 when
 	// serving purely in-process).
 	ShippedBytes int64 `json:"shippedBytes"`
+	// Cluster is the cluster backend's coordinator accounting — chunk
+	// shipping, continuations, steals, and the per-worker breakdown.
+	// Nil when serving purely in-process or when the backend exposes
+	// no stats.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
 	Pool       tlp.Counters    `json:"pool"`
 	SceneCache CacheStats      `json:"sceneCache"`
@@ -325,6 +331,13 @@ func (s *Server) Stats() Stats {
 	s.recentMu.Lock()
 	recent := append([]RequestReport(nil), s.recent...)
 	s.recentMu.Unlock()
+	// The backend interface is deliberately narrow (RunPool only); the
+	// richer coordinator accounting is surfaced when the backend has it.
+	var clusterStats *cluster.Stats
+	if cs, ok := s.cfg.Cluster.(interface{ Stats() cluster.Stats }); ok {
+		st := cs.Stats()
+		clusterStats = &st
+	}
 	return Stats{
 		Healthy:    s.Healthy(),
 		Draining:   s.draining.Load(),
@@ -339,6 +352,7 @@ func (s *Server) Stats() Stats {
 		InFlight:     inFlight,
 		Queued:       s.queued.Load(),
 		ShippedBytes: s.shipped.Load(),
+		Cluster:      clusterStats,
 		Pool:       s.pool.Stats(),
 		SceneCache: s.cache.stats(),
 		Sessions:   s.sessions.stats(),

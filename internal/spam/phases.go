@@ -379,6 +379,12 @@ func (d *Dataset) InterpretContext(ctx context.Context, opt InterpretOptions) (*
 			// fragment pool.
 			pool2 := append(append([]*Fragment(nil), in.Fragments...), extra...)
 			reTasks := BuildLCCTasksFor(d.KB, d.Store, d.Progs.LCC, extra, pool2, opt.Level, opt.Capture)
+			// Re-entry tasks continue the LCC phase over fragments the
+			// main pass already shipped: mark them so the cluster
+			// runtime spawns them on the chunk-resident worker.
+			for _, t := range reTasks {
+				t.Continues = true
+			}
 			if len(reTasks) > 0 {
 				reResults, err := runPhase(reTasks)
 				if err != nil {

@@ -40,6 +40,20 @@ type WireSpec struct {
 	Extract []string // WME classes snapshotted into the Result
 }
 
+// SharedSeedIndexes returns the indexes of the spec's shared
+// (digest-carrying) seeds — the recurring cross-task state the cluster
+// runtime chunks and content-addresses. Plain seeds (empty digest) are
+// task-private rows and always ship inline.
+func (s *WireSpec) SharedSeedIndexes() []int {
+	var idx []int
+	for i, seed := range s.Seeds {
+		if seed.Digest != "" {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
 // Snapshot is the working memory extracted from a remotely-executed
 // task's final state: the WMEs of each requested class, in timetag
 // order. It stands in for Result.Engine across a process boundary.
